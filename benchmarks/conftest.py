@@ -1,0 +1,36 @@
+"""Shared fixture for experiment benchmarks.
+
+Each experiment benchmark runs its experiment ONCE (rounds=1) under
+pytest-benchmark — the experiments are themselves repeated-seed studies, so
+benchmark-level repetition would only multiply minutes — then asserts the
+experiment's shape expectations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    """Run one experiment in quick mode under the benchmark fixture and
+    assert its shape expectations."""
+
+    def run(experiment_id: str):
+        from repro.experiments import run_experiment
+
+        report = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"quick": True},
+            iterations=1,
+            rounds=1,
+        )
+        failed = report.failed()
+        assert not failed, (
+            f"{experiment_id} expectation failures: "
+            + "; ".join(str(e) for e in failed)
+        )
+        return report
+
+    return run

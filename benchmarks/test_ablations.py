@@ -1,0 +1,183 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation times/compares the design choice ON vs OFF on a fixed
+workload and asserts the direction the design rationale claims:
+
+- synchronous vs asynchronous (stale) migration;
+- elitism on vs off;
+- migration-buffer staleness depth;
+- master-slave dispatch granularity on heterogeneous slaves;
+- fault-tolerant re-dispatch vs none (time overhead is the price of
+  completeness);
+- theory-predicted optimal worker count vs a grid search on the simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Network, SimulatedCluster, sample_fault_plan
+from repro.core import GAConfig, GenerationalEngine, MaxEvaluations, MaxGenerations
+from repro.migration import MigrationPolicy, PeriodicSchedule, Synchrony
+from repro.parallel import IslandModel, SimulatedMasterSlave
+from repro.problems import DeceptiveTrap, OneMax
+from repro.theory import masterslave_generation_time, optimal_worker_count
+
+SEEDS = range(3)
+
+
+def _island_quality(synchrony: Synchrony, seed: int) -> float:
+    problem = DeceptiveTrap(blocks=8, k=4)
+    model = IslandModel(
+        problem, 6, GAConfig(population_size=16, elitism=1),
+        policy=MigrationPolicy(rate=1, selection="best"),
+        schedule=PeriodicSchedule(4),
+        synchrony=synchrony,
+        seed=seed,
+    )
+    return model.run(MaxEvaluations(15_000)).best_fitness / problem.optimum
+
+
+class TestSyncVsAsyncMigration:
+    def test_async_quality_comparable_to_sync(self, benchmark):
+        """Alba & Troya 2001: asynchrony changes timing, not search quality
+        — stale migrants must not collapse solution quality."""
+
+        def ablation():
+            sync = np.mean([_island_quality(Synchrony(True), 100 + s) for s in SEEDS])
+            async_ = np.mean(
+                [
+                    _island_quality(Synchrony(False, delay=2), 100 + s)
+                    for s in SEEDS
+                ]
+            )
+            return sync, async_
+
+        sync, async_ = benchmark.pedantic(ablation, iterations=1, rounds=1)
+        assert async_ >= sync - 0.08, f"async {async_:.3f} vs sync {sync:.3f}"
+
+
+class TestElitism:
+    def test_elitism_helps_on_onemax(self, benchmark):
+        def run(elitism: int, seed: int) -> int:
+            res = GenerationalEngine(
+                OneMax(48), GAConfig(population_size=32, elitism=elitism), seed=seed
+            ).run(MaxGenerations(120))
+            return res.generations if res.solved else 120
+
+        def ablation():
+            with_e = np.mean([run(1, 200 + s) for s in SEEDS])
+            without = np.mean([run(0, 200 + s) for s in SEEDS])
+            return with_e, without
+
+        with_e, without = benchmark.pedantic(ablation, iterations=1, rounds=1)
+        assert with_e <= without, f"elitist {with_e} vs non-elitist {without} generations"
+
+
+class TestBufferStaleness:
+    def test_deep_staleness_slows_information_spread(self, benchmark):
+        """Migration delay postpones when immigrant genes start helping."""
+
+        def epochs_to_solve(delay: int, seed: int) -> int:
+            model = IslandModel(
+                OneMax(40), 6, GAConfig(population_size=10, elitism=1),
+                policy=MigrationPolicy(rate=1, selection="best"),
+                schedule=PeriodicSchedule(2),
+                synchrony=Synchrony(False, delay=delay),
+                seed=seed,
+            )
+            res = model.run(MaxGenerations(150))
+            return res.epochs if res.solved else 150
+
+        def ablation():
+            fresh = np.mean([epochs_to_solve(0, 300 + s) for s in SEEDS])
+            stale = np.mean([epochs_to_solve(8, 300 + s) for s in SEEDS])
+            return fresh, stale
+
+        fresh, stale = benchmark.pedantic(ablation, iterations=1, rounds=1)
+        assert stale >= fresh * 0.9, f"fresh {fresh} vs stale {stale} epochs"
+
+
+def _farm_time(chunks_per_worker: int, *, speeds, seed: int) -> float:
+    n = len(speeds)
+    cluster = SimulatedCluster(
+        n, speeds=speeds, network=Network(n, latency=1e-4, bandwidth=1e7)
+    )
+    ms = SimulatedMasterSlave(
+        OneMax(32), GAConfig(population_size=96), cluster=cluster,
+        eval_cost=1e-2, chunks_per_worker=chunks_per_worker, seed=seed,
+    )
+    return ms.run(MaxGenerations(4)).sim_time
+
+
+class TestDispatchGranularity:
+    def test_fine_chunks_win_on_heterogeneous_slaves(self, benchmark):
+        speeds = [1.0, 2.0, 0.25, 1.0, 0.5]
+
+        def ablation():
+            coarse = _farm_time(1, speeds=speeds, seed=1)
+            fine = _farm_time(4, speeds=speeds, seed=1)
+            return coarse, fine
+
+        coarse, fine = benchmark.pedantic(ablation, iterations=1, rounds=1)
+        assert fine < coarse, f"fine {fine:.3f}s vs coarse {coarse:.3f}s"
+
+
+class TestFaultToleranceCost:
+    def test_redispatch_overhead_is_bounded(self, benchmark):
+        def ablation():
+            n = 5
+            base_cluster = SimulatedCluster(
+                n, network=Network(n, latency=1e-3, bandwidth=1e6)
+            )
+            ms = SimulatedMasterSlave(
+                OneMax(32), GAConfig(population_size=64), cluster=base_cluster,
+                eval_cost=5e-3, fault_tolerant=True, seed=2,
+            )
+            t_base = ms.run(MaxGenerations(6)).sim_time
+            plan = sample_fault_plan(
+                n, horizon=t_base, mtbf=t_base, repair_time=t_base / 4, seed=3
+            )
+            faulty_cluster = SimulatedCluster(
+                n, network=Network(n, latency=1e-3, bandwidth=1e6), fault_plan=plan
+            )
+            ms2 = SimulatedMasterSlave(
+                OneMax(32), GAConfig(population_size=64), cluster=faulty_cluster,
+                eval_cost=5e-3, fault_tolerant=True, seed=2,
+            )
+            t_faulty = ms2.run(MaxGenerations(6)).sim_time
+            return t_base, t_faulty
+
+        t_base, t_faulty = benchmark.pedantic(ablation, iterations=1, rounds=1)
+        assert t_faulty < 5.0 * t_base
+
+
+class TestTheoryVsSimulator:
+    def test_sqrt_rule_predicts_simulated_knee(self, benchmark):
+        """Cantú-Paz's S* = sqrt(n Tf / Tc) must sit near the simulator's
+        measured best worker count."""
+        pop, eval_cost, latency = 64, 1e-2, 2e-3
+
+        def measured_time(workers: int) -> float:
+            cluster = SimulatedCluster(
+                workers + 1,
+                network=Network(workers + 1, latency=latency, bandwidth=1e9),
+            )
+            ms = SimulatedMasterSlave(
+                OneMax(32), GAConfig(population_size=pop), cluster=cluster,
+                eval_cost=eval_cost, chunks_per_worker=1, seed=4,
+            )
+            return ms.run(MaxGenerations(3)).sim_time
+
+        def ablation():
+            counts = [2, 4, 8, 16, 24, 32, 48, 64]
+            times = {w: measured_time(w) for w in counts}
+            best_measured = min(times, key=times.get)
+            predicted = optimal_worker_count(pop, eval_cost, latency)
+            return best_measured, predicted
+
+        best_measured, predicted = benchmark.pedantic(ablation, iterations=1, rounds=1)
+        assert 0.25 * predicted <= best_measured <= 4.0 * predicted, (
+            f"measured knee {best_measured} vs predicted {predicted:.1f}"
+        )

@@ -1,0 +1,8 @@
+"""Benchmark E1 — Table 1: library feature matrix + model taxonomy.
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e01(experiment_runner):
+    experiment_runner("E1")

@@ -1,0 +1,8 @@
+"""Benchmark E2 — master-slave speedup growth, saturation, cheap-fitness bottleneck (Bethke 1976).
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e02(experiment_runner):
+    experiment_runner("E2")

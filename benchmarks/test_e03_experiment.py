@@ -1,0 +1,8 @@
+"""Benchmark E3 — island-model linear and super-linear speedup to solution (Alba & Troya).
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e03(experiment_runner):
+    experiment_runner("E3")

@@ -1,0 +1,8 @@
+"""Benchmark E4 — migration frequency / migrant selection / reproduction loop across the problem spectrum (Alba & Troya 2000).
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e04(experiment_runner):
+    experiment_runner("E4")

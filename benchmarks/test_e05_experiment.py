@@ -1,0 +1,8 @@
+"""Benchmark E5 — takeover-time curves for the five cellular update policies (Giacobini 2003).
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e05(experiment_runner):
+    experiment_runner("E5")

@@ -1,0 +1,8 @@
+"""Benchmark E6 — Cantu-Paz design principles: topology, deme sizing, population sizing.
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e06(experiment_runner):
+    experiment_runner("E6")

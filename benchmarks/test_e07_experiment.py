@@ -1,0 +1,8 @@
+"""Benchmark E7 — hierarchical multi-fidelity GA vs all-complex ensemble (Sefrioui & Periaux 2000).
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e07(experiment_runner):
+    experiment_runner("E7")

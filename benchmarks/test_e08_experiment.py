@@ -1,0 +1,8 @@
+"""Benchmark E8 — specialized island model: seven scenarios on ZDT1 (Xiao & Amstrong 2003).
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e08(experiment_runner):
+    experiment_runner("E8")

@@ -1,0 +1,8 @@
+"""Benchmark E9 — fault-tolerant master-slave vs islands on heterogeneous clusters (Gagne 2003).
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e09(experiment_runner):
+    experiment_runner("E9")

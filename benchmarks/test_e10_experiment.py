@@ -1,0 +1,8 @@
+"""Benchmark E10 — punctuated equilibria: divergence, bursts, recombination (Cohoon 1987).
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e10(experiment_runner):
+    experiment_runner("E10")

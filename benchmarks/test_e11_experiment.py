@@ -1,0 +1,8 @@
+"""Benchmark E11 — applications: 2-phase registration, feature-selection scaling, cluster TSP.
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e11(experiment_runner):
+    experiment_runner("E11")

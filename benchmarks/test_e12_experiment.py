@@ -1,0 +1,8 @@
+"""Benchmark E12 — neuro-genetic stock prediction and reactor core design (Kwon & Moon; Pereira & Lapa).
+
+Regenerates the experiment's tables/series in quick mode and asserts the
+paper-shape expectations recorded in DESIGN.md's per-experiment index.
+"""
+
+def test_e12(experiment_runner):
+    experiment_runner("E12")

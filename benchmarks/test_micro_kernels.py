@@ -1,0 +1,118 @@
+"""Micro-benchmarks: operator, engine and simulator kernel throughput.
+
+Not tied to a table/figure — these watch for performance regressions in the
+hot paths every experiment exercises (per the profiling-first methodology:
+the bottlenecks are variation, selection, fitness and the event loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Simulator, Timeout
+from repro.core import GAConfig, GenerationalEngine, SteadyStateEngine
+from repro.core.operators.crossover import TwoPointCrossover, UniformCrossover
+from repro.core.operators.mutation import BitFlipMutation, GaussianMutation
+from repro.core.operators.selection import TournamentSelection
+from repro.parallel import CellularGA, IslandModel
+from repro.problems import OneMax, Rastrigin
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestOperatorThroughput:
+    def test_two_point_crossover(self, benchmark, rng):
+        a = rng.integers(0, 2, 256, dtype=np.int8)
+        b = rng.integers(0, 2, 256, dtype=np.int8)
+        benchmark(TwoPointCrossover(), rng, a, b)
+
+    def test_uniform_crossover(self, benchmark, rng):
+        a = rng.integers(0, 2, 256, dtype=np.int8)
+        b = rng.integers(0, 2, 256, dtype=np.int8)
+        benchmark(UniformCrossover(), rng, a, b)
+
+    def test_bitflip_mutation(self, benchmark, rng):
+        g = rng.integers(0, 2, 256, dtype=np.int8)
+        benchmark(BitFlipMutation(), rng, g)
+
+    def test_gaussian_mutation(self, benchmark, rng):
+        g = rng.random(256)
+        benchmark(GaussianMutation(sigma=0.1), rng, g)
+
+    def test_tournament_selection(self, benchmark, rng):
+        from repro.core import Individual
+
+        pop = []
+        for k in range(256):
+            ind = Individual(genome=np.zeros(8))
+            ind.fitness = float(k)
+            pop.append(ind)
+        benchmark(TournamentSelection(2), rng, pop, 256, True)
+
+
+class TestEngineThroughput:
+    def test_generational_generation(self, benchmark):
+        eng = GenerationalEngine(OneMax(128), GAConfig(population_size=128), seed=1)
+        eng.initialize()
+        benchmark(eng.step)
+
+    def test_steady_state_generation(self, benchmark):
+        eng = SteadyStateEngine(OneMax(128), GAConfig(population_size=128), seed=1)
+        eng.initialize()
+        benchmark(eng.step)
+
+    def test_continuous_generation(self, benchmark):
+        eng = GenerationalEngine(Rastrigin(dims=32), GAConfig(population_size=64), seed=1)
+        eng.initialize()
+        benchmark(eng.step)
+
+    def test_cellular_sweep(self, benchmark):
+        cga = CellularGA(OneMax(64), rows=16, cols=16, seed=1)
+        cga.initialize()
+        benchmark(cga.step)
+
+    def test_island_epoch(self, benchmark):
+        model = IslandModel(OneMax(64), 8, GAConfig(population_size=16), seed=1)
+        model.initialize()
+        benchmark(model.step_epoch)
+
+
+class TestSimulatorThroughput:
+    def test_event_dispatch_rate(self, benchmark):
+        def run_10k_events():
+            sim = Simulator()
+
+            def ticker():
+                for _ in range(10_000):
+                    yield Timeout(1.0)
+
+            sim.process(ticker())
+            sim.run()
+            return sim.now
+
+        assert benchmark(run_10k_events) == 10_000.0
+
+    def test_message_passing_rate(self, benchmark):
+        def ping_pong_2k():
+            sim = Simulator()
+            a, b = sim.inbox("a"), sim.inbox("b")
+
+            def ping():
+                for _ in range(1_000):
+                    b.put("ping")
+                    yield a
+
+            def pong():
+                for _ in range(1_000):
+                    yield b
+                    a.put("pong")
+
+            sim.process(ping())
+            sim.process(pong())
+            sim.run()
+
+        benchmark(ping_pong_2k)

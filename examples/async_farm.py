@@ -1,0 +1,63 @@
+"""Synchronous vs asynchronous master-slave on a ragged cluster.
+
+Grefenstette's generation-free global PGA in action: one slave is 10x
+slower than the rest.  The generational farm's barrier waits for it every
+generation; the continuous-dispatch farm keeps every slave saturated and
+simply gives the slow machine fewer individuals.
+
+Run:  python examples/async_farm.py
+"""
+
+from repro import GAConfig
+from repro.cluster import Network, SimulatedCluster
+from repro.parallel import SimulatedAsyncMasterSlave, SimulatedMasterSlave
+from repro.problems import Rastrigin
+
+SPEEDS = [1.0, 2.0, 1.5, 0.1, 1.0]  # node 3 is the office antique
+
+
+def cluster() -> SimulatedCluster:
+    return SimulatedCluster(
+        len(SPEEDS), speeds=SPEEDS,
+        network=Network(len(SPEEDS), latency=1e-4, bandwidth=1e7),
+    )
+
+
+def main() -> None:
+    budget = 1_920  # evaluations for both farms
+
+    sync = SimulatedMasterSlave(
+        Rastrigin(dims=15), GAConfig(population_size=96),
+        cluster=cluster(), eval_cost=1e-2, chunks_per_worker=1, seed=8,
+    )
+    sync_rep = sync.run(19)  # 20 x 96 ≈ budget
+    sync_rate = sync_rep.result.evaluations / sync_rep.sim_time
+
+    afarm = SimulatedAsyncMasterSlave(
+        Rastrigin(dims=15), GAConfig(population_size=96),
+        cluster=cluster(), eval_cost=1e-2, seed=8,
+    )
+    async_rep = afarm.run(max_evaluations=budget)
+    async_rate = async_rep.evaluations / async_rep.sim_time
+
+    print("cluster speeds:", SPEEDS, "(slave 3 is 10-20x slower)")
+    print(
+        f"generational farm : {sync_rep.result.evaluations} evals in "
+        f"{sync_rep.sim_time:.2f}s -> {sync_rate:.0f} evals/s "
+        f"(best {sync_rep.result.best_fitness:.1f})"
+    )
+    print(
+        f"asynchronous farm : {async_rep.evaluations} evals in "
+        f"{async_rep.sim_time:.2f}s -> {async_rate:.0f} evals/s "
+        f"(best {async_rep.best_fitness:.1f})"
+    )
+    print(f"  slave utilisation: {[round(u, 2) for u in async_rep.utilisation]}")
+    print(f"  slave completions: {async_rep.completions} (proportional to speed)")
+    print(
+        f"\nthroughput advantage {async_rate / sync_rate:.2f}x — the barrier "
+        "is what heterogeneity punishes."
+    )
+
+
+if __name__ == "__main__":
+    main()

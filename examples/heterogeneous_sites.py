@@ -1,0 +1,66 @@
+"""Island PGA spanning two LANs joined by the Internet (Alba et al. 2002).
+
+"implemented a distributed PGA … on different machines linked by different
+kinds of communication networks.  This algorithm benefited from the
+computational resources offered by modern LANs and by the Internet."
+
+A ring of 8 islands runs across two 4-node Ethernet sites; the two ring
+links that cross sites pay WAN latency (~50 ms) while the six local links
+pay LAN latency (~0.5 ms).  The run still converges — asynchronous
+migration tolerates the slow links — and the trace shows exactly where the
+time went.
+
+Run:  python examples/heterogeneous_sites.py
+"""
+
+import numpy as np
+
+from repro import GAConfig
+from repro.cluster import SimulatedCluster, two_site_cluster_network
+from repro.migration import MigrationPolicy, PeriodicSchedule
+from repro.parallel import SimulatedIslandModel
+from repro.problems import DeceptiveTrap
+
+
+def main() -> None:
+    n = 8
+    network = two_site_cluster_network(nodes_per_site=4)
+    cluster = SimulatedCluster(n, network=network)
+    model = SimulatedIslandModel(
+        DeceptiveTrap(blocks=8, k=4),
+        n,
+        GAConfig(population_size=16, elitism=1),
+        cluster=cluster,
+        eval_cost=2e-3,
+        max_epochs=200,
+        schedule=PeriodicSchedule(3),
+        policy=MigrationPolicy(rate=1, selection="best"),
+        seed=17,
+    )
+    res = model.run()
+
+    migrations = cluster.trace.of_kind("migration")
+    local = [e for e in migrations if network.is_local(e["src"], e["dst"])]
+    remote = [e for e in migrations if not network.is_local(e["src"], e["dst"])]
+
+    print(f"ring of {n} islands across 2 LAN sites joined by the Internet")
+    print(
+        f"  solved            : {res.solved} "
+        f"(best {res.best_fitness:.0f}/{model.problem.optimum:.0f})"
+    )
+    print(f"  simulated time    : {res.sim_time:.2f} s")
+    print(f"  migrations        : {len(local)} intra-site, {len(remote)} cross-site")
+    if local and remote:
+        print(
+            f"  transit times     : LAN {np.mean([e['transit'] for e in local]) * 1e3:.2f} ms, "
+            f"WAN {np.mean([e['transit'] for e in remote]) * 1e3:.1f} ms "
+            f"({np.mean([e['transit'] for e in remote]) / np.mean([e['transit'] for e in local]):.0f}x slower)"
+        )
+    print(
+        "\nthe WAN links carry only 2/8 of the migration traffic, so the "
+        "heterogeneous ensemble keeps nearly all of its LAN-speed progress."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Knowledge discovery over an Internet-distributed pool (survey §6).
+
+Combines two of the survey's *Perspectives*: data-mining applications
+(Freitas-style rule induction) executed on a DREAM/DRM-style peer-to-peer
+pool of agents spread across a simulated wide-area network.
+
+Run:  python examples/knowledge_discovery.py
+"""
+
+from repro import GAConfig
+from repro.cluster import SimulatedCluster, wan_internet
+from repro.parallel import PooledEvolution
+from repro.problems.applications import RuleMining
+
+
+def main() -> None:
+    problem = RuleMining.synthetic(
+        n_samples=600, n_attributes=8, n_bins=5, noise=0.05, seed=21
+    )
+
+    n_nodes = 6  # 1 pool coordinator + 5 breeding agents across the Internet
+    cluster = SimulatedCluster(
+        n_nodes,
+        speeds=[1.0, 0.8, 1.3, 0.6, 1.0, 2.0],  # random volunteers' machines
+        network=wan_internet().build(n_nodes),
+    )
+    pool = PooledEvolution(
+        problem,
+        GAConfig(population_size=60, elitism=1),
+        cluster=cluster,
+        eval_cost=2e-3,
+        batch=4,
+        max_transactions=700,
+        seed=22,
+    )
+    res = pool.run()
+
+    print("DRM-style pooled rule mining over a simulated WAN")
+    print(f"  agents            : {n_nodes - 1} (heterogeneous speeds)")
+    print(f"  pool transactions : {res.pulls}")
+    print(f"  evaluations       : {res.evaluations}")
+    print(f"  simulated time    : {res.sim_time:.1f} s (WAN latency ~50 ms/hop)")
+    print(f"  per-agent work    : {res.agent_evaluations}")
+    print(f"\ndiscovered knowledge:\n  {problem.best_rule_summary(res.best.genome)}")
+    rule = problem.decode(res.best.genome)
+    print(
+        f"\n(planted ground truth: IF a0 in upper bins AND a1 in lower bins "
+        f"THEN class=1 — the miner used {len(rule.conditions)} conditions)"
+    )
+
+
+if __name__ == "__main__":
+    main()

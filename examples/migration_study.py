@@ -1,0 +1,52 @@
+"""Migration-policy study on a ring of islands (Alba & Troya 2000 style).
+
+Sweeps migration frequency and migrant selection on a deceptive landscape
+and prints the quality table — the E4 experiment in miniature, as a user
+would script it against the public API.
+
+Run:  python examples/migration_study.py
+"""
+
+import numpy as np
+
+from repro import GAConfig, MaxEvaluations
+from repro.migration import MigrationPolicy, NeverSchedule, PeriodicSchedule
+from repro.parallel import IslandModel
+from repro.problems import DeceptiveTrap
+
+
+def score(interval: int | None, selection: str, seed: int) -> float:
+    problem = DeceptiveTrap(blocks=8, k=4)
+    schedule = NeverSchedule() if interval is None else PeriodicSchedule(interval)
+    model = IslandModel(
+        problem,
+        8,
+        GAConfig(population_size=20, elitism=1),
+        policy=MigrationPolicy(rate=1, selection=selection),
+        schedule=schedule,
+        seed=seed,
+    )
+    res = model.run(MaxEvaluations(25_000))
+    return res.best_fitness / problem.optimum
+
+
+def main() -> None:
+    intervals: list[int | None] = [1, 4, 16, None]
+    print("interval x migrant-selection -> mean quality over 3 seeds")
+    header = "interval".ljust(10) + "".join(s.ljust(10) for s in ("best", "random"))
+    print(header)
+    for interval in intervals:
+        label = "isolated" if interval is None else f"every {interval}"
+        cells = []
+        for selection in ("best", "random"):
+            vals = [score(interval, selection, 10 + s) for s in range(3)]
+            cells.append(f"{np.mean(vals):.3f}".ljust(10))
+        print(label.ljust(10) + "".join(cells))
+    print(
+        "\nExpected shape: migrating rows beat 'isolated'; very frequent "
+        "migration (every 1) can over-mix on deceptive landscapes."
+    )
+
+
+if __name__ == "__main__":
+    main()

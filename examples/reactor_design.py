@@ -1,0 +1,53 @@
+"""Island-GA nuclear reactor core design (Pereira & Lapa 2003 style).
+
+Optimises a 3-enrichment-zone slab core: the GA flattens the power shape
+(minimum peaking factor) while a one-group diffusion solver enforces
+criticality.  Prints the flux profile of the best design as ASCII art.
+
+Run:  python examples/reactor_design.py
+"""
+
+from repro import GAConfig, MaxEvaluations
+from repro.migration import MigrationPolicy, PeriodicSchedule
+from repro.parallel import IslandModel
+from repro.problems.applications import ReactorCoreDesign
+
+
+def sparkline(values, width: int = 60) -> str:
+    bars = "▁▂▃▄▅▆▇█"
+    step = max(1, len(values) // width)
+    vals = [float(values[i]) for i in range(0, len(values), step)]
+    lo, hi = min(vals), max(vals)
+    span = (hi - lo) or 1.0
+    return "".join(bars[min(7, int((v - lo) / span * 7.999))] for v in vals)
+
+
+def main() -> None:
+    problem = ReactorCoreDesign(mesh_points=60)
+    model = IslandModel.partitioned(
+        problem,
+        total_population=120,
+        n_islands=6,
+        config=GAConfig(elitism=1),
+        policy=MigrationPolicy(rate=1, selection="best"),
+        schedule=PeriodicSchedule(4),
+        seed=9,
+    )
+    res = model.run(MaxEvaluations(8_000))
+    sol = problem.solve(res.best.genome)
+    params = problem.decode(res.best.genome)
+
+    print(f"best fitness      : {res.best_fitness:.4f} (lower = flatter + critical)")
+    print(f"k_eff             : {sol.k_eff:.4f}  (criticality target 1.0)")
+    print(f"power peaking     : {sol.peaking_factor:.3f}")
+    print(f"zone enrichments  : {[f'{e:.3%}' for e in params['enrichment']]}")
+    print(f"zone widths       : {[f'{w:.0%}' for w in params['widths']]}")
+    print(f"moderation ratio  : {params['moderation']:.2f}")
+    print("\nflux profile across the core:")
+    print("  " + sparkline(sol.flux))
+    print("\npower profile (note flattening vs a uniform core's cosine):")
+    print("  " + sparkline(sol.power))
+
+
+if __name__ == "__main__":
+    main()

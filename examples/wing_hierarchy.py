@@ -1,0 +1,62 @@
+"""Hierarchical multi-fidelity wing design (Sefrioui & Périaux 2000 style).
+
+A 3-layer tree of demes optimises a transonic wing: the single top deme
+uses the expensive truth model, lower layers explore with cheap surrogates
+(costs 1 : 6 : 36).  Compare against an ensemble paying truth-model price
+for every evaluation.
+
+Run:  python examples/wing_hierarchy.py
+"""
+
+from repro import GAConfig
+from repro.migration import MigrationPolicy, PeriodicSchedule
+from repro.parallel import HierarchicalGA, IslandModel
+from repro.problems.applications import TransonicWingDesign
+
+
+def main() -> None:
+    problem = TransonicWingDesign()
+
+    hga = HierarchicalGA(
+        problem,
+        GAConfig(population_size=20, elitism=1),
+        layers=3,
+        branching=2,
+        migration_interval=3,
+        seed=5,
+    )
+    hres = hga.run(max_epochs=30)
+    print(
+        f"hierarchical GA : drag {hres.best_fitness:.5f} for "
+        f"{hres.work_units:.0f} work units ({hres.evaluations} evaluations "
+        "across 3 fidelity layers)"
+    )
+
+    truth = problem.view(problem.highest_fidelity())
+    ensemble = IslandModel(
+        truth,
+        7,  # same deme count as the 3-layer binary tree
+        GAConfig(population_size=20, elitism=1),
+        policy=MigrationPolicy(rate=1, selection="best"),
+        schedule=PeriodicSchedule(3),
+        seed=5,
+    )
+    eres = ensemble.run(30)
+    work = eres.evaluations * problem.costs[-1]
+    print(
+        f"all-complex GA  : drag {eres.best_fitness:.5f} for {work:.0f} work "
+        f"units ({eres.evaluations} truth-model evaluations)"
+    )
+    print(
+        f"\nwork ratio {work / hres.work_units:.1f}x — the survey's 'same "
+        "quality, three times faster' claim, here on an algebraic CFD stand-in."
+    )
+    ar, sweep, tc, taper, twist = problem._decode(hres.best.genome)
+    print(
+        f"best wing: aspect ratio {ar:.1f}, sweep {sweep:.1f} deg, t/c {tc:.3f}, "
+        f"taper {taper:.2f}, twist {twist:.1f} deg"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Recompute EXPERIMENTS.md's summary line from its section contents.
+
+Usage:  python scripts/recount_header.py
+
+Needed after refresh_section.py updates individual sections: the header's
+aggregate counts would otherwise be stale.
+"""
+
+from __future__ import annotations
+
+import re
+
+
+def main() -> int:
+    path = "EXPERIMENTS.md"
+    with open(path) as fh:
+        content = fh.read()
+    reproduced = len(re.findall(r"^\*\*Measured \(\d+s\):\*\* REPRODUCED", content, re.M))
+    partial = len(re.findall(r"^\*\*Measured \(\d+s\):\*\* PARTIAL", content, re.M))
+    checks_pass = len(re.findall(r"^- ✓ `", content, re.M))
+    checks_fail = len(re.findall(r"^- ✗ `", content, re.M))
+    total = reproduced + partial
+    new_summary = (
+        f"Summary: **{reproduced}/{total} experiments reproduce their claimed shape**\n"
+        f"({checks_pass}/{checks_pass + checks_fail} individual shape checks pass)."
+    )
+    content, n = re.subn(
+        r"Summary: \*\*\d+/\d+ experiments reproduce their claimed shape\*\*\n\(\d+/\d+ individual shape checks pass\)\.",
+        new_summary,
+        content,
+        count=1,
+    )
+    if n != 1:
+        raise SystemExit("summary line not found")
+    with open(path, "w") as fh:
+        fh.write(content)
+    print(new_summary)
+    return 0
+
+
+if __name__ == "__main__":
+    main()

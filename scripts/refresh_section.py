@@ -1,0 +1,64 @@
+"""Refresh a single experiment's section inside EXPERIMENTS.md.
+
+Usage:  python scripts/refresh_section.py E1 [--quick]
+
+Used when one experiment's code changed after a long full-mode generation:
+re-runs just that experiment and splices its section in place, leaving the
+other sections (and the header) untouched.  Note the header's summary
+counts are NOT recomputed — rerun generate_experiments_md.py for that.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+
+from generate_experiments_md import PAPER_CLAIMS  # same directory on sys.path
+from repro.experiments import run_experiment
+
+
+def build_section(key: str, quick: bool) -> str:
+    t0 = time.time()
+    report = run_experiment(key, quick=quick)
+    dt = time.time() - t0
+    lines = [f"## {key} — {report.title}", ""]
+    lines.append(f"**Paper says:** {PAPER_CLAIMS[key]}")
+    lines.append("")
+    status = "REPRODUCED" if report.all_passed else "PARTIAL"
+    lines.append(f"**Measured ({dt:.0f}s):** {status}")
+    lines.append("")
+    for e in report.expectations:
+        mark = "✓" if e.passed else "✗"
+        lines.append(f"- {mark} `{e.name}` — {e.detail}")
+    lines.append("")
+    for table in report.tables:
+        lines.extend(["```", table.render(), "```", ""])
+    for series in report.series:
+        lines.extend(["```", series.render(), "```", ""])
+    for note in report.notes:
+        lines.extend([f"> {note}", ""])
+    return "\n".join(lines)
+
+
+def main() -> int:
+    key = sys.argv[1].upper()
+    quick = "--quick" in sys.argv
+    path = "EXPERIMENTS.md"
+    with open(path) as fh:
+        content = fh.read()
+    pattern = re.compile(
+        rf"^## {key} — .*?(?=^## E\d+ — |\Z)", re.DOTALL | re.MULTILINE
+    )
+    if not pattern.search(content):
+        raise SystemExit(f"section {key} not found in {path}")
+    section = build_section(key, quick)
+    content = pattern.sub(section + "\n", content, count=1)
+    with open(path, "w") as fh:
+        fh.write(content)
+    print(f"refreshed {key} in {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

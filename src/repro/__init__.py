@@ -1,0 +1,80 @@
+"""repro — a parallel genetic algorithms framework.
+
+Library-scale reproduction of Konfršt, *Parallel Genetic Algorithms:
+Advances, Computing Trends, Applications and Perspectives* (IPPS 2004):
+every PGA model the survey classifies (global/master-slave, coarse-grained
+island, fine-grained cellular, hierarchical multi-fidelity, specialized
+island, hybrids), the migration/topology/synchrony machinery they share, a
+deterministic simulated parallel machine standing in for the survey-era
+clusters, the application workloads of its §4 on synthetic substrates, and
+an experiment harness (E1–E12) regenerating its table and the quantitative
+claims it surveys.
+
+Quickstart::
+
+    from repro import GAConfig, IslandModel
+    from repro.problems import OneMax
+
+    model = IslandModel(OneMax(64), n_islands=8, config=GAConfig(population_size=32), seed=0)
+    result = model.run(100)
+    print(result.best_fitness, result.solved)
+"""
+
+from .core import (
+    BinarySpec,
+    GAConfig,
+    GenerationalEngine,
+    GenomeSpec,
+    Individual,
+    IntegerVectorSpec,
+    MaxEvaluations,
+    MaxGenerations,
+    PermutationSpec,
+    Population,
+    Problem,
+    RealVectorSpec,
+    SteadyStateEngine,
+    TargetFitness,
+)
+from .parallel import (
+    CellularGA,
+    CellularIslandModel,
+    HierarchicalGA,
+    IslandModel,
+    MasterSlaveGA,
+    MasterSlaveIslandModel,
+    SimulatedIslandModel,
+    SimulatedMasterSlave,
+    SpecializedIslandModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Problem",
+    "GAConfig",
+    "Individual",
+    "Population",
+    "GenomeSpec",
+    "BinarySpec",
+    "RealVectorSpec",
+    "PermutationSpec",
+    "IntegerVectorSpec",
+    "GenerationalEngine",
+    "SteadyStateEngine",
+    "MaxGenerations",
+    "MaxEvaluations",
+    "TargetFitness",
+    # parallel models
+    "IslandModel",
+    "SimulatedIslandModel",
+    "MasterSlaveGA",
+    "SimulatedMasterSlave",
+    "CellularGA",
+    "HierarchicalGA",
+    "SpecializedIslandModel",
+    "CellularIslandModel",
+    "MasterSlaveIslandModel",
+]

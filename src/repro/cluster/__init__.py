@@ -1,0 +1,30 @@
+"""Simulated parallel machine: event kernel, nodes, network, faults, traces."""
+
+from .faults import FaultPlan, sample_fault_plan
+from .heterogeneous import HeterogeneousNetwork, two_site_cluster_network
+from .machine import SimulatedCluster
+from .network import Network, NetworkPreset, lan_ethernet, myrinet, wan_internet
+from .node import Node
+from .sim import Inbox, Process, SimulationError, Simulator, Timeout
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "Simulator",
+    "Timeout",
+    "Inbox",
+    "Process",
+    "SimulationError",
+    "Node",
+    "Network",
+    "NetworkPreset",
+    "HeterogeneousNetwork",
+    "two_site_cluster_network",
+    "lan_ethernet",
+    "myrinet",
+    "wan_internet",
+    "FaultPlan",
+    "sample_fault_plan",
+    "SimulatedCluster",
+    "Trace",
+    "TraceEvent",
+]

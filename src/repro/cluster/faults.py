@@ -1,0 +1,85 @@
+"""Hard-failure injection.
+
+Gagné et al. (2003): "As far as *hard failures* caused by the network
+problems are concerned, they adjusted and extended the master-slave
+model … to considerate the possibility of those failures."  We model
+failures as exponential inter-arrival (MTBF) downtime intervals per node,
+either permanent crashes or repairable outages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import ensure_rng
+
+__all__ = ["FaultPlan", "sample_fault_plan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-node downtime intervals over a simulation horizon."""
+
+    intervals: tuple[tuple[tuple[float, float], ...], ...]  # [node][k] = (start, end)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.intervals)
+
+    def for_node(self, node_id: int) -> list[tuple[float, float]]:
+        return list(self.intervals[node_id])
+
+    def total_downtime(self, node_id: int, horizon: float) -> float:
+        return sum(
+            max(0.0, min(b, horizon) - min(a, horizon))
+            for a, b in self.intervals[node_id]
+        )
+
+    def any_failures(self) -> bool:
+        return any(len(iv) > 0 for iv in self.intervals)
+
+
+def sample_fault_plan(
+    n_nodes: int,
+    horizon: float,
+    mtbf: float | None,
+    *,
+    repair_time: float | None = None,
+    seed: int | np.random.Generator | None = 0,
+    spare_node_zero: bool = True,
+) -> FaultPlan:
+    """Draw exponential failures for each node over ``[0, horizon]``.
+
+    Parameters
+    ----------
+    mtbf:
+        Mean time between failures per node; ``None`` disables failures.
+    repair_time:
+        Downtime per failure; ``None`` = permanent crash (until ``inf``).
+    spare_node_zero:
+        Keep node 0 (the master in master-slave farms) failure-free, as
+        Gagné's model assumes a reliable master host.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"need at least one node, got {n_nodes}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    rng = ensure_rng(seed)
+    plans: list[tuple[tuple[float, float], ...]] = []
+    for node in range(n_nodes):
+        if mtbf is None or (spare_node_zero and node == 0):
+            plans.append(())
+            continue
+        spans: list[tuple[float, float]] = []
+        t = float(rng.exponential(mtbf))
+        while t < horizon:
+            if repair_time is None:
+                spans.append((t, float("inf")))
+                break
+            end = t + repair_time
+            spans.append((t, end))
+            t = end + float(rng.exponential(mtbf))
+        plans.append(tuple(spans))
+    return FaultPlan(intervals=tuple(plans))

@@ -1,0 +1,90 @@
+"""Heterogeneous multi-site networks (Alba, Nebro & Troya 2002).
+
+"implemented a distributed PGA in Java that run at the same time on
+different machines linked by different kinds of communication networks.
+This algorithm benefited from the computational resources offered by
+modern LANs and by the Internet."
+
+A :class:`HeterogeneousNetwork` partitions nodes into *sites*: messages
+inside a site pay that site's LAN parameters; messages between sites pay
+the WAN parameters — the LAN+Internet composition the paper ran on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .network import Network, NetworkPreset, lan_ethernet, wan_internet
+
+__all__ = ["HeterogeneousNetwork", "two_site_cluster_network"]
+
+
+class HeterogeneousNetwork(Network):
+    """Per-site LAN parameters plus a WAN between sites.
+
+    Parameters
+    ----------
+    site_of:
+        Site index per node (length n).
+    site_presets:
+        One preset per site (local latency/bandwidth inside that site).
+    wan:
+        Preset used for any message crossing sites.
+    """
+
+    def __init__(
+        self,
+        site_of: Sequence[int],
+        site_presets: Sequence[NetworkPreset],
+        wan: NetworkPreset | None = None,
+    ) -> None:
+        site_of = [int(s) for s in site_of]
+        n = len(site_of)
+        n_sites = max(site_of) + 1 if site_of else 0
+        if n == 0:
+            raise ValueError("need at least one node")
+        if sorted(set(site_of)) != list(range(n_sites)):
+            raise ValueError("site ids must be contiguous 0..k-1")
+        if len(site_presets) != n_sites:
+            raise ValueError(
+                f"{n_sites} sites but {len(site_presets)} site presets"
+            )
+        wan = wan or wan_internet()
+        # initialise the base with the fastest parameters; transit_time is
+        # overridden so the base cost fields are only defaults
+        super().__init__(n, latency=wan.latency, bandwidth=wan.bandwidth)
+        self.site_of = site_of
+        self.site_presets = list(site_presets)
+        self.wan = wan
+
+    def transit_time(self, src: int, dst: int, size: float = 1.0) -> float:
+        if src == dst:
+            return 0.0
+        s1, s2 = self.site_of[src], self.site_of[dst]
+        if s1 == s2:
+            preset = self.site_presets[s1]
+        else:
+            preset = self.wan
+        cost = preset.latency
+        if np.isfinite(preset.bandwidth):
+            cost += size / preset.bandwidth
+        return float(cost)
+
+    def is_local(self, src: int, dst: int) -> bool:
+        return self.site_of[src] == self.site_of[dst]
+
+
+def two_site_cluster_network(
+    nodes_per_site: int = 4,
+    *,
+    lan: NetworkPreset | None = None,
+    wan: NetworkPreset | None = None,
+) -> HeterogeneousNetwork:
+    """The paper's canonical setup: two Ethernet LANs joined by the Internet."""
+    if nodes_per_site < 1:
+        raise ValueError("need >= 1 node per site")
+    lan = lan or lan_ethernet()
+    site_of = [0] * nodes_per_site + [1] * nodes_per_site
+    return HeterogeneousNetwork(site_of, [lan, lan], wan)

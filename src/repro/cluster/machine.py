@@ -1,0 +1,118 @@
+"""The simulated parallel machine: nodes + network + event loop + trace.
+
+This is the substitution substrate documented in DESIGN.md: where the
+surveyed papers ran Beowulfs, SMPs and transputer networks, we run a
+deterministic discrete-event model with the same *structure* — per-node
+compute speeds, per-message latency/bandwidth costs, hop topologies and
+hard failures — so speedup/efficiency/robustness experiments measure the
+communication-to-computation trade-offs rather than host hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..topology.static import Topology
+from .faults import FaultPlan
+from .network import Network
+from .node import Node
+from .sim import Inbox, Simulator
+from .trace import Trace
+
+__all__ = ["SimulatedCluster"]
+
+
+class SimulatedCluster:
+    """A cluster of ``n`` (possibly heterogeneous, possibly failing) nodes.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of processors/workstations.
+    speeds:
+        Relative node speeds; scalar or per-node sequence.  1.0 = baseline.
+    network:
+        Message-cost model; default is a zero-size-cost 1-hop network with
+        1 ms latency.
+    fault_plan:
+        Optional downtime plan (see :func:`repro.cluster.faults.sample_fault_plan`).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        speeds: float | Sequence[float] = 1.0,
+        network: Network | None = None,
+        fault_plan: FaultPlan | None = None,
+        physical: Topology | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"cluster needs >= 1 node, got {n_nodes}")
+        speed_arr = np.broadcast_to(np.asarray(speeds, dtype=float), (n_nodes,))
+        if fault_plan is not None and fault_plan.n_nodes != n_nodes:
+            raise ValueError(
+                f"fault plan covers {fault_plan.n_nodes} nodes, cluster has {n_nodes}"
+            )
+        self.nodes = [
+            Node(
+                node_id=i,
+                speed=float(speed_arr[i]),
+                down_intervals=(fault_plan.for_node(i) if fault_plan else []),
+            )
+            for i in range(n_nodes)
+        ]
+        self.network = network or Network(n_nodes, physical=physical)
+        if self.network.n != n_nodes:
+            raise ValueError(
+                f"network models {self.network.n} nodes, cluster has {n_nodes}"
+            )
+        self.sim = Simulator()
+        self.trace = Trace()
+
+    # -- convenience -----------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, i: int) -> Node:
+        return self.nodes[i]
+
+    def inbox(self, name: str) -> Inbox:
+        return self.sim.inbox(name)
+
+    def record(self, kind: str, **fields: Any) -> None:
+        self.trace.record(self.sim.now, kind, **fields)
+
+    # -- messaging ----------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        inbox: Inbox,
+        payload: Any,
+        *,
+        size: float = 1.0,
+        kind: str = "msg",
+    ) -> float:
+        """Queue delivery of ``payload`` into ``inbox`` after network transit.
+
+        Returns the transit time.  The caller (a process on node ``src``)
+        is responsible for only sending while its node is alive; the network
+        itself never loses messages.
+        """
+        transit = self.network.transit_time(src, dst, size)
+        self.sim.put_later(transit, inbox, payload)
+        self.record(kind, src=src, dst=dst, size=size, transit=transit)
+        return transit
+
+    # -- compute ------------------------------------------------------------------
+    def compute_time(self, node_id: int, work: float) -> float:
+        """Seconds node ``node_id`` needs for ``work`` units."""
+        return self.nodes[node_id].compute_time(work)
+
+    def run(self, **kwargs: Any) -> float:
+        """Drive the event loop to completion; returns final simulated time."""
+        return self.sim.run(**kwargs)

@@ -1,0 +1,60 @@
+"""Compute nodes of the simulated cluster.
+
+Heterogeneity ("networks of heterogenous workstations", Gagné 2003) is a
+per-node ``speed`` factor; hard failures are closed intervals of downtime
+injected by :mod:`repro.cluster.faults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Node"]
+
+
+@dataclass
+class Node:
+    """One processor/workstation.
+
+    Parameters
+    ----------
+    node_id:
+        Index in the cluster.
+    speed:
+        Relative compute speed; work ``w`` takes ``w / speed`` seconds.
+    down_intervals:
+        Sorted, disjoint ``(start, end)`` spans during which the node is
+        dead (``end`` may be ``inf`` for a permanent crash).
+    """
+
+    node_id: int
+    speed: float = 1.0
+    down_intervals: list[tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"node speed must be positive, got {self.speed}")
+        for a, b in self.down_intervals:
+            if b < a:
+                raise ValueError(f"invalid down interval ({a}, {b})")
+
+    def compute_time(self, work: float) -> float:
+        """Seconds to perform ``work`` units of computation."""
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        return work / self.speed
+
+    def is_up(self, t: float) -> bool:
+        """Whether the node is alive at simulated time ``t``."""
+        return not any(a <= t < b for a, b in self.down_intervals)
+
+    def fails_during(self, start: float, end: float) -> bool:
+        """Whether any downtime overlaps the half-open window [start, end)."""
+        return any(a < end and start < b for a, b in self.down_intervals)
+
+    def next_up_time(self, t: float) -> float:
+        """Earliest time >= t at which the node is alive (inf if never)."""
+        for a, b in self.down_intervals:
+            if a <= t < b:
+                return b
+        return t

@@ -1,0 +1,188 @@
+"""Discrete-event simulation kernel (generator-coroutine processes).
+
+This is the deterministic stand-in for the paper's parallel hardware: a
+minimal event-driven simulator in the style of SimPy, built from scratch so
+the repository has no dependency beyond NumPy.  Processes are Python
+generators that ``yield`` either a :class:`Timeout` (advance simulated
+time) or an :class:`Inbox` get (wait for a message).  The
+:class:`Simulator` interleaves them in strict timestamp order, with FIFO
+tie-breaking, so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = ["Simulator", "Timeout", "Inbox", "Process", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on illegal simulator usage (negative delays, stalled runs…)."""
+
+
+class Timeout:
+    """Yield inside a process to advance simulated time by ``duration``."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise SimulationError(f"negative timeout {duration}")
+        self.duration = float(duration)
+
+
+class Inbox:
+    """Unbounded FIFO message store; ``yield inbox`` suspends until non-empty.
+
+    ``put`` is immediate (same-timestamp delivery); network latency is
+    modelled by *scheduling* the put at a later time (see
+    :meth:`Simulator.put_later`).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "inbox") -> None:
+        self._sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._waiters: deque["Process"] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item now, waking one waiting process (FIFO)."""
+        self._items.append(item)
+        if self._waiters:
+            proc = self._waiters.popleft()
+            self._sim._schedule(0.0, proc._resume_with_item, self)
+
+    def _try_get(self) -> tuple[bool, Any]:
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """One running coroutine inside the simulator."""
+
+    _ids = itertools.count()
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str | None = None) -> None:
+        self._sim = sim
+        self._gen = gen
+        self.pid = next(Process._ids)
+        self.name = name or f"proc-{self.pid}"
+        self.finished = False
+        self.value: Any = None
+
+    # -- resumption paths --------------------------------------------------------
+    def _step(self, send_value: Any = None) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.value = stop.value
+            return
+        self._handle(yielded)
+
+    def _handle(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self._sim._schedule(yielded.duration, self._step, None)
+        elif isinstance(yielded, Inbox):
+            ok, item = yielded._try_get()
+            if ok:
+                self._sim._schedule(0.0, self._step, item)
+            else:
+                yielded._waiters.append(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {type(yielded).__name__}"
+            )
+
+    def _resume_with_item(self, inbox: Inbox) -> None:
+        """Woken by an Inbox.put; the item may have been stolen by an
+        intervening consumer, in which case we re-wait."""
+        ok, item = inbox._try_get()
+        if ok:
+            self._step(item)
+        else:
+            inbox._waiters.append(self)
+
+
+class Simulator:
+    """Deterministic event loop over simulated time."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self._processes: list[Process] = []
+
+    # -- scheduling ------------------------------------------------------------
+    def _schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+
+    def call_at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulated ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
+        self._schedule(time - self.now, fn, *args)
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        self._schedule(delay, fn, *args)
+
+    def put_later(self, delay: float, inbox: Inbox, item: Any) -> None:
+        """Deliver ``item`` into ``inbox`` after ``delay`` (message latency)."""
+        self._schedule(delay, inbox.put, item)
+
+    # -- processes ----------------------------------------------------------------
+    def process(self, gen: ProcessGen, name: str | None = None) -> Process:
+        """Register and start a generator as a process at the current time."""
+        proc = Process(self, gen, name)
+        self._processes.append(proc)
+        self._schedule(0.0, proc._step, None)
+        return proc
+
+    def inbox(self, name: str = "inbox") -> Inbox:
+        return Inbox(self, name)
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Execute events until the queue empties (or ``until`` / event cap).
+
+        Returns the final simulated time.
+        """
+        events = 0
+        while self._heap:
+            t, _, fn, args = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = t
+            fn(*args)
+            events += 1
+            if events >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events — livelock or runaway process?"
+                )
+        return self.now
+
+    def run_until_complete(self, procs: Iterable[Process], **kwargs: Any) -> float:
+        """Run until every process in ``procs`` has finished."""
+        procs = list(procs)
+        final = self.run(**kwargs)
+        stuck = [p.name for p in procs if not p.finished]
+        if stuck:
+            raise SimulationError(f"deadlock: processes never finished: {stuck}")
+        return final

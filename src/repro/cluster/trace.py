@@ -1,0 +1,50 @@
+"""Execution traces of simulated-cluster runs.
+
+Experiments (and tests) introspect what the machine did: when tasks were
+dispatched, when nodes died, when migrants crossed the wire.  A trace is a
+flat list of timestamped records with free-form fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped record."""
+
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Trace:
+    """Append-only event log."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        self.events.append(TraceEvent(time=time, kind=kind, fields=fields))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> set[str]:
+        return {e.kind for e in self.events}
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,110 @@
+"""Engine checkpointing: save/resume long evolutionary runs.
+
+Gagné's *transparency/robustness* requirements apply to the driver process
+too: a cluster run that dies at generation 900 of 1000 should resume, not
+restart.  Engines (and island ensembles, which are lists of engines) are
+plain Python objects over NumPy state, so checkpoints are pickles of a
+narrow, versioned snapshot — populations, RNG state, counters — rather
+than of whole engine objects (which would drag problem closures along).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .engine import EvolutionEngine
+from .individual import Individual
+from .population import Population
+
+__all__ = ["EngineSnapshot", "snapshot_engine", "restore_engine", "save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class EngineSnapshot:
+    """Pickled engine state (not the engine object itself)."""
+
+    version: int
+    generation: int
+    evaluations: int
+    stagnant_generations: int
+    genomes: list[np.ndarray]
+    fitnesses: list[float]
+    birth_generations: list[int]
+    best_genome: np.ndarray
+    best_fitness: float
+    rng_state: dict[str, Any]
+
+
+def snapshot_engine(engine: EvolutionEngine) -> EngineSnapshot:
+    """Capture everything needed to resume ``engine`` deterministically."""
+    if engine.population is None:
+        raise ValueError("cannot snapshot an uninitialised engine")
+    best = engine.best_so_far
+    return EngineSnapshot(
+        version=_FORMAT_VERSION,
+        generation=engine.state.generation,
+        evaluations=engine.state.evaluations,
+        stagnant_generations=engine.state.stagnant_generations,
+        genomes=[ind.genome.copy() for ind in engine.population],
+        fitnesses=[ind.require_fitness() for ind in engine.population],
+        birth_generations=[ind.birth_generation for ind in engine.population],
+        best_genome=best.genome.copy(),
+        best_fitness=best.require_fitness(),
+        rng_state=engine.rng.bit_generator.state,
+    )
+
+
+def restore_engine(engine: EvolutionEngine, snapshot: EngineSnapshot) -> None:
+    """Load ``snapshot`` into a freshly constructed engine.
+
+    The engine must wrap the same problem/config; resuming then continues
+    the exact trajectory the snapshotted run would have taken.
+    """
+    if snapshot.version != _FORMAT_VERSION:
+        raise ValueError(
+            f"checkpoint format {snapshot.version} != supported {_FORMAT_VERSION}"
+        )
+    individuals = []
+    for genome, fitness, birth in zip(
+        snapshot.genomes, snapshot.fitnesses, snapshot.birth_generations
+    ):
+        ind = Individual(genome=genome.copy(), birth_generation=birth)
+        ind.fitness = fitness
+        individuals.append(ind)
+    engine.population = Population(individuals, maximize=engine.problem.maximize)
+    engine.state.generation = snapshot.generation
+    engine.state.evaluations = snapshot.evaluations
+    engine.state.stagnant_generations = snapshot.stagnant_generations
+    engine.state.best_fitness = snapshot.best_fitness
+    engine.state.maximize = engine.problem.maximize
+    best = Individual(genome=snapshot.best_genome.copy())
+    best.fitness = snapshot.best_fitness
+    engine._best_so_far = best
+    engine.rng.bit_generator.state = snapshot.rng_state
+
+
+def save_checkpoint(engine: EvolutionEngine, path: str | Path) -> Path:
+    """Snapshot ``engine`` to ``path`` (atomic-ish: write then rename)."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        pickle.dump(snapshot_engine(engine), fh, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.rename(path)
+    return path
+
+
+def load_checkpoint(engine: EvolutionEngine, path: str | Path) -> EvolutionEngine:
+    """Restore ``engine`` in place from ``path``; returns the engine."""
+    with open(path, "rb") as fh:
+        snapshot = pickle.load(fh)
+    if not isinstance(snapshot, EngineSnapshot):
+        raise ValueError(f"{path} does not contain an EngineSnapshot")
+    restore_engine(engine, snapshot)
+    return engine

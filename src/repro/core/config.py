@@ -1,0 +1,84 @@
+"""GA configuration: the knobs the survey says every (P)GA exposes.
+
+Bundles operator choices and rates so every model — sequential engine,
+island deme, cellular cell, master-slave farm — is configured the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .operators.crossover import Crossover, crossover_for_spec
+from .operators.mutation import Mutation, mutation_for_spec
+from .operators.replacement import Replacement, ReplaceWorstIfBetter
+from .operators.selection import Selection, TournamentSelection
+
+__all__ = ["GAConfig"]
+
+
+@dataclass
+class GAConfig:
+    """Configuration shared by all evolution engines.
+
+    Parameters
+    ----------
+    population_size:
+        Members per population (per *deme* in multi-population models).
+    selection, crossover, mutation:
+        Operator instances; ``crossover``/``mutation`` of ``None`` are
+        resolved per genome spec by :meth:`resolved_for`.
+    crossover_prob:
+        Probability a selected pair is recombined (otherwise cloned).
+    mutation_prob:
+        Probability the mutation operator is applied to an offspring.
+        (Per-gene rates live inside the mutation operator itself.)
+    elitism:
+        Number of best parents copied unchanged into the next generation
+        (generational engines only).
+    replacement:
+        Steady-state victim policy (steady-state engines only).
+    offspring_per_step:
+        Offspring created per steady-state step.
+    """
+
+    population_size: int = 100
+    selection: Selection = field(default_factory=TournamentSelection)
+    crossover: Optional[Crossover] = None
+    mutation: Optional[Mutation] = None
+    crossover_prob: float = 0.9
+    mutation_prob: float = 1.0
+    elitism: int = 1
+    replacement: Replacement = field(default_factory=ReplaceWorstIfBetter)
+    offspring_per_step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError(
+                f"population_size must be >= 2, got {self.population_size}"
+            )
+        if not 0.0 <= self.crossover_prob <= 1.0:
+            raise ValueError(f"crossover_prob must be in [0,1], got {self.crossover_prob}")
+        if not 0.0 <= self.mutation_prob <= 1.0:
+            raise ValueError(f"mutation_prob must be in [0,1], got {self.mutation_prob}")
+        if self.elitism < 0:
+            raise ValueError(f"elitism must be >= 0, got {self.elitism}")
+        if self.elitism >= self.population_size:
+            raise ValueError(
+                f"elitism ({self.elitism}) must be below population_size "
+                f"({self.population_size})"
+            )
+        if self.offspring_per_step < 1:
+            raise ValueError(
+                f"offspring_per_step must be >= 1, got {self.offspring_per_step}"
+            )
+
+    def resolved_for(self, spec) -> "GAConfig":
+        """Fill in default operators appropriate for ``spec``."""
+        cx = self.crossover if self.crossover is not None else crossover_for_spec(spec)
+        mut = self.mutation if self.mutation is not None else mutation_for_spec(spec)
+        return replace(self, crossover=cx, mutation=mut)
+
+    def with_population_size(self, n: int) -> "GAConfig":
+        """Copy with a different population size (deme partitioning)."""
+        return replace(self, population_size=n, elitism=min(self.elitism, max(0, n - 1)))

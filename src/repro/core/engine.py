@@ -1,0 +1,257 @@
+"""Sequential evolution engines: generational and steady-state.
+
+These are the survey's two *panmictic* reproduction loops ("a set of popular
+evolution schemes relating to panmictic (steady-state or generational) …
+GAs"; Alba & Troya 2002 analyze exactly this pair).  Parallel models reuse
+them: an island runs one engine per deme; a master-slave farm runs one
+engine whose fitness evaluation is delegated to an evaluator.
+
+The *evaluator* seam (``evaluate(problem, genomes) -> fitnesses``) is where
+parallel fitness evaluation plugs in without the engine knowing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from .callbacks import Callback, CallbackList, History
+from .config import GAConfig
+from .individual import Individual
+from .population import Population
+from .problem import Problem
+from .rng import ensure_rng
+from .termination import EvolutionState, MaxGenerations, Termination
+from .variation import offspring_pair
+
+__all__ = [
+    "FitnessEvaluator",
+    "SerialEvaluator",
+    "EvolutionResult",
+    "EvolutionEngine",
+    "GenerationalEngine",
+    "SteadyStateEngine",
+]
+
+
+class FitnessEvaluator(Protocol):
+    """Maps genomes to fitnesses, possibly in parallel."""
+
+    def evaluate(self, problem: Problem, genomes: Sequence[np.ndarray]) -> list[float]: ...
+
+
+class SerialEvaluator:
+    """Evaluate genomes in the calling process, one after another."""
+
+    def evaluate(self, problem: Problem, genomes: Sequence[np.ndarray]) -> list[float]:
+        return problem.evaluate_many(genomes)
+
+
+@dataclass
+class EvolutionResult:
+    """Outcome of one engine run."""
+
+    best: Individual
+    population: Population
+    generations: int
+    evaluations: int
+    solved: bool
+    stop_reason: str
+    history: History = field(repr=False, default_factory=History)
+
+    @property
+    def best_fitness(self) -> float:
+        return self.best.require_fitness()
+
+
+class EvolutionEngine:
+    """Shared machinery for the two sequential engines.
+
+    Subclasses implement :meth:`_advance`, which transforms the current
+    population into the next one and returns the number of evaluations
+    spent.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: GAConfig | None = None,
+        *,
+        seed: int | np.random.Generator | None = None,
+        evaluator: FitnessEvaluator | None = None,
+        callbacks: list[Callback] | None = None,
+    ) -> None:
+        self.problem = problem
+        base = config if config is not None else GAConfig()
+        self.config = base.resolved_for(problem.spec)
+        self.rng = ensure_rng(seed)
+        self.evaluator: FitnessEvaluator = evaluator or SerialEvaluator()
+        self.history = History()
+        self.callbacks = CallbackList([self.history, *(callbacks or [])])
+        self.population: Population | None = None
+        self.state = EvolutionState(maximize=problem.maximize)
+        self._best_so_far: Individual | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+    def initialize(self, individuals: list[Individual] | None = None) -> Population:
+        """Create and evaluate generation 0.
+
+        ``individuals`` lets callers seed the initial population (e.g. with
+        phase-1 solutions in the 2-phase image-registration workload).
+        """
+        if individuals is None:
+            genomes = self.problem.spec.sample_population(
+                self.rng, self.config.population_size
+            )
+            individuals = [Individual(genome=g) for g in genomes]
+        pop = Population(individuals, maximize=self.problem.maximize)
+        self._evaluate(pop.unevaluated())
+        self.population = pop
+        self.state = EvolutionState(
+            generation=0,
+            evaluations=self.state.evaluations,
+            best_fitness=pop.best().fitness,
+            maximize=self.problem.maximize,
+        )
+        self._best_so_far = pop.best().copy()
+        self.callbacks.on_generation(self.state, pop)
+        return pop
+
+    def step(self) -> Population:
+        """Advance one generation (initialising lazily)."""
+        if self.population is None:
+            self.initialize()
+            return self.population  # generation 0 counts as the first step
+        self._advance()
+        self.state.generation += 1
+        current_best = self.population.best()
+        if self._best_so_far is None or self.problem.is_improvement(
+            current_best.require_fitness(), self._best_so_far.require_fitness()
+        ):
+            self._best_so_far = current_best.copy()
+            self.state.stagnant_generations = 0
+        else:
+            self.state.stagnant_generations += 1
+        self.state.best_fitness = self._best_so_far.require_fitness()
+        self.callbacks.on_generation(self.state, self.population)
+        return self.population
+
+    def run(self, termination: Termination | int | None = None) -> EvolutionResult:
+        """Run until the termination criterion fires.
+
+        An ``int`` is shorthand for :class:`MaxGenerations`.
+        """
+        if termination is None:
+            termination = MaxGenerations(100)
+        elif isinstance(termination, int):
+            termination = MaxGenerations(termination)
+        if self.population is None:
+            self.initialize()
+        while not termination.should_stop(self.state) and not self._solved():
+            self.step()
+        return self.result(stop_reason="solved" if self._solved() else termination.reason())
+
+    def result(self, stop_reason: str = "manual") -> EvolutionResult:
+        """Snapshot the current outcome."""
+        if self.population is None or self._best_so_far is None:
+            raise RuntimeError("engine has not been initialised")
+        return EvolutionResult(
+            best=self._best_so_far.copy(),
+            population=self.population,
+            generations=self.state.generation,
+            evaluations=self.state.evaluations,
+            solved=self._solved(),
+            stop_reason=stop_reason,
+            history=self.history,
+        )
+
+    @property
+    def best_so_far(self) -> Individual:
+        """Best individual seen over the whole run (not just current pop)."""
+        if self._best_so_far is None:
+            raise RuntimeError("engine has not been initialised")
+        return self._best_so_far
+
+    # -- internals ---------------------------------------------------------------
+    def _solved(self) -> bool:
+        return self.state.best_fitness is not None and self.problem.is_solved(
+            self.state.best_fitness
+        )
+
+    def _evaluate(self, individuals: list[Individual]) -> None:
+        if not individuals:
+            return
+        genomes = [ind.genome for ind in individuals]
+        fitnesses = self.evaluator.evaluate(self.problem, genomes)
+        if len(fitnesses) != len(individuals):
+            raise RuntimeError(
+                f"evaluator returned {len(fitnesses)} fitnesses for "
+                f"{len(individuals)} genomes"
+            )
+        for ind, f in zip(individuals, fitnesses):
+            ind.fitness = float(f)
+        self.state.evaluations += len(individuals)
+
+    def _make_offspring_pair(
+        self, parent_a: Individual, parent_b: Individual
+    ) -> tuple[Individual, Individual]:
+        """Apply crossover (with probability) then mutation (with probability)."""
+        return offspring_pair(
+            self.rng,
+            self.config,
+            self.problem.spec,
+            parent_a,
+            parent_b,
+            generation=self.state.generation + 1,
+        )
+
+    def _advance(self) -> None:
+        raise NotImplementedError
+
+
+class GenerationalEngine(EvolutionEngine):
+    """Whole-population replacement each generation, with elitism."""
+
+    def _advance(self) -> None:
+        assert self.population is not None
+        cfg = self.config
+        n = len(self.population)
+        needed = n - min(cfg.elitism, n)
+        parents = cfg.selection(
+            self.rng, self.population.individuals, needed + needed % 2, self.problem.maximize
+        )
+        offspring: list[Individual] = []
+        for i in range(0, len(parents) - 1, 2):
+            a, b = self._make_offspring_pair(parents[i], parents[i + 1])
+            offspring.extend((a, b))
+        offspring = offspring[:needed]
+        self._evaluate(offspring)
+        elite = [ind.copy() for ind in self.population.sorted()[: cfg.elitism]]
+        self.population.individuals = elite + offspring
+
+
+class SteadyStateEngine(EvolutionEngine):
+    """Insert offspring one at a time, evicting via the replacement policy.
+
+    One *generation* is defined as ``population_size`` insertions scaled by
+    ``offspring_per_step`` — i.e. one full population's worth of births —
+    so convergence curves are comparable with the generational engine.
+    """
+
+    def _advance(self) -> None:
+        assert self.population is not None
+        cfg = self.config
+        births_per_generation = len(self.population)
+        born = 0
+        while born < births_per_generation:
+            parents = cfg.selection(
+                self.rng, self.population.individuals, 2, self.problem.maximize
+            )
+            a, b = self._make_offspring_pair(parents[0], parents[1])
+            batch = [a, b][: min(cfg.offspring_per_step, births_per_generation - born)]
+            self._evaluate(batch)
+            for child in batch:
+                cfg.replacement(self.rng, self.population, child)
+            born += len(batch)

@@ -1,0 +1,191 @@
+"""Genome specifications: the search-space half of a GA problem.
+
+The survey's applications use binary strings (classic GAs, feature
+selection), real vectors (wing design, Doppler filters — "ARGA had both
+binary and real value representations"), permutations (TSP, scheduling) and
+bounded integer strings (reactor-core zone enrichments).  A
+:class:`GenomeSpec` bundles sampling, validation and repair for one such
+representation so operators and engines stay representation-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "GenomeSpec",
+    "BinarySpec",
+    "RealVectorSpec",
+    "PermutationSpec",
+    "IntegerVectorSpec",
+]
+
+
+class GenomeSpec(abc.ABC):
+    """Abstract description of one chromosome representation."""
+
+    #: number of genes in the chromosome
+    length: int
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one uniformly random genome."""
+
+    @abc.abstractmethod
+    def is_valid(self, genome: np.ndarray) -> bool:
+        """Check that ``genome`` lies in the representation's domain."""
+
+    def repair(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Project an out-of-domain genome back into the domain.
+
+        Default implementation returns the genome unchanged; bounded
+        representations override this with clipping / re-normalisation.
+        """
+        return genome
+
+    def sample_population(self, rng: np.random.Generator, n: int) -> list[np.ndarray]:
+        """Draw ``n`` independent random genomes."""
+        return [self.sample(rng) for _ in range(n)]
+
+
+@dataclass(frozen=True)
+class BinarySpec(GenomeSpec):
+    """Fixed-length bit string; the survey's 'mostly binary' chromosome.
+
+    ``density`` biases initial sampling: each bit is 1 with that
+    probability (0.5 = classic uniform).  Sparse-solution problems such as
+    large-scale feature selection initialise at low density so the GA
+    grows masks instead of pruning from 50%.
+    """
+
+    length: int
+    density: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"binary genome length must be positive, got {self.length}")
+        if not 0.0 < self.density < 1.0:
+            raise ValueError(f"density must be in (0,1), got {self.density}")
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return (rng.random(self.length) < self.density).astype(np.int8)
+
+    def is_valid(self, genome: np.ndarray) -> bool:
+        return (
+            genome.shape == (self.length,)
+            and bool(np.all((genome == 0) | (genome == 1)))
+        )
+
+    def repair(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.clip(np.rint(genome), 0, 1).astype(np.int8)
+
+
+@dataclass(frozen=True)
+class RealVectorSpec(GenomeSpec):
+    """Real-valued vector with per-gene (or scalar) box bounds."""
+
+    length: int
+    lower: float | np.ndarray = 0.0
+    upper: float | np.ndarray = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"real genome length must be positive, got {self.length}")
+        lo, hi = self.bounds()
+        if np.any(lo >= hi):
+            raise ValueError("lower bounds must be strictly below upper bounds")
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Broadcast bounds to full-length float arrays."""
+        lo = np.broadcast_to(np.asarray(self.lower, dtype=float), (self.length,))
+        hi = np.broadcast_to(np.asarray(self.upper, dtype=float), (self.length,))
+        return lo, hi
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        lo, hi = self.bounds()
+        return rng.uniform(lo, hi)
+
+    def is_valid(self, genome: np.ndarray) -> bool:
+        if genome.shape != (self.length,):
+            return False
+        lo, hi = self.bounds()
+        return bool(np.all(genome >= lo) and np.all(genome <= hi))
+
+    def repair(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        lo, hi = self.bounds()
+        return np.clip(genome.astype(float), lo, hi)
+
+    @property
+    def span(self) -> np.ndarray:
+        lo, hi = self.bounds()
+        return hi - lo
+
+
+@dataclass(frozen=True)
+class PermutationSpec(GenomeSpec):
+    """Permutation of ``0..length-1`` (tours, schedules, orderings)."""
+
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 1:
+            raise ValueError(f"permutation length must exceed 1, got {self.length}")
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.permutation(self.length).astype(np.int64)
+
+    def is_valid(self, genome: np.ndarray) -> bool:
+        return (
+            genome.shape == (self.length,)
+            and bool(np.array_equal(np.sort(genome), np.arange(self.length)))
+        )
+
+    def repair(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Rebuild a valid permutation preserving the relative order of the
+        first occurrence of each valid city and appending missing ones."""
+        seen: set[int] = set()
+        out: list[int] = []
+        for g in np.asarray(genome, dtype=np.int64):
+            v = int(g)
+            if 0 <= v < self.length and v not in seen:
+                seen.add(v)
+                out.append(v)
+        missing = [v for v in range(self.length) if v not in seen]
+        rng.shuffle(missing)
+        out.extend(missing)
+        return np.asarray(out[: self.length], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class IntegerVectorSpec(GenomeSpec):
+    """Bounded integer string (e.g. reactor zone enrichment indices)."""
+
+    length: int
+    low: int = 0
+    high: int = 1  # inclusive
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"integer genome length must be positive, got {self.length}")
+        if self.low > self.high:
+            raise ValueError(f"low ({self.low}) must not exceed high ({self.high})")
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(self.low, self.high + 1, size=self.length, dtype=np.int64)
+
+    def is_valid(self, genome: np.ndarray) -> bool:
+        return (
+            genome.shape == (self.length,)
+            and bool(np.all(genome >= self.low) and np.all(genome <= self.high))
+        )
+
+    def repair(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.clip(np.rint(genome), self.low, self.high).astype(np.int64)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values one gene can take."""
+        return self.high - self.low + 1

@@ -1,0 +1,103 @@
+"""Individuals: a genome plus its (lazy) fitness and bookkeeping metadata.
+
+The survey defines an *individual* as a chromosome whose quality is measured
+by a fitness function; parallel models additionally track provenance (which
+deme an immigrant came from) and age (for steady-state replacement).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Individual", "better", "best_of", "worst_of", "sort_by_fitness"]
+
+_id_counter = itertools.count()
+
+
+@dataclass
+class Individual:
+    """One member of a population.
+
+    Attributes
+    ----------
+    genome:
+        The chromosome, always a 1-D :class:`numpy.ndarray`.
+    fitness:
+        ``None`` until evaluated.  Raw problem value; direction of
+        improvement is carried separately (``maximize`` flags).
+    birth_generation:
+        Generation index at which the individual was created.
+    origin:
+        Free-form provenance tag — e.g. ``"init"``, ``"cx"``, ``"mut"``,
+        ``"migrant:3"`` for an immigrant from deme 3.
+    """
+
+    genome: np.ndarray
+    fitness: float | None = None
+    birth_generation: int = 0
+    origin: str = "init"
+    attrs: dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_id_counter))
+
+    @property
+    def evaluated(self) -> bool:
+        return self.fitness is not None
+
+    def copy(self, *, origin: str | None = None) -> "Individual":
+        """Deep-copy the genome; fitness and attrs are carried over."""
+        return Individual(
+            genome=self.genome.copy(),
+            fitness=self.fitness,
+            birth_generation=self.birth_generation,
+            origin=self.origin if origin is None else origin,
+            attrs=dict(self.attrs),
+        )
+
+    def invalidate(self) -> None:
+        """Mark the fitness stale (call after mutating the genome)."""
+        self.fitness = None
+
+    def require_fitness(self) -> float:
+        if self.fitness is None:
+            raise ValueError(f"individual {self.uid} has not been evaluated")
+        return self.fitness
+
+    def __repr__(self) -> str:  # compact, genome elided for large chromosomes
+        g = np.array2string(self.genome, threshold=8)
+        return f"Individual(uid={self.uid}, fitness={self.fitness}, genome={g})"
+
+
+def better(a: Individual, b: Individual, maximize: bool) -> Individual:
+    """Return the fitter of two evaluated individuals (ties go to ``a``)."""
+    fa, fb = a.require_fitness(), b.require_fitness()
+    if maximize:
+        return a if fa >= fb else b
+    return a if fa <= fb else b
+
+
+def best_of(individuals: list[Individual], maximize: bool) -> Individual:
+    """Best evaluated individual of a non-empty sequence."""
+    if not individuals:
+        raise ValueError("cannot take best of empty sequence")
+    key = (lambda i: i.require_fitness()) if maximize else (lambda i: -i.require_fitness())
+    return max(individuals, key=key)
+
+
+def worst_of(individuals: list[Individual], maximize: bool) -> Individual:
+    """Worst evaluated individual of a non-empty sequence."""
+    return best_of(individuals, not maximize)
+
+
+def sort_by_fitness(
+    individuals: list[Individual], maximize: bool
+) -> list[Individual]:
+    """Individuals sorted best-first (stable)."""
+    return sorted(
+        individuals,
+        key=lambda i: i.require_fitness(),
+        reverse=maximize,
+    )

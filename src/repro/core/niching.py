@@ -1,0 +1,115 @@
+"""Niching / speciation: fitness sharing and peak-maintenance utilities.
+
+Survey §6 forecasts "speciation theories and niches" among the coming PGA
+theories.  Fitness sharing (Goldberg & Richardson 1987) is the canonical
+mechanism: an individual's fitness is divided by its *niche count* — how
+crowded its neighbourhood is — so subpopulations stabilise on separate
+peaks instead of all converging to the single best.  The island model is
+itself a coarse niching device (E10's divergence), and sharing provides the
+panmictic counterpart for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .individual import Individual
+from .population import Population
+from .problem import Problem
+
+__all__ = ["SharedFitnessProblem", "niche_counts", "distinct_peaks"]
+
+
+def niche_counts(
+    genomes: np.ndarray, sigma_share: float, *, alpha: float = 1.0
+) -> np.ndarray:
+    """Niche count per row of ``genomes`` under the triangular sharing kernel.
+
+    ``m_i = sum_j max(0, 1 - (d_ij / sigma)^alpha)`` with Euclidean d.
+    """
+    if sigma_share <= 0:
+        raise ValueError(f"sigma_share must be positive, got {sigma_share}")
+    g = np.asarray(genomes, dtype=float)
+    diff = g[:, None, :] - g[None, :, :]
+    d = np.sqrt((diff * diff).sum(axis=2))
+    sh = np.maximum(0.0, 1.0 - (d / sigma_share) ** alpha)
+    return sh.sum(axis=1)  # includes self (d=0 → contribution 1)
+
+
+class SharedFitnessProblem(Problem):
+    """Fitness-sharing wrapper: evaluation happens against the raw problem,
+    but batch evaluations are divided by niche counts.
+
+    Sharing is inherently population-relative, so only
+    :meth:`evaluate_many` applies it (engines evaluate offspring in
+    batches, which is the population snapshot sharing needs);
+    single-genome :meth:`evaluate` returns the raw fitness.
+    """
+
+    def __init__(self, inner: Problem, sigma_share: float, *, alpha: float = 1.0) -> None:
+        if not inner.maximize:
+            raise ValueError(
+                "fitness sharing divides fitness and requires maximisation; "
+                "wrap minimisation problems in a negating adapter first"
+            )
+        if sigma_share <= 0:
+            raise ValueError(f"sigma_share must be positive, got {sigma_share}")
+        self.inner = inner
+        self.sigma_share = sigma_share
+        self.alpha = alpha
+        self.spec = inner.spec
+        self.maximize = True
+        self.optimum = None  # shared fitness has no fixed optimum
+        self.target = None
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        return self.inner.evaluate(genome)
+
+    def evaluate_many(self, genomes: Sequence[np.ndarray]) -> list[float]:
+        raw = np.asarray(self.inner.evaluate_many(genomes), dtype=float)
+        if len(genomes) < 2:
+            return raw.tolist()
+        counts = niche_counts(np.stack([g.astype(float) for g in genomes]),
+                              self.sigma_share, alpha=self.alpha)
+        if raw.min() < 0:
+            raw = raw - raw.min()  # sharing needs non-negative fitness
+        return (raw / counts).tolist()
+
+    @property
+    def name(self) -> str:
+        return f"Shared({self.inner.name}, sigma={self.sigma_share})"
+
+
+def distinct_peaks(
+    population: Population | list[Individual],
+    *,
+    min_distance: float,
+    top_fraction: float = 0.25,
+) -> list[Individual]:
+    """Greedy peak extraction: best-first, keep individuals at least
+    ``min_distance`` (Euclidean) from every already-kept peak.
+
+    The measurement tool for niching experiments: how many separate optima
+    does the final population hold?
+    """
+    if min_distance <= 0:
+        raise ValueError("min_distance must be positive")
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must be in (0, 1]")
+    inds = list(population)
+    maximize = population.maximize if isinstance(population, Population) else True
+    ranked = sorted(
+        inds, key=lambda i: i.require_fitness(), reverse=maximize
+    )
+    ranked = ranked[: max(1, int(np.ceil(top_fraction * len(ranked))))]
+    peaks: list[Individual] = []
+    for ind in ranked:
+        g = ind.genome.astype(float)
+        if all(
+            np.linalg.norm(g - p.genome.astype(float)) >= min_distance
+            for p in peaks
+        ):
+            peaks.append(ind)
+    return peaks

@@ -1,0 +1,104 @@
+"""Operator library: crossover, mutation, selection, replacement."""
+
+from .adaptive import (
+    DecayingGaussianMutation,
+    SelfAdaptiveGaussianMutation,
+    extend_spec_with_sigma,
+)
+from .crossover import (
+    ArithmeticCrossover,
+    BlendCrossover,
+    Crossover,
+    CycleCrossover,
+    KPointCrossover,
+    OnePointCrossover,
+    OrderCrossover,
+    PartiallyMappedCrossover,
+    SimulatedBinaryCrossover,
+    TwoDimensionalCrossover,
+    TwoPointCrossover,
+    UniformCrossover,
+    crossover_for_spec,
+)
+from .mutation import (
+    BitFlipMutation,
+    CreepMutation,
+    GaussianMutation,
+    InsertionMutation,
+    InversionMutation,
+    Mutation,
+    PolynomialMutation,
+    ScrambleMutation,
+    SwapMutation,
+    UniformResetMutation,
+    mutation_for_spec,
+)
+from .replacement import (
+    Replacement,
+    ReplaceOldest,
+    ReplaceRandom,
+    ReplaceWorst,
+    ReplaceWorstIfBetter,
+    elitist_merge,
+)
+from .selection import (
+    BestSelection,
+    BoltzmannSelection,
+    LinearRankSelection,
+    RandomSelection,
+    RouletteWheelSelection,
+    Selection,
+    StochasticUniversalSampling,
+    TournamentSelection,
+    TruncationSelection,
+)
+
+__all__ = [
+    # adaptive
+    "DecayingGaussianMutation",
+    "SelfAdaptiveGaussianMutation",
+    "extend_spec_with_sigma",
+    # crossover
+    "Crossover",
+    "OnePointCrossover",
+    "TwoPointCrossover",
+    "KPointCrossover",
+    "UniformCrossover",
+    "ArithmeticCrossover",
+    "BlendCrossover",
+    "SimulatedBinaryCrossover",
+    "PartiallyMappedCrossover",
+    "OrderCrossover",
+    "CycleCrossover",
+    "TwoDimensionalCrossover",
+    "crossover_for_spec",
+    # mutation
+    "Mutation",
+    "BitFlipMutation",
+    "GaussianMutation",
+    "UniformResetMutation",
+    "PolynomialMutation",
+    "CreepMutation",
+    "SwapMutation",
+    "InversionMutation",
+    "ScrambleMutation",
+    "InsertionMutation",
+    "mutation_for_spec",
+    # replacement
+    "Replacement",
+    "ReplaceWorst",
+    "ReplaceWorstIfBetter",
+    "ReplaceRandom",
+    "ReplaceOldest",
+    "elitist_merge",
+    # selection
+    "Selection",
+    "TournamentSelection",
+    "RouletteWheelSelection",
+    "LinearRankSelection",
+    "StochasticUniversalSampling",
+    "TruncationSelection",
+    "BoltzmannSelection",
+    "RandomSelection",
+    "BestSelection",
+]

@@ -1,0 +1,110 @@
+"""Adaptive and self-adaptive operators (survey §6 'operator theories').
+
+Two classic mechanisms:
+
+- :class:`DecayingGaussianMutation` — *adaptive*: the mutation scale is an
+  explicit function of elapsed generations (exploration → exploitation
+  annealing).
+- :class:`SelfAdaptiveGaussianMutation` — *self-adaptive* (ES-style): each
+  genome carries its own log-sigma as an extra gene, mutated by the
+  classic lognormal rule before being applied, so step sizes evolve along
+  with solutions.  Use :func:`extend_spec_with_sigma` to widen a real
+  genome spec by the strategy gene.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..genome import RealVectorSpec
+
+__all__ = [
+    "DecayingGaussianMutation",
+    "SelfAdaptiveGaussianMutation",
+    "extend_spec_with_sigma",
+]
+
+
+@dataclass
+class DecayingGaussianMutation:
+    """Gaussian mutation whose sigma decays geometrically per call batch.
+
+    ``sigma(t) = max(sigma_final, sigma0 * decay^t)`` where ``t`` advances
+    by 1 every ``calls_per_generation`` applications (engines apply the
+    operator roughly once per offspring).
+    """
+
+    sigma0: float = 0.5
+    decay: float = 0.97
+    sigma_final: float = 1e-3
+    calls_per_generation: int = 100
+    lower: float | np.ndarray | None = None
+    upper: float | np.ndarray | None = None
+    _calls: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sigma0 <= 0 or self.sigma_final <= 0:
+            raise ValueError("sigmas must be positive")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must be in (0,1], got {self.decay}")
+        if self.calls_per_generation < 1:
+            raise ValueError("calls_per_generation must be >= 1")
+
+    @property
+    def sigma(self) -> float:
+        t = self._calls // self.calls_per_generation
+        return max(self.sigma_final, self.sigma0 * self.decay**t)
+
+    def __call__(self, rng: np.random.Generator, genome: np.ndarray) -> np.ndarray:
+        sigma = self.sigma
+        self._calls += 1
+        out = genome.astype(float) + rng.normal(0.0, sigma, size=genome.shape[0])
+        if self.lower is not None or self.upper is not None:
+            out = np.clip(
+                out,
+                -np.inf if self.lower is None else self.lower,
+                np.inf if self.upper is None else self.upper,
+            )
+        return out
+
+
+def extend_spec_with_sigma(
+    spec: RealVectorSpec, *, log_sigma_range: tuple[float, float] = (-5.0, 0.0)
+) -> RealVectorSpec:
+    """Widen a real spec by one trailing gene holding log10(sigma)."""
+    lo, hi = spec.bounds()
+    new_lo = np.concatenate([lo, [log_sigma_range[0]]])
+    new_hi = np.concatenate([hi, [log_sigma_range[1]]])
+    return RealVectorSpec(spec.length + 1, new_lo, new_hi)
+
+
+@dataclass(frozen=True)
+class SelfAdaptiveGaussianMutation:
+    """ES-style self-adaptation: the last gene is log10(sigma).
+
+    The strategy gene mutates first (lognormal rule with learning rate
+    ``tau ≈ 1/sqrt(n)``), then the object genes mutate with the *new*
+    sigma.  Selection thereby favours individuals whose step sizes suit the
+    local landscape — the mechanism behind the survey's forecast
+    'operator theories'.
+    """
+
+    tau: float | None = None
+
+    def __call__(self, rng: np.random.Generator, genome: np.ndarray) -> np.ndarray:
+        n = genome.shape[0] - 1
+        if n < 1:
+            raise ValueError("genome needs >= 1 object gene plus the sigma gene")
+        tau = self.tau if self.tau is not None else 1.0 / np.sqrt(n)
+        out = genome.astype(float).copy()
+        out[-1] = out[-1] + tau * rng.normal()  # mutate log10(sigma)
+        sigma = 10.0 ** out[-1]
+        out[:-1] = out[:-1] + rng.normal(0.0, sigma, size=n)
+        return out
+
+    @staticmethod
+    def sigma_of(genome: np.ndarray) -> float:
+        """Current step size encoded in a genome."""
+        return float(10.0 ** genome[-1])

@@ -1,0 +1,278 @@
+"""Parent-selection operators.
+
+The survey: "Selection identifies the fittest individuals.  The higher the
+fitness, the bigger the probability to become a parent in the next
+generation.  There are different types of selection, but the basic
+functionality is the same."
+
+Every operator is a callable
+``(rng, population, n, maximize) -> list[Individual]`` drawing ``n``
+parents *with replacement*.  Returned individuals are references (not
+copies); engines copy before modifying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..individual import Individual
+
+__all__ = [
+    "Selection",
+    "TournamentSelection",
+    "RouletteWheelSelection",
+    "LinearRankSelection",
+    "StochasticUniversalSampling",
+    "TruncationSelection",
+    "BoltzmannSelection",
+    "RandomSelection",
+    "BestSelection",
+]
+
+
+class Selection(Protocol):
+    """Callable protocol all selection operators satisfy."""
+
+    def __call__(
+        self,
+        rng: np.random.Generator,
+        individuals: Sequence[Individual],
+        n: int,
+        maximize: bool,
+    ) -> list[Individual]: ...
+
+
+def _fitnesses(individuals: Sequence[Individual]) -> np.ndarray:
+    return np.asarray([ind.require_fitness() for ind in individuals], dtype=float)
+
+
+def _sample_by_probs(
+    rng: np.random.Generator,
+    individuals: Sequence[Individual],
+    probs: np.ndarray,
+    n: int,
+) -> list[Individual]:
+    idx = rng.choice(len(individuals), size=n, replace=True, p=probs)
+    return [individuals[int(i)] for i in idx]
+
+
+#: share of probability mass spread uniformly so the worst member never has
+#: exactly zero selection chance after the min-shift
+_FLOOR = 0.05
+
+
+def _minimization_to_weights(f: np.ndarray, maximize: bool) -> np.ndarray:
+    """Shift fitnesses into selection probabilities, respecting direction.
+
+    Uses the classic min-shift (so weights are scale-invariant) blended with
+    a small uniform floor: pure min-shifting gives the worst member exactly
+    zero probability, which starves small populations.
+    """
+    n = f.shape[0]
+    if maximize:
+        w = f - f.min()
+    else:
+        w = f.max() - f
+    total = w.sum()
+    if total <= 0.0:  # all equal — uniform weights
+        return np.full(n, 1.0 / n)
+    return (1.0 - _FLOOR) * (w / total) + _FLOOR / n
+
+
+@dataclass(frozen=True)
+class TournamentSelection:
+    """Pick the best of ``size`` uniform random contestants, ``n`` times.
+
+    Tournament size controls selection pressure; size 2 is the survey-era
+    default and the one Giacobini et al.'s cellular pressure study builds on
+    ("binary tournament").
+    """
+
+    size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"tournament size must be >= 1, got {self.size}")
+
+    def __call__(
+        self,
+        rng: np.random.Generator,
+        individuals: Sequence[Individual],
+        n: int,
+        maximize: bool,
+    ) -> list[Individual]:
+        m = len(individuals)
+        if m == 0:
+            raise ValueError("cannot select from empty population")
+        k = min(self.size, m)
+        f = _fitnesses(individuals)
+        contestants = rng.integers(0, m, size=(n, k))
+        scores = f[contestants]
+        winners = np.argmax(scores, axis=1) if maximize else np.argmin(scores, axis=1)
+        picked = contestants[np.arange(n), winners]
+        return [individuals[int(i)] for i in picked]
+
+
+@dataclass(frozen=True)
+class RouletteWheelSelection:
+    """Fitness-proportionate selection (Holland's original scheme)."""
+
+    def __call__(
+        self,
+        rng: np.random.Generator,
+        individuals: Sequence[Individual],
+        n: int,
+        maximize: bool,
+    ) -> list[Individual]:
+        f = _fitnesses(individuals)
+        probs = _minimization_to_weights(f, maximize)
+        return _sample_by_probs(rng, individuals, probs, n)
+
+
+@dataclass(frozen=True)
+class LinearRankSelection:
+    """Rank-based probabilities with selection bias ``sp`` in [1, 2]."""
+
+    sp: float = 1.7
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.sp <= 2.0:
+            raise ValueError(f"selection pressure sp must be in [1,2], got {self.sp}")
+
+    def __call__(
+        self,
+        rng: np.random.Generator,
+        individuals: Sequence[Individual],
+        n: int,
+        maximize: bool,
+    ) -> list[Individual]:
+        m = len(individuals)
+        f = _fitnesses(individuals)
+        order = np.argsort(f) if maximize else np.argsort(-f)
+        # rank 0 = worst … rank m-1 = best
+        ranks = np.empty(m, dtype=float)
+        ranks[order] = np.arange(m, dtype=float)
+        if m > 1:
+            probs = (2.0 - self.sp) / m + 2.0 * ranks * (self.sp - 1.0) / (m * (m - 1.0))
+        else:
+            probs = np.ones(1)
+        probs = probs / probs.sum()
+        return _sample_by_probs(rng, individuals, probs, n)
+
+
+@dataclass(frozen=True)
+class StochasticUniversalSampling:
+    """SUS (Baker 1987): one spin, ``n`` equally spaced pointers — lower
+    variance than roulette for the same expected counts."""
+
+    def __call__(
+        self,
+        rng: np.random.Generator,
+        individuals: Sequence[Individual],
+        n: int,
+        maximize: bool,
+    ) -> list[Individual]:
+        f = _fitnesses(individuals)
+        probs = _minimization_to_weights(f, maximize)
+        cum = np.cumsum(probs)
+        start = rng.random() / n
+        pointers = start + np.arange(n) / n
+        idx = np.searchsorted(cum, pointers, side="right")
+        idx = np.clip(idx, 0, len(individuals) - 1)
+        picked = [individuals[int(i)] for i in idx]
+        # SUS traditionally shuffles the mating pool afterwards
+        rng.shuffle(picked)
+        return picked
+
+
+@dataclass(frozen=True)
+class TruncationSelection:
+    """Select uniformly from the top ``fraction`` of the population."""
+
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0,1], got {self.fraction}")
+
+    def __call__(
+        self,
+        rng: np.random.Generator,
+        individuals: Sequence[Individual],
+        n: int,
+        maximize: bool,
+    ) -> list[Individual]:
+        f = _fitnesses(individuals)
+        order = np.argsort(-f) if maximize else np.argsort(f)
+        k = max(1, int(np.ceil(self.fraction * len(individuals))))
+        elite = [individuals[int(i)] for i in order[:k]]
+        idx = rng.integers(0, k, size=n)
+        return [elite[int(i)] for i in idx]
+
+
+@dataclass(frozen=True)
+class BoltzmannSelection:
+    """Softmax selection with temperature ``temperature``.
+
+    High temperature → near-uniform; low temperature → near-greedy.  The
+    classic annealing-flavoured scheme from the survey's operator theory
+    thread.
+    """
+
+    temperature: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {self.temperature}")
+
+    def __call__(
+        self,
+        rng: np.random.Generator,
+        individuals: Sequence[Individual],
+        n: int,
+        maximize: bool,
+    ) -> list[Individual]:
+        f = _fitnesses(individuals)
+        z = f if maximize else -f
+        z = (z - z.max()) / self.temperature  # stabilised softmax
+        w = np.exp(z)
+        probs = w / w.sum()
+        return _sample_by_probs(rng, individuals, probs, n)
+
+
+@dataclass(frozen=True)
+class RandomSelection:
+    """Uniform random parents — the zero-pressure control."""
+
+    def __call__(
+        self,
+        rng: np.random.Generator,
+        individuals: Sequence[Individual],
+        n: int,
+        maximize: bool,
+    ) -> list[Individual]:
+        idx = rng.integers(0, len(individuals), size=n)
+        return [individuals[int(i)] for i in idx]
+
+
+@dataclass(frozen=True)
+class BestSelection:
+    """Deterministically return the single best individual ``n`` times.
+
+    Used for migrant selection ("send your best") and as the maximal
+    pressure control in takeover-time studies.
+    """
+
+    def __call__(
+        self,
+        rng: np.random.Generator,
+        individuals: Sequence[Individual],
+        n: int,
+        maximize: bool,
+    ) -> list[Individual]:
+        f = _fitnesses(individuals)
+        i = int(np.argmax(f) if maximize else np.argmin(f))
+        return [individuals[i]] * n

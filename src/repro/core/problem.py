@@ -1,0 +1,117 @@
+"""The Problem abstraction: fitness function + genome spec + direction.
+
+"The chromosome representation could be evaluated by a *fitness* function.
+The fitness equals to the quality of an individual …" — a
+:class:`Problem` packages that fitness function with the representation it
+expects and the direction of improvement, plus an optional known optimum so
+experiments can measure *efficacy* (the survey's term for hit rate in
+finding a solution).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from .genome import GenomeSpec
+
+__all__ = ["Problem", "CountingProblem", "FitnessBudgetExceeded"]
+
+
+class Problem(abc.ABC):
+    """One optimisation problem.
+
+    Subclasses set :attr:`spec`, :attr:`maximize` and implement
+    :meth:`evaluate`.  ``optimum`` (the best achievable fitness) and
+    ``target`` (fitness at which we declare success) are optional but enable
+    efficacy and evaluations-to-solution metrics.
+    """
+
+    spec: GenomeSpec
+    maximize: bool = True
+    #: best achievable fitness, if known
+    optimum: float | None = None
+    #: success threshold; defaults to ``optimum`` when unset
+    target: float | None = None
+
+    @abc.abstractmethod
+    def evaluate(self, genome: np.ndarray) -> float:
+        """Fitness of one genome (pure; no side effects)."""
+
+    # -- bulk evaluation -------------------------------------------------------
+    def evaluate_many(self, genomes: Sequence[np.ndarray]) -> list[float]:
+        """Evaluate a batch; override for vectorised problems."""
+        return [self.evaluate(g) for g in genomes]
+
+    # -- success tests ---------------------------------------------------------
+    @property
+    def success_threshold(self) -> float | None:
+        return self.target if self.target is not None else self.optimum
+
+    def is_solved(self, fitness: float, tol: float = 1e-9) -> bool:
+        """Whether ``fitness`` meets the success threshold (within ``tol``)."""
+        thr = self.success_threshold
+        if thr is None:
+            return False
+        if self.maximize:
+            return fitness >= thr - tol
+        return fitness <= thr + tol
+
+    def is_improvement(self, a: float, b: float) -> bool:
+        """Whether fitness ``a`` beats fitness ``b``."""
+        return a > b if self.maximize else a < b
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{self.name}(length={self.spec.length}, maximize={self.maximize})"
+
+
+class FitnessBudgetExceeded(RuntimeError):
+    """Raised by :class:`CountingProblem` when the evaluation budget runs out."""
+
+
+class CountingProblem(Problem):
+    """Wrapper that counts evaluations and optionally enforces a budget.
+
+    Parallel experiments compare algorithms by *evaluations to solution* —
+    the machine-independent cost measure the super-linear-speedup literature
+    (Alba 2002) uses — so exact counting lives here rather than scattered
+    through engines.
+    """
+
+    def __init__(self, inner: Problem, budget: int | None = None) -> None:
+        self.inner = inner
+        self.spec = inner.spec
+        self.maximize = inner.maximize
+        self.optimum = inner.optimum
+        self.target = inner.target
+        self.budget = budget
+        self.evaluations = 0
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        if self.budget is not None and self.evaluations >= self.budget:
+            raise FitnessBudgetExceeded(
+                f"budget of {self.budget} evaluations exhausted"
+            )
+        self.evaluations += 1
+        return self.inner.evaluate(genome)
+
+    def evaluate_many(self, genomes: Sequence[np.ndarray]) -> list[float]:
+        if self.budget is not None and self.evaluations + len(genomes) > self.budget:
+            raise FitnessBudgetExceeded(
+                f"budget of {self.budget} evaluations exhausted"
+            )
+        self.evaluations += len(genomes)
+        return self.inner.evaluate_many(genomes)
+
+    def reset(self) -> None:
+        self.evaluations = 0
+
+    @property
+    def name(self) -> str:
+        return f"Counting({self.inner.name})"

@@ -1,0 +1,83 @@
+"""Variation pipeline: selection-crossover-mutation as reusable functions.
+
+"In PGA, there is always a selection-crossover-mutation cycle as in GAs"
+(survey §1.1).  Sequential engines, island demes, cellular cells and
+simulated master-slave farms all produce offspring through these helpers,
+so the cycle is implemented exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .config import GAConfig
+from .genome import GenomeSpec
+from .individual import Individual
+
+__all__ = ["offspring_pair", "make_offspring"]
+
+
+def offspring_pair(
+    rng: np.random.Generator,
+    config: GAConfig,
+    spec: GenomeSpec,
+    parent_a: Individual,
+    parent_b: Individual,
+    *,
+    generation: int = 0,
+) -> tuple[Individual, Individual]:
+    """Recombine (with probability) and mutate (with probability) one pair.
+
+    Parents are never modified; children are unevaluated.
+    """
+    if config.crossover is None or config.mutation is None:
+        raise ValueError("config operators unresolved; call config.resolved_for(spec)")
+    if rng.random() < config.crossover_prob:
+        ga, gb = config.crossover(rng, parent_a.genome, parent_b.genome)
+        origin = "cx"
+    else:
+        ga, gb = parent_a.genome.copy(), parent_b.genome.copy()
+        origin = "clone"
+    children = []
+    for g in (ga, gb):
+        if rng.random() < config.mutation_prob:
+            g = config.mutation(rng, g)
+            child_origin = origin + "+mut"
+        else:
+            child_origin = origin
+        g = spec.repair(g, rng)
+        children.append(
+            Individual(genome=g, birth_generation=generation, origin=child_origin)
+        )
+    return children[0], children[1]
+
+
+def make_offspring(
+    rng: np.random.Generator,
+    config: GAConfig,
+    spec: GenomeSpec,
+    parents: Sequence[Individual],
+    count: int,
+    *,
+    generation: int = 0,
+) -> list[Individual]:
+    """Produce exactly ``count`` unevaluated offspring from a parent pool.
+
+    Parents are consumed pairwise in order; the pool wraps around if it is
+    smaller than needed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if count and len(parents) < 2:
+        raise ValueError("need at least two parents to produce offspring")
+    out: list[Individual] = []
+    i = 0
+    while len(out) < count:
+        a = parents[i % len(parents)]
+        b = parents[(i + 1) % len(parents)]
+        ca, cb = offspring_pair(rng, config, spec, a, b, generation=generation)
+        out.extend((ca, cb))
+        i += 2
+    return out[:count]

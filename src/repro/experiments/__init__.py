@@ -1,0 +1,68 @@
+"""Experiment harness: one runner per table/figure-shaped claim (E1–E12).
+
+``REGISTRY`` maps experiment ids to their runners; each runner has the
+signature ``run(quick: bool = False) -> ExperimentReport``.  Quick mode
+shrinks seeds/budgets for CI-speed benchmark runs; full mode is what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import (
+    e02_masterslave,
+    e03_island_speedup,
+    e04_migration_policy,
+    e05_cellular_pressure,
+    e06_cantupaz_design,
+    e07_hierarchical,
+    e08_sim_scenarios,
+    e09_fault_tolerance,
+    e10_punctuated,
+    e11_applications,
+    e12_stock_reactor,
+    table1,
+)
+from .report import Expectation, ExperimentReport, SeriesSpec, TableSpec
+
+__all__ = [
+    "REGISTRY",
+    "run_experiment",
+    "run_all",
+    "ExperimentReport",
+    "TableSpec",
+    "SeriesSpec",
+    "Expectation",
+]
+
+REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
+    "E1": table1.run,
+    "E2": e02_masterslave.run,
+    "E3": e03_island_speedup.run,
+    "E4": e04_migration_policy.run,
+    "E5": e05_cellular_pressure.run,
+    "E6": e06_cantupaz_design.run,
+    "E7": e07_hierarchical.run,
+    "E8": e08_sim_scenarios.run,
+    "E9": e09_fault_tolerance.run,
+    "E10": e10_punctuated.run,
+    "E11": e11_applications.run,
+    "E12": e12_stock_reactor.run,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentReport:
+    """Run one experiment by id ('E1' … 'E12')."""
+    key = experiment_id.upper()
+    if key not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(REGISTRY)}"
+        )
+    return REGISTRY[key](quick=quick)
+
+
+def run_all(quick: bool = False, ids: list[str] | None = None) -> list[ExperimentReport]:
+    """Run every experiment (or a subset) and return the reports in order."""
+    keys = [k.upper() for k in ids] if ids else list(REGISTRY)
+    return [run_experiment(k, quick=quick) for k in keys]

@@ -1,0 +1,45 @@
+"""CLI: ``python -m repro.experiments [--quick] [E3 E5 ...]``.
+
+Runs the requested experiments (default: all) and prints each report's
+tables, ASCII figures and expectation checks.  Exit status 1 if any
+expectation failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import REGISTRY, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the survey's tables/figures (E1–E12).",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        default=[],
+        help=f"experiment ids to run (default: all of {', '.join(REGISTRY)})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small seeds/budgets (seconds per experiment instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+    ids = [i.upper() for i in args.ids] or list(REGISTRY)
+    any_failed = False
+    for key in ids:
+        report = run_experiment(key, quick=args.quick)
+        print(report.render())
+        print()
+        if not report.all_passed:
+            any_failed = True
+    return 1 if any_failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

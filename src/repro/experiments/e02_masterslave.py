@@ -1,0 +1,110 @@
+"""E2 — master-slave (global PGA) speedup and its bottleneck.
+
+Bethke (1976) "showed the analysis of efficiency of using the processing
+capacity.  He identified some bottlenecks that limit the parallel
+efficiency of PGAs."  The shape to reproduce: with *expensive* fitness
+functions speedup tracks the worker count and then saturates; with *cheap*
+fitness functions communication dominates and speedup collapses far below
+p — Amdahl's law with the master's serial work and the network as the
+serial fraction.
+
+Identical seeds mean every farm size runs genetically identical
+generations, so simulated-time ratios measure the farm alone.
+"""
+
+from __future__ import annotations
+
+from ..cluster.machine import SimulatedCluster
+from ..cluster.network import Network
+from ..core.config import GAConfig
+from ..metrics.speedup import amdahl_speedup, speedup_curve
+from ..parallel.master_slave import SimulatedMasterSlave
+from ..problems.binary import OneMax
+from .report import ExperimentReport, SeriesSpec, TableSpec
+
+__all__ = ["run"]
+
+
+def _farm_time(
+    workers: int, eval_cost: float, *, generations: int, pop: int, latency: float
+) -> float:
+    cluster = SimulatedCluster(
+        workers + 1, network=Network(workers + 1, latency=latency, bandwidth=1e6)
+    )
+    ms = SimulatedMasterSlave(
+        OneMax(64),
+        GAConfig(population_size=pop),
+        cluster=cluster,
+        eval_cost=eval_cost,
+        chunks_per_worker=2,
+        seed=42,
+    )
+    report = ms.run(generations)
+    return report.sim_time
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E2",
+        title="Master-slave speedup: growth, saturation and the cheap-fitness bottleneck",
+    )
+    worker_counts = [1, 2, 4, 8, 16] if quick else [1, 2, 4, 8, 16, 32, 64]
+    generations = 5 if quick else 10
+    pop = 64 if quick else 128
+    latency = 1e-3
+
+    scenarios = {
+        "expensive-eval (0.1s)": 0.1,
+        "moderate-eval (10ms)": 1e-2,
+        "cheap-eval (0.1ms)": 1e-4,
+    }
+    table = TableSpec(
+        title="Speedup vs workers (simulated time, identical genetics)",
+        columns=["workers"] + [f"S [{k}]" for k in scenarios] + ["Amdahl f=0.02"],
+    )
+    fig = SeriesSpec(
+        title="Master-slave speedup curves", x_label="workers", y_label="speedup"
+    )
+    curves = {}
+    for name, cost in scenarios.items():
+        times = [
+            _farm_time(w, cost, generations=generations, pop=pop, latency=latency)
+            for w in worker_counts
+        ]
+        curves[name] = speedup_curve(worker_counts, times)
+        fig.add(name, worker_counts, [p.speedup for p in curves[name]])
+    for i, w in enumerate(worker_counts):
+        table.add_row(
+            w,
+            *[round(curves[k][i].speedup, 3) for k in scenarios],
+            round(amdahl_speedup(0.02, w), 2),
+        )
+    report.tables.append(table)
+    report.series.append(fig)
+
+    exp_curve = curves["expensive-eval (0.1s)"]
+    cheap_curve = curves["cheap-eval (0.1ms)"]
+    mid = len(worker_counts) // 2
+    report.expect(
+        "speedup-grows-with-workers-when-eval-expensive",
+        exp_curve[-1].speedup > exp_curve[0].speedup
+        and exp_curve[mid].speedup > 0.6 * worker_counts[mid],
+        f"S({worker_counts[mid]})={exp_curve[mid].speedup:.2f}",
+    )
+    report.expect(
+        "efficiency-degrades-at-scale (saturation)",
+        exp_curve[-1].efficiency < exp_curve[1].efficiency,
+        f"E({worker_counts[1]})={exp_curve[1].efficiency:.2f} vs "
+        f"E({worker_counts[-1]})={exp_curve[-1].efficiency:.2f}",
+    )
+    report.expect(
+        "cheap-fitness-is-communication-bound",
+        cheap_curve[-1].speedup < 0.5 * exp_curve[-1].speedup,
+        f"cheap S={cheap_curve[-1].speedup:.2f} vs expensive "
+        f"S={exp_curve[-1].speedup:.2f} at p={worker_counts[-1]}",
+    )
+    report.notes.append(
+        "Times are deterministic simulated seconds; all farm sizes run "
+        "genetically identical generations (same seed)."
+    )
+    return report

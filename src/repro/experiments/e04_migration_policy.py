@@ -1,0 +1,189 @@
+"""E4 — influence of the migration policy (Alba & Troya 2000).
+
+"A key issue in such a coarse grain PGA was the migration policy, since it
+governs the exchange of individuals among the islands.  They also
+investigated the influence of migration frequency and migrant selection in
+a ring of islands running either steady-state, generational, or cellular
+GAs with different problem types, namely easy, deceptive, multimodal,
+NP-Complete, and epistatic search landscapes."
+
+Grid: {migration interval} x {migrant selection} x {reproduction loop} over
+the five-class problem spectrum, at a fixed evaluation budget.  Shapes to
+hold: migrating islands beat isolated ones on the hard classes; migrant
+selection matters; both reproduction loops behave sensibly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import GAConfig
+from ..core.termination import MaxEvaluations
+from ..migration.policy import MigrationPolicy
+from ..migration.schedule import NeverSchedule, PeriodicSchedule
+from ..parallel.island import IslandModel
+from ..problems import spectrum
+from .report import ExperimentReport, TableSpec
+
+__all__ = ["run"]
+
+N_ISLANDS = 8
+
+
+def _run_config(
+    problem,
+    *,
+    interval: int | None,
+    selection: str,
+    engine: str,
+    seed: int,
+    budget: int,
+    pop: int,
+) -> float:
+    """Best fitness (normalised to optimum where known) after the budget."""
+    schedule = NeverSchedule() if interval is None else PeriodicSchedule(interval)
+    model = IslandModel(
+        problem,
+        N_ISLANDS,
+        GAConfig(population_size=pop, elitism=1),
+        policy=MigrationPolicy(rate=1, selection=selection, replacement="worst-if-better"),
+        schedule=schedule,
+        engine=engine,
+        seed=seed,
+    )
+    res = model.run(MaxEvaluations(budget))
+    best = res.best_fitness
+    if problem.optimum is not None and problem.optimum != 0:
+        return best / problem.optimum if problem.maximize else problem.optimum / best
+    return best
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E4",
+        title="Migration frequency, migrant selection and reproduction loop "
+        "across the problem spectrum",
+    )
+    seeds = range(2) if quick else range(5)
+    budget = 20_000 if quick else 60_000
+    pop = 20 if quick else 32
+    problems = spectrum(seed=7)
+    if quick:
+        problems = {k: problems[k] for k in ("easy", "deceptive", "np-complete")}
+
+    # --- frequency sweep (best-migrant, generational) -----------------------------
+    intervals: list[int | None] = [1, 4, 16, None]  # None = isolated demes
+    freq_table = TableSpec(
+        title="Mean normalised best fitness vs migration interval "
+        "(ring of 8, best-migrant, generational)",
+        columns=["problem"] + [("isolated" if i is None else f"every {i}") for i in intervals],
+    )
+    freq_scores: dict[str, dict[int | None, float]] = {}
+    for name, problem in problems.items():
+        row: dict[int | None, float] = {}
+        for interval in intervals:
+            vals = [
+                _run_config(
+                    problem,
+                    interval=interval,
+                    selection="best",
+                    engine="generational",
+                    seed=300 + s,
+                    budget=budget,
+                    pop=pop,
+                )
+                for s in seeds
+            ]
+            row[interval] = float(np.mean(vals))
+        freq_scores[name] = row
+        freq_table.add_row(name, *[round(row[i], 4) for i in intervals])
+    report.tables.append(freq_table)
+
+    # --- migrant selection sweep (interval 4) ---------------------------------------
+    selections = ["best", "random", "worst"]
+    sel_table = TableSpec(
+        title="Mean normalised best fitness vs migrant selection (interval 4)",
+        columns=["problem"] + selections,
+    )
+    sel_scores: dict[str, dict[str, float]] = {}
+    for name, problem in problems.items():
+        row2: dict[str, float] = {}
+        for sel in selections:
+            vals = [
+                _run_config(
+                    problem,
+                    interval=4,
+                    selection=sel,
+                    engine="generational",
+                    seed=400 + s,
+                    budget=budget,
+                    pop=pop,
+                )
+                for s in seeds
+            ]
+            row2[sel] = float(np.mean(vals))
+        sel_scores[name] = row2
+        sel_table.add_row(name, *[round(row2[s], 4) for s in selections])
+    report.tables.append(sel_table)
+
+    # --- reproduction loop comparison -------------------------------------------------
+    loop_table = TableSpec(
+        title="Generational vs steady-state islands (interval 4, best-migrant)",
+        columns=["problem", "generational", "steady-state"],
+    )
+    loop_scores: dict[str, dict[str, float]] = {}
+    for name, problem in problems.items():
+        row3: dict[str, float] = {}
+        for engine in ("generational", "steady-state"):
+            vals = [
+                _run_config(
+                    problem,
+                    interval=4,
+                    selection="best",
+                    engine=engine,
+                    seed=500 + s,
+                    budget=budget,
+                    pop=pop,
+                )
+                for s in seeds
+            ]
+            row3[engine] = float(np.mean(vals))
+        loop_scores[name] = row3
+        loop_table.add_row(
+            name, round(row3["generational"], 4), round(row3["steady-state"], 4)
+        )
+    report.tables.append(loop_table)
+
+    # --- expectations --------------------------------------------------------------------
+    hard = "deceptive"
+    migrating_best = max(
+        freq_scores[hard][i] for i in intervals if i is not None
+    )
+    report.expect(
+        "migration-beats-isolation-on-deceptive",
+        migrating_best >= freq_scores[hard][None],
+        f"best migrating {migrating_best:.4f} vs isolated "
+        f"{freq_scores[hard][None]:.4f}",
+    )
+    easy_ok = all(v > 0.95 for v in freq_scores["easy"].values())
+    report.expect(
+        "easy-problem-insensitive-to-policy",
+        easy_ok,
+        "all OneMax configs reach > 95% of optimum",
+    )
+    sel_hard = sel_scores[hard]
+    report.expect(
+        "migrant-selection-matters-on-hard-problems",
+        sel_hard["best"] >= sel_hard["worst"],
+        f"best-migrant {sel_hard['best']:.4f} vs worst-migrant "
+        f"{sel_hard['worst']:.4f}",
+    )
+    both_loops_work = all(
+        min(loop_scores[p].values()) > 0.6 for p in loop_scores
+    )
+    report.expect(
+        "both-reproduction-loops-viable",
+        both_loops_work,
+        "every problem reaches > 60% of optimum under both loops",
+    )
+    return report

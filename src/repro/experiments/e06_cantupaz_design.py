@@ -1,0 +1,195 @@
+"""E6 — Cantú-Paz's rational-design principles for island PGAs.
+
+The survey lists the dissertation's key findings: "importance of accurate
+population sizing for PGA, an equivalent scalability of single and
+multiple demes, impracticability of isolated demes, improvement quality
+and efficiency by migration, advantage of fully connected topologies,
+studies of effects of topology and optimal allocation computing
+resources."
+
+Three sub-experiments on the deceptive-trap workload Cantú-Paz's theory is
+built around:
+
+(a) topology sweep at fixed deme grid — fully-connected converges to the
+    target quality in the fewest epochs, isolated never reliably does;
+(b) deme-count/size trade-off at constant total population — quality after
+    a fixed budget peaks at an intermediate deme count;
+(c) population sizing — bigger total populations raise efficacy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import GAConfig
+from ..core.termination import MaxEvaluations
+from ..migration.policy import MigrationPolicy
+from ..migration.schedule import PeriodicSchedule
+from ..parallel.island import IslandModel
+from ..problems.binary import DeceptiveTrap
+from ..topology import topology_by_name
+from .report import ExperimentReport, SeriesSpec, TableSpec
+
+__all__ = ["run"]
+
+
+def _problem() -> DeceptiveTrap:
+    return DeceptiveTrap(blocks=8, k=4)
+
+
+def _quality(
+    n_islands: int,
+    pop_per_deme: int,
+    topology_name: str,
+    seed: int,
+    *,
+    budget: int,
+) -> tuple[float, bool]:
+    problem = _problem()
+    model = IslandModel(
+        problem,
+        n_islands,
+        GAConfig(population_size=pop_per_deme, elitism=1),
+        topology=topology_by_name(topology_name, n_islands),
+        policy=MigrationPolicy(rate=1, selection="best", replacement="worst-if-better"),
+        schedule=PeriodicSchedule(4),
+        seed=seed,
+    )
+    res = model.run(MaxEvaluations(budget))
+    return res.best_fitness / problem.optimum, res.solved
+
+
+def _epochs_to_solve_onemax(topology_name: str, seed: int, *, max_epochs: int = 120) -> int:
+    """Convergence-speed probe: epochs a deme ensemble needs to solve OneMax."""
+    from ..core.termination import MaxGenerations
+    from ..problems.binary import OneMax
+
+    problem = OneMax(48)
+    model = IslandModel(
+        problem,
+        8,
+        GAConfig(population_size=16, elitism=1),
+        topology=topology_by_name(topology_name, 8),
+        policy=MigrationPolicy(rate=1, selection="best", replacement="worst-if-better"),
+        schedule=PeriodicSchedule(2),
+        seed=seed,
+    )
+    res = model.run(MaxGenerations(max_epochs))
+    return res.epochs if res.solved else max_epochs
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E6",
+        title="Cantú-Paz design principles: topology, deme sizing, population sizing",
+    )
+    seeds = range(3) if quick else range(8)
+    budget = 25_000 if quick else 60_000
+
+    # (a) topology sweep ------------------------------------------------------------
+    topo_names = ["isolated", "ring", "grid", "complete"]
+    n_islands = 8
+    topo_table = TableSpec(
+        title="Topology sweep (8 demes x 20): trap quality + OneMax convergence speed",
+        columns=["topology", "mean quality (trap)", "hit rate (trap)", "median epochs to solve OneMax"],
+    )
+    topo_quality: dict[str, float] = {}
+    topo_hits: dict[str, float] = {}
+    topo_speed: dict[str, float] = {}
+    for name in topo_names:
+        vals, hits, epochs = [], 0, []
+        for s in seeds:
+            q, ok = _quality(n_islands, 20, name, 600 + s, budget=budget)
+            vals.append(q)
+            hits += int(ok)
+            epochs.append(_epochs_to_solve_onemax(name, 600 + s))
+        topo_quality[name] = float(np.mean(vals))
+        topo_hits[name] = hits / len(list(seeds))
+        topo_speed[name] = float(np.median(epochs))
+        topo_table.add_row(
+            name,
+            round(topo_quality[name], 4),
+            round(topo_hits[name], 2),
+            topo_speed[name],
+        )
+    report.tables.append(topo_table)
+
+    # (b) deme count/size trade-off ----------------------------------------------------
+    total_pop = 160
+    deme_counts = [1, 2, 4, 8, 16] if quick else [1, 2, 4, 8, 16, 32]
+    trade_table = TableSpec(
+        title=f"Deme count vs size at constant total population ({total_pop})",
+        columns=["demes", "deme size", "mean quality", "hit rate"],
+    )
+    fig = SeriesSpec(
+        title="Quality vs deme count (constant total population)",
+        x_label="demes",
+        y_label="mean normalised quality",
+    )
+    trade_quality: dict[int, float] = {}
+    for n in deme_counts:
+        size = total_pop // n
+        vals, hits = [], 0
+        for s in seeds:
+            q, ok = _quality(n, size, "ring" if n > 1 else "isolated", 700 + s, budget=budget)
+            vals.append(q)
+            hits += int(ok)
+        trade_quality[n] = float(np.mean(vals))
+        trade_table.add_row(n, size, round(trade_quality[n], 4), round(hits / len(list(seeds)), 2))
+    fig.add("quality", deme_counts, [trade_quality[n] for n in deme_counts])
+    report.tables.append(trade_table)
+    report.series.append(fig)
+
+    # (c) population sizing --------------------------------------------------------------
+    sizes = [40, 80, 160] if quick else [40, 80, 160, 320]
+    sizing_table = TableSpec(
+        title="Population sizing: quality/efficacy vs total population (8 ring demes)",
+        columns=["total population", "mean quality", "hit rate"],
+    )
+    sizing_hits: dict[int, float] = {}
+    sizing_quality: dict[int, float] = {}
+    for total in sizes:
+        vals, hits = [], 0
+        for s in seeds:
+            q, ok = _quality(8, max(2, total // 8), "ring", 800 + s, budget=budget)
+            vals.append(q)
+            hits += int(ok)
+        sizing_hits[total] = hits / len(list(seeds))
+        sizing_quality[total] = float(np.mean(vals))
+        sizing_table.add_row(total, round(sizing_quality[total], 4), round(sizing_hits[total], 2))
+    report.tables.append(sizing_table)
+
+    # expectations ---------------------------------------------------------------------------
+    report.expect(
+        "isolated-demes-impractical",
+        topo_quality["isolated"] <= min(
+            topo_quality["ring"], topo_quality["complete"]
+        ),
+        f"isolated {topo_quality['isolated']:.4f} vs ring "
+        f"{topo_quality['ring']:.4f}, complete {topo_quality['complete']:.4f}",
+    )
+    report.expect(
+        "fully-connected-converges-fastest",
+        topo_speed["complete"] <= min(topo_speed["ring"], topo_speed["isolated"]),
+        f"epochs to solve OneMax: complete {topo_speed['complete']}, "
+        f"ring {topo_speed['ring']}, isolated {topo_speed['isolated']} "
+        "(Cantú-Paz's fully-connected advantage is convergence speed; on "
+        "deceptive traps the same mixing can cost final quality)",
+    )
+    interior = [n for n in deme_counts if n not in (deme_counts[0], deme_counts[-1])]
+    best_interior = max(trade_quality[n] for n in interior)
+    report.expect(
+        "deme-count-tradeoff-has-interior-optimum",
+        best_interior >= trade_quality[deme_counts[0]]
+        and best_interior >= trade_quality[deme_counts[-1]],
+        f"interior best {best_interior:.4f} vs endpoints "
+        f"{trade_quality[deme_counts[0]]:.4f}/{trade_quality[deme_counts[-1]]:.4f}",
+    )
+    report.expect(
+        "bigger-populations-raise-quality-and-efficacy",
+        sizing_quality[sizes[-1]] > sizing_quality[sizes[0]]
+        and sizing_hits[sizes[-1]] >= sizing_hits[sizes[0]],
+        f"quality {sizing_quality[sizes[0]]:.4f} -> {sizing_quality[sizes[-1]]:.4f}, "
+        f"hit rate {sizing_hits[sizes[0]]:.2f} -> {sizing_hits[sizes[-1]]:.2f}",
+    )
+    return report

@@ -1,0 +1,136 @@
+"""E7 — hierarchical GA with multiple model fidelities (Sefrioui & Périaux).
+
+"The architecture allowed mix of a simple and complex models, but it
+achieved the same quality as reached by only complex models.  This
+solutions gave the same quality results of the nozzle reconstruction but
+it was three times faster when compared with the complex models."
+
+We race a 3-layer :class:`HierarchicalGA` (truth model only at the top
+deme, cheap models below) against a same-deme-count island ensemble that
+evaluates *everything* at the truth fidelity, on the transonic-wing
+surrogate.  Cost is in work units (evaluations x fidelity cost).  Shape:
+the hierarchy reaches the all-complex ensemble's quality at a fraction of
+the work — the survey's "three times faster" is the target factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import GAConfig
+from ..migration.policy import MigrationPolicy
+from ..migration.schedule import PeriodicSchedule
+from ..parallel.hierarchical import HierarchicalGA
+from ..parallel.island import IslandModel
+from ..problems.applications.wing import TransonicWingDesign
+from .report import ExperimentReport, SeriesSpec, TableSpec
+
+__all__ = ["run"]
+
+
+def _hga_curve(seed: int, *, epochs: int, pop: int) -> tuple[list[float], list[float]]:
+    """(work_units, best) curves for the hierarchical run."""
+    problem = TransonicWingDesign()
+    hga = HierarchicalGA(
+        problem,
+        GAConfig(population_size=pop, elitism=1),
+        layers=3,
+        branching=2,
+        migration_interval=3,
+        seed=seed,
+    )
+    hga.run(max_epochs=epochs)
+    return hga.work_curve, hga.best_curve
+
+
+def _complex_curve(seed: int, *, epochs: int, pop: int) -> tuple[list[float], list[float]]:
+    """Same deme count (7), all at the truth fidelity."""
+    problem = TransonicWingDesign()
+    truth = problem.view(problem.highest_fidelity())
+    model = IslandModel(
+        truth,
+        7,
+        GAConfig(population_size=pop, elitism=1),
+        policy=MigrationPolicy(rate=1, selection="best"),
+        schedule=PeriodicSchedule(3),
+        seed=seed,
+    )
+    cost = float(problem.costs[-1])
+    works, bests = [], []
+    model.initialize()
+    works.append(model.total_evaluations() * cost)
+    bests.append(model.global_best().require_fitness())
+    for _ in range(epochs):
+        model.step_epoch()
+        works.append(model.total_evaluations() * cost)
+        bests.append(model.global_best().require_fitness())
+    return works, bests
+
+
+def _work_to_reach(works: list[float], bests: list[float], target: float) -> float:
+    """First work level at which best <= target (minimisation)."""
+    for w, b in zip(works, bests):
+        if b <= target:
+            return w
+    return float("inf")
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E7",
+        title="Hierarchical multi-fidelity GA vs all-complex-model ensemble",
+    )
+    seeds = range(2) if quick else range(5)
+    epochs = 20 if quick else 50
+    pop = 16 if quick else 24
+
+    ratios, targets = [], []
+    rep_series = None
+    for s in seeds:
+        hw, hb = _hga_curve(900 + s, epochs=epochs, pop=pop)
+        cw, cb = _complex_curve(900 + s, epochs=epochs, pop=pop)
+        # matched-quality point: the worse of the two finals, which both
+        # curves provably reach — "same quality" in Sefrioui's claim
+        target = max(cb[-1], hb[-1])
+        w_h = _work_to_reach(hw, hb, target)
+        w_c = _work_to_reach(cw, cb, target)
+        if np.isfinite(w_h) and w_h > 0:
+            ratios.append(w_c / w_h)
+            targets.append(target)
+        if rep_series is None:
+            rep_series = SeriesSpec(
+                title="Best drag vs work units (one representative seed)",
+                x_label="work units",
+                y_label="best drag coefficient",
+            )
+            rep_series.add("hierarchical (mixed fidelity)", hw, hb)
+            rep_series.add("all-complex ensemble", cw, cb)
+    if rep_series is not None:
+        report.series.append(rep_series)
+
+    table = TableSpec(
+        title="Work to reach the matched quality level (worse of the two finals)",
+        columns=["seed", "speed ratio (complex work / HGA work)"],
+    )
+    for i, r in enumerate(ratios):
+        table.add_row(i, round(r, 2))
+    table.add_row("median", round(float(np.median(ratios)), 2) if ratios else float("nan"))
+    report.tables.append(table)
+
+    med = float(np.median(ratios)) if ratios else 0.0
+    report.expect(
+        "hierarchy-reaches-complex-quality-with-less-work",
+        bool(ratios) and med > 1.0,
+        f"median speed ratio {med:.2f}x",
+    )
+    report.expect(
+        "speedup-factor-near-the-claimed-3x",
+        bool(ratios) and med >= 1.5,
+        f"median {med:.2f}x vs the paper's ~3x (same order of magnitude "
+        "expected, not the exact factor)",
+    )
+    report.notes.append(
+        "Fidelity costs 1:6:36 mirror a CFD stack; the hierarchy spends "
+        "most evaluations at the cheap levels and promotes winners upward."
+    )
+    return report

@@ -1,0 +1,120 @@
+"""E8 — specialized island model scenarios (Xiao & Amstrong 2003).
+
+"Seven scenarios of the model with a different number of subEAs,
+communication topology and specialization are tested and the results are
+compared."
+
+We run the seven standard scenarios on ZDT1 and compare the hypervolume of
+each scenario's non-dominated archive (fixed per-subEA budget so scenarios
+with more subEAs also spend more total evaluations, as in the original —
+plus a per-evaluation-normalised column for the fair view).  Shapes:
+objective specialisation beats no specialisation; mixed-weight subEAs
+(S5-S7) populate the centre of the front; denser topologies help the
+specialised scenarios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import GAConfig
+from ..parallel.specialized import SpecializedIslandModel, standard_scenarios
+from ..problems.multiobjective import ZDT1
+from .report import ExperimentReport, SeriesSpec, TableSpec
+
+__all__ = ["run"]
+
+HV_REFERENCE = (1.1, 7.0)  # safely dominates random ZDT1 objective vectors
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E8",
+        title="Specialized island model: seven scenarios on ZDT1",
+    )
+    seeds = range(2) if quick else range(4)
+    epochs = 12 if quick else 30
+    pop = 24 if quick else 40
+    dims = 10 if quick else 20
+
+    table = TableSpec(
+        title="Scenario comparison (hypervolume w.r.t. (1.1, 7.0), means over seeds)",
+        columns=["scenario", "subEAs", "topology", "hypervolume", "hv / kEval", "archive"],
+    )
+    fig = SeriesSpec(
+        title="Final non-dominated fronts (one seed)",
+        x_label="f1",
+        y_label="f2",
+    )
+    hv: dict[str, float] = {}
+    extremes: dict[str, tuple[float, float]] = {}  # (min f1, min f2) over seeds
+    for scen in standard_scenarios():
+        hvs, per_eval, archives = [], [], []
+        min_f1, min_f2 = np.inf, np.inf
+        front = None
+        for s in seeds:
+            model = SpecializedIslandModel(
+                ZDT1(dims=dims),
+                scen,
+                GAConfig(population_size=pop, elitism=1),
+                hv_reference=HV_REFERENCE,
+                seed=1100 + s,
+            )
+            res = model.run(epochs=epochs)
+            hvs.append(res.hypervolume)
+            per_eval.append(res.hypervolume / (res.evaluations / 1000.0))
+            archives.append(res.archive_size)
+            if res.archive_objectives.shape[0]:
+                min_f1 = min(min_f1, float(res.archive_objectives[:, 0].min()))
+                min_f2 = min(min_f2, float(res.archive_objectives[:, 1].min()))
+            if front is None and res.archive_objectives.shape[0]:
+                front = res.archive_objectives
+        hv[scen.name] = float(np.mean(hvs))
+        extremes[scen.name] = (min_f1, min_f2)
+        table.add_row(
+            scen.name,
+            scen.n_subeas,
+            scen.topology,
+            round(hv[scen.name], 3),
+            round(float(np.mean(per_eval)), 3),
+            round(float(np.mean(archives)), 1),
+        )
+        if front is not None and scen.name in ("S1-aggregate", "S4-spec-complete", "S7-four-mixed"):
+            order = np.argsort(front[:, 0])
+            fig.add(scen.name, front[order, 0].tolist(), front[order, 1].tolist())
+    report.tables.append(table)
+    report.series.append(fig)
+
+    report.expect(
+        "every-scenario-yields-a-nontrivial-front",
+        all(hv[k] > 0 for k in hv)
+        and all(np.isfinite(extremes[k][0]) for k in extremes),
+        f"hypervolumes span {min(hv.values()):.3f} – {max(hv.values()):.3f}",
+    )
+    report.expect(
+        "specialists-reach-the-f1-extreme",
+        extremes["S4-spec-complete"][0] <= extremes["S1-aggregate"][0] + 1e-9,
+        f"min f1: specialists {extremes['S4-spec-complete'][0]:.4f} vs "
+        f"aggregate {extremes['S1-aggregate'][0]:.4f}",
+    )
+    best_mixed = max(
+        hv["S5-spec+agg-ring"], hv["S6-spec+agg-complete"], hv["S7-four-mixed"]
+    )
+    report.expect(
+        "mixed-specialisation-beats-single-aggregate",
+        best_mixed > hv["S1-aggregate"],
+        f"best mixed scenario {best_mixed:.3f} vs S1 {hv['S1-aggregate']:.3f} "
+        "(SIM's conclusion: specialisation pays when combined with mixed-"
+        "weight subEAs covering the front's interior)",
+    )
+    report.expect(
+        "adding-mixed-weight-subEAs-helps",
+        best_mixed >= hv["S4-spec-complete"],
+        "best of S5/S6/S7 vs S4",
+    )
+    report.notes.append(
+        "Pure specialists (S3/S4) excel at the front extremes but leave the "
+        "interior to chance; hypervolume therefore favours scenarios mixing "
+        "specialists with aggregate/mixed-weight subEAs (S5-S7)."
+    )
+    return report

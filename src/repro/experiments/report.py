@@ -1,0 +1,163 @@
+"""Experiment report structures and ASCII rendering.
+
+Every experiment runner returns an :class:`ExperimentReport` — tables
+(rows the paper's tables would hold), series (the curves its figures would
+plot) and *expectations*: named boolean checks that the claimed shape
+(who wins, what saturates, what orders how) actually held in this run.
+Benchmarks assert the expectations; EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["TableSpec", "SeriesSpec", "Expectation", "ExperimentReport", "render_table", "render_series"]
+
+
+@dataclass
+class TableSpec:
+    """One table: column headers + rows of cells."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> list[Any]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        return render_table(self)
+
+
+@dataclass
+class SeriesSpec:
+    """One figure: named (x, y) series sharing axes."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
+
+    def add(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+        self.series[name] = (list(xs), list(ys))
+
+    def render(self, width: int = 60, height: int = 16) -> str:
+        return render_series(self, width=width, height=height)
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One named shape-check with its observed outcome."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}" + (f" — {self.detail}" if self.detail else "")
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    tables: list[TableSpec] = field(default_factory=list)
+    series: list[SeriesSpec] = field(default_factory=list)
+    expectations: list[Expectation] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def expect(self, name: str, passed: bool, detail: str = "") -> None:
+        self.expectations.append(Expectation(name=name, passed=bool(passed), detail=detail))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(e.passed for e in self.expectations)
+
+    def failed(self) -> list[Expectation]:
+        return [e for e in self.expectations if not e.passed]
+
+    def render(self) -> str:
+        parts = [f"=== {self.experiment_id}: {self.title} ==="]
+        for t in self.tables:
+            parts.append(t.render())
+        for s in self.series:
+            parts.append(s.render())
+        if self.expectations:
+            parts.append("Expectations:")
+            parts.extend(f"  {e}" for e in self.expectations)
+        for n in self.notes:
+            parts.append(f"note: {n}")
+        return "\n\n".join(parts)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if cell == 0 or (1e-3 <= abs(cell) < 1e6):
+            return f"{cell:.4g}"
+        return f"{cell:.3e}"
+    return str(cell)
+
+
+def render_table(table: TableSpec) -> str:
+    """Plain-text table with aligned columns."""
+    header = list(table.columns)
+    body = [[_fmt(c) for c in row] for row in table.rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [table.title]
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for r in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series(spec: SeriesSpec, width: int = 60, height: int = 16) -> str:
+    """Crude ASCII line plot — enough to eyeball curve shapes in a terminal."""
+    lines = [f"{spec.title}   (y: {spec.y_label}, x: {spec.x_label})"]
+    all_x = [x for xs, _ in spec.series.values() for x in xs]
+    all_y = [y for _, ys in spec.series.values() for y in ys]
+    if not all_x:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for k, (name, (xs, ys)) in enumerate(spec.series.items()):
+        m = markers[k % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = m
+    lines.append(f"{y_hi:.4g}".rjust(10))
+    for row in canvas:
+        lines.append(" " * 10 + "|" + "".join(row))
+    lines.append(f"{y_lo:.4g}".rjust(10) + "+" + "-" * width)
+    lines.append(" " * 11 + f"{x_lo:.4g}".ljust(width // 2) + f"{x_hi:.4g}".rjust(width // 2))
+    legend = "   ".join(
+        f"{markers[k % len(markers)]}={name}" for k, name in enumerate(spec.series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Efficacy and evaluations-to-solution statistics over repeated runs.
+
+The survey (footnote 2): "Efficacy means having the power to produce a
+desired effect.  It is a measure that calculates the number of hits in
+finding a solution of a problem."  Stochastic-algorithm comparisons need
+hit rates and expected evaluations computed over many independent seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["RunOutcome", "EfficacyReport", "summarize_runs", "repeat_runs"]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Minimal record of one independent run."""
+
+    solved: bool
+    evaluations: int
+    best_fitness: float
+    time: float | None = None
+
+
+@dataclass(frozen=True)
+class EfficacyReport:
+    """Aggregate over independent runs."""
+
+    runs: int
+    hits: int
+    efficacy: float                 # hit rate in [0, 1]
+    mean_evaluations_hit: float     # mean evaluations among successful runs
+    median_evaluations_hit: float
+    mean_best: float
+    std_best: float
+    expected_evaluations: float     # total evals / hits (inf if no hits)
+    mean_time: float | None = None
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "runs": self.runs,
+            "hits": self.hits,
+            "efficacy": self.efficacy,
+            "mean_evals_hit": self.mean_evaluations_hit,
+            "median_evals_hit": self.median_evaluations_hit,
+            "mean_best": self.mean_best,
+            "std_best": self.std_best,
+            "expected_evals": self.expected_evaluations,
+        }
+
+
+def summarize_runs(outcomes: Sequence[RunOutcome]) -> EfficacyReport:
+    """Fold run outcomes into an efficacy report."""
+    if not outcomes:
+        raise ValueError("need at least one run outcome")
+    hits = [o for o in outcomes if o.solved]
+    bests = np.asarray([o.best_fitness for o in outcomes], dtype=float)
+    hit_evals = np.asarray([o.evaluations for o in hits], dtype=float)
+    total_evals = float(sum(o.evaluations for o in outcomes))
+    times = [o.time for o in outcomes if o.time is not None]
+    return EfficacyReport(
+        runs=len(outcomes),
+        hits=len(hits),
+        efficacy=len(hits) / len(outcomes),
+        mean_evaluations_hit=float(hit_evals.mean()) if len(hits) else float("nan"),
+        median_evaluations_hit=float(np.median(hit_evals)) if len(hits) else float("nan"),
+        mean_best=float(bests.mean()),
+        std_best=float(bests.std()),
+        expected_evaluations=(total_evals / len(hits)) if hits else float("inf"),
+        mean_time=float(np.mean(times)) if times else None,
+    )
+
+
+def repeat_runs(
+    run_fn: Callable[[int], RunOutcome],
+    n_runs: int,
+    *,
+    base_seed: int = 0,
+) -> EfficacyReport:
+    """Execute ``run_fn(seed)`` for ``n_runs`` distinct seeds and summarise."""
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    outcomes = [run_fn(base_seed + i) for i in range(n_runs)]
+    return summarize_runs(outcomes)

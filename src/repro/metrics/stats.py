@@ -1,0 +1,121 @@
+"""Statistical comparison of stochastic optimisers.
+
+Comparisons like E4's policy tables or E12's island-vs-sequential column
+are means over few seeds; a production framework should also say whether a
+difference is *significant* and how big it is.  Standard non-parametric
+tooling for evolutionary computation: Mann–Whitney rank-sum (no normality
+assumption), the Vargha–Delaney A12 effect size, and bootstrap confidence
+intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from ..core.rng import ensure_rng
+
+__all__ = ["Comparison", "compare_samples", "a12_effect_size", "bootstrap_ci"]
+
+
+def a12_effect_size(a: Sequence[float], b: Sequence[float]) -> float:
+    """Vargha–Delaney A12: P(a > b) + 0.5 P(a = b).
+
+    0.5 = no difference; > 0.71 conventionally 'large' (when bigger is
+    better for the measure at hand).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    greater = (a[:, None] > b[None, :]).sum()
+    equal = (a[:, None] == b[None, :]).sum()
+    return float((greater + 0.5 * equal) / (a.size * b.size))
+
+
+def bootstrap_ci(
+    sample: Sequence[float],
+    *,
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``statistic``."""
+    x = np.asarray(sample, dtype=float)
+    if x.size == 0:
+        raise ValueError("sample must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    rng = ensure_rng(seed)
+    idx = rng.integers(0, x.size, size=(n_boot, x.size))
+    boots = np.asarray([statistic(x[row]) for row in idx])
+    lo = float(np.percentile(boots, 100 * (1 - confidence) / 2))
+    hi = float(np.percentile(boots, 100 * (1 + confidence) / 2))
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing two samples of a 'bigger is better' measure."""
+
+    mean_a: float
+    mean_b: float
+    median_a: float
+    median_b: float
+    p_value: float
+    a12: float
+    n_a: int
+    n_b: int
+
+    @property
+    def significant(self) -> bool:
+        """Conventional 5% two-sided significance."""
+        return self.p_value < 0.05
+
+    @property
+    def winner(self) -> str:
+        """'a', 'b' or 'tie' — by A12 direction when significant."""
+        if not self.significant:
+            return "tie"
+        return "a" if self.a12 > 0.5 else "b"
+
+    def summary(self) -> str:
+        return (
+            f"a: mean {self.mean_a:.4g} (n={self.n_a}) vs "
+            f"b: mean {self.mean_b:.4g} (n={self.n_b}); "
+            f"p={self.p_value:.3g}, A12={self.a12:.2f} -> {self.winner}"
+        )
+
+
+def compare_samples(
+    a: Sequence[float], b: Sequence[float], *, maximize: bool = True
+) -> Comparison:
+    """Mann–Whitney comparison of two runs' outcome samples.
+
+    ``maximize=False`` flips signs first so 'a wins' always means a is the
+    better optimiser.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("need >= 2 observations per sample")
+    if not maximize:
+        a, b = -a, -b
+    if np.all(a == a[0]) and np.all(b == b[0]) and a[0] == b[0]:
+        p = 1.0  # identical constant samples — scipy would warn
+    else:
+        p = float(sps.mannwhitneyu(a, b, alternative="two-sided").pvalue)
+    return Comparison(
+        mean_a=float(a.mean()) if maximize else float(-a.mean()),
+        mean_b=float(b.mean()) if maximize else float(-b.mean()),
+        median_a=float(np.median(a)) if maximize else float(-np.median(a)),
+        median_b=float(np.median(b)) if maximize else float(-np.median(b)),
+        p_value=p,
+        a12=a12_effect_size(a, b),
+        n_a=int(a.size),
+        n_b=int(b.size),
+    )

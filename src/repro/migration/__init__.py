@@ -1,0 +1,24 @@
+"""Migration machinery: policies (who), schedules (when), synchrony (how)."""
+
+from .policy import MigrationPolicy, integrate_immigrants, select_migrants
+from .schedule import (
+    MigrationSchedule,
+    NeverSchedule,
+    PeriodicSchedule,
+    ProbabilisticSchedule,
+    StagnationTriggeredSchedule,
+)
+from .synchrony import MigrationBuffer, Synchrony
+
+__all__ = [
+    "MigrationPolicy",
+    "select_migrants",
+    "integrate_immigrants",
+    "MigrationSchedule",
+    "PeriodicSchedule",
+    "ProbabilisticSchedule",
+    "StagnationTriggeredSchedule",
+    "NeverSchedule",
+    "MigrationBuffer",
+    "Synchrony",
+]

@@ -1,0 +1,124 @@
+"""Migration schedules: *when* demes exchange individuals.
+
+Alba & Troya (2000) "investigated the influence of migration frequency" —
+the interval between exchanges.  Besides the classic periodic epoch we
+provide probabilistic and adaptive (stagnation-triggered) schedules.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MigrationSchedule",
+    "PeriodicSchedule",
+    "ProbabilisticSchedule",
+    "StagnationTriggeredSchedule",
+    "NeverSchedule",
+]
+
+
+class MigrationSchedule(abc.ABC):
+    """Predicate: should deme ``deme`` migrate at generation ``generation``?"""
+
+    @abc.abstractmethod
+    def should_migrate(
+        self,
+        deme: int,
+        generation: int,
+        rng: np.random.Generator,
+        *,
+        stagnant_generations: int = 0,
+    ) -> bool: ...
+
+
+@dataclass(frozen=True)
+class PeriodicSchedule(MigrationSchedule):
+    """Every ``interval`` generations (the *migration frequency* knob).
+
+    ``interval=1`` is maximal coupling; large intervals approach isolation.
+    """
+
+    interval: int = 5
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError(f"interval must be >= 1, got {self.interval}")
+
+    def should_migrate(
+        self,
+        deme: int,
+        generation: int,
+        rng: np.random.Generator,
+        *,
+        stagnant_generations: int = 0,
+    ) -> bool:
+        return generation > 0 and generation % self.interval == 0
+
+
+@dataclass(frozen=True)
+class ProbabilisticSchedule(MigrationSchedule):
+    """Migrate each generation independently with probability ``prob``.
+
+    Desynchronises demes even under a synchronous stepping loop — a cheap
+    model of the asynchronous behaviour Alba & Troya (2001) analyze.
+    """
+
+    prob: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"prob must be in [0,1], got {self.prob}")
+
+    def should_migrate(
+        self,
+        deme: int,
+        generation: int,
+        rng: np.random.Generator,
+        *,
+        stagnant_generations: int = 0,
+    ) -> bool:
+        return generation > 0 and rng.random() < self.prob
+
+
+@dataclass(frozen=True)
+class StagnationTriggeredSchedule(MigrationSchedule):
+    """Migrate only when a deme has stagnated ``patience`` generations.
+
+    An *adaptive* policy: fresh genes arrive exactly when a deme's own
+    search has flattened (punctuated-equilibria flavoured).
+    """
+
+    patience: int = 5
+
+    def __post_init__(self) -> None:
+        if self.patience < 1:
+            raise ValueError(f"patience must be >= 1, got {self.patience}")
+
+    def should_migrate(
+        self,
+        deme: int,
+        generation: int,
+        rng: np.random.Generator,
+        *,
+        stagnant_generations: int = 0,
+    ) -> bool:
+        return stagnant_generations >= self.patience
+
+
+@dataclass(frozen=True)
+class NeverSchedule(MigrationSchedule):
+    """No migration ever — turns an island model into isolated demes."""
+
+    def should_migrate(
+        self,
+        deme: int,
+        generation: int,
+        rng: np.random.Generator,
+        *,
+        stagnant_generations: int = 0,
+    ) -> bool:
+        return False

@@ -1,0 +1,118 @@
+"""Synchronous vs asynchronous migrant exchange.
+
+"[Migration] is of two types — synchronous/asynchronous" (survey §1.1);
+Alba & Troya (2001) showed the choice "could affect the evaluation efforts
+and also provoke some differences in the search time and speedup".
+
+The island model posts emigrants into per-deme :class:`MigrationBuffer`
+mailboxes.  In *synchronous* mode a barrier empties all mailboxes at the
+same epoch — every deme sees migrants from the same generation.  In
+*asynchronous* mode each deme drains its mailbox whenever it happens to
+step, so migrants may be one or more generations stale (``delay`` models
+network latency in generations).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.individual import Individual
+
+__all__ = ["MigrationBuffer", "Synchrony"]
+
+
+@dataclass
+class _Parcel:
+    """A batch of migrants in flight."""
+
+    migrants: list[Individual]
+    source: int
+    sent_at: int  # generation (or logical time) of sending
+
+
+class MigrationBuffer:
+    """Mailbox of in-flight migrant parcels for one destination deme.
+
+    Parameters
+    ----------
+    delay:
+        Minimum number of epochs a parcel stays in flight (asynchronous
+        latency model).  0 = instantaneous delivery.
+    capacity:
+        Maximum parcels held; older parcels are dropped first on overflow
+        (models bounded mailbox memory).
+    """
+
+    def __init__(self, delay: int = 0, capacity: int | None = None) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.delay = delay
+        self.capacity = capacity
+        self._parcels: deque[_Parcel] = deque()
+        self.dropped = 0
+
+    def post(self, migrants: list[Individual], source: int, sent_at: int) -> None:
+        """Deposit a parcel (no-op for empty migrant lists)."""
+        if not migrants:
+            return
+        self._parcels.append(_Parcel(list(migrants), source, sent_at))
+        if self.capacity is not None:
+            while len(self._parcels) > self.capacity:
+                self._parcels.popleft()
+                self.dropped += 1
+
+    def collect(self, now: int) -> list[tuple[int, list[Individual]]]:
+        """Withdraw every parcel whose latency has elapsed.
+
+        Returns ``(source, migrants)`` pairs in arrival order.
+        """
+        ready: list[tuple[int, list[Individual]]] = []
+        remaining: deque[_Parcel] = deque()
+        for parcel in self._parcels:
+            if now - parcel.sent_at >= self.delay:
+                ready.append((parcel.source, parcel.migrants))
+            else:
+                remaining.append(parcel)
+        self._parcels = remaining
+        return ready
+
+    def __len__(self) -> int:
+        return len(self._parcels)
+
+    @property
+    def pending(self) -> int:
+        return sum(len(p.migrants) for p in self._parcels)
+
+
+@dataclass(frozen=True)
+class Synchrony:
+    """Exchange-timing mode for an island model.
+
+    ``synchronous=True`` → barrier semantics: all demes advance a generation
+    together, then migrate together (delay forced to 0).
+
+    ``synchronous=False`` → each deme advances at its own (possibly
+    heterogeneous) pace and drains whatever migrants have arrived;
+    ``delay`` epochs of staleness are applied to parcels.
+    """
+
+    synchronous: bool = True
+    delay: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+        if self.synchronous and self.delay != 0:
+            raise ValueError("synchronous exchange cannot have a delivery delay")
+
+    def make_buffer(self) -> MigrationBuffer:
+        return MigrationBuffer(delay=self.delay)
+
+    @property
+    def name(self) -> str:
+        if self.synchronous:
+            return "sync"
+        return f"async(delay={self.delay})"

@@ -1,0 +1,71 @@
+"""Parallel GA models: the survey's full taxonomy.
+
+- global / master-slave  → :class:`MasterSlaveGA`, :class:`SimulatedMasterSlave`
+- coarse-grained (island) → :class:`IslandModel`, :class:`SimulatedIslandModel`
+- fine-grained (cellular) → :class:`CellularGA`
+- hierarchical multi-fidelity → :class:`HierarchicalGA`
+- specialized island model → :class:`SpecializedIslandModel`
+- hybrids → :class:`CellularIslandModel`, :class:`MasterSlaveIslandModel`
+"""
+
+from .async_master_slave import AsyncMasterSlaveReport, SimulatedAsyncMasterSlave
+from .cellular import UPDATE_POLICIES, CellularGA, CellularResult
+from .cellular_distributed import DistributedCellularGA, DistributedCellularReport
+from .classification import (
+    GrainModel,
+    ModelClassification,
+    ParallelismKind,
+    ProgrammingModel,
+    WalkStrategy,
+)
+from .hierarchical import HierarchicalGA, HierarchicalResult
+from .hybrid import CellularIslandModel, HybridResult, MasterSlaveIslandModel
+from .island import (
+    EpochRecord,
+    IslandModel,
+    IslandResult,
+    SimulatedIslandModel,
+    engine_class_by_name,
+)
+from .pool import PooledEvolution, PoolResult
+from .master_slave import MasterSlaveGA, MasterSlaveReport, SimulatedMasterSlave
+from .specialized import (
+    SIMResult,
+    SIMScenario,
+    SpecializedIslandModel,
+    standard_scenarios,
+)
+
+__all__ = [
+    "GrainModel",
+    "WalkStrategy",
+    "ParallelismKind",
+    "ProgrammingModel",
+    "ModelClassification",
+    "IslandModel",
+    "SimulatedIslandModel",
+    "IslandResult",
+    "EpochRecord",
+    "engine_class_by_name",
+    "MasterSlaveGA",
+    "SimulatedMasterSlave",
+    "MasterSlaveReport",
+    "CellularGA",
+    "CellularResult",
+    "UPDATE_POLICIES",
+    "HierarchicalGA",
+    "HierarchicalResult",
+    "SpecializedIslandModel",
+    "SIMScenario",
+    "SIMResult",
+    "standard_scenarios",
+    "CellularIslandModel",
+    "MasterSlaveIslandModel",
+    "HybridResult",
+    "PooledEvolution",
+    "PoolResult",
+    "DistributedCellularGA",
+    "DistributedCellularReport",
+    "SimulatedAsyncMasterSlave",
+    "AsyncMasterSlaveReport",
+]

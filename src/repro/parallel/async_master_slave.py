@@ -1,0 +1,188 @@
+"""Asynchronous (steady-state) master-slave farm.
+
+Grefenstette (1981) "proposed four PGA types and the first three were a
+sort of global PGAs.  They differed in accessing to (global) shared
+memories."  The generation-free variant: the master keeps every slave busy
+with exactly one individual at a time; whenever *any* evaluation returns,
+the result is inserted steady-state and a fresh offspring is bred and
+dispatched immediately.  No barrier — a slow slave delays only its own
+individual, so heterogeneous farms stay fully utilised (the weakness of
+the synchronous farm E2/E9 quantify).
+
+:class:`SimulatedAsyncMasterSlave` measures utilisation and time on the
+simulated cluster; genetics are a steady-state GA whose insertion order
+depends on completion order (so, unlike the synchronous farm, the
+trajectory legitimately depends on machine speeds — that *is* the model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.machine import SimulatedCluster
+from ..core.config import GAConfig
+from ..core.individual import Individual, best_of
+from ..core.problem import Problem
+from ..core.rng import ensure_rng
+from ..core.variation import offspring_pair
+from .classification import (
+    GrainModel,
+    ModelClassification,
+    ParallelismKind,
+    ProgrammingModel,
+    WalkStrategy,
+)
+
+__all__ = ["SimulatedAsyncMasterSlave", "AsyncMasterSlaveReport"]
+
+
+@dataclass
+class AsyncMasterSlaveReport:
+    """Outcome of an asynchronous farm run."""
+
+    best: Individual
+    evaluations: int
+    sim_time: float
+    solved: bool
+    utilisation: list[float]   # busy fraction per slave
+    completions: list[int]     # evaluations completed per slave
+
+    @property
+    def best_fitness(self) -> float:
+        return self.best.require_fitness()
+
+    @property
+    def mean_utilisation(self) -> float:
+        return float(np.mean(self.utilisation)) if self.utilisation else 0.0
+
+
+class SimulatedAsyncMasterSlave:
+    """Continuous-dispatch steady-state farm on a simulated cluster.
+
+    Implemented directly on the event heap (no coroutine per slave needed):
+    the master tracks each slave's next completion time, always advancing
+    to the earliest one — a textbook discrete-event loop.
+
+    Parameters
+    ----------
+    problem, config:
+        ``config.population_size`` is the shared population;
+        ``config.replacement`` the steady-state insertion rule.
+    cluster:
+        Node 0 = master, nodes 1.. = slaves (speeds may differ, and it
+        pays: fast slaves simply complete more evaluations).
+    eval_cost:
+        Simulated seconds per evaluation at speed 1.
+    """
+
+    classification = ModelClassification(
+        grain=GrainModel.GLOBAL,
+        walk=WalkStrategy.SINGLE,
+        parallelism=ParallelismKind.DATA,
+        programming=ProgrammingModel.CENTRALIZED,
+    )
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: GAConfig | None = None,
+        *,
+        cluster: SimulatedCluster,
+        eval_cost: float = 1e-2,
+        seed: int | None = None,
+    ) -> None:
+        if cluster.n_nodes < 2:
+            raise ValueError("async master-slave needs >= 2 nodes")
+        if eval_cost <= 0:
+            raise ValueError(f"eval_cost must be positive, got {eval_cost}")
+        self.problem = problem
+        self.config = (config or GAConfig()).resolved_for(problem.spec)
+        self.cluster = cluster
+        self.eval_cost = eval_cost
+        self.rng = ensure_rng(seed)
+        self.population: list[Individual] = []
+        self.evaluations = 0
+
+    def _round_trip(self, slave: int) -> float:
+        """Dispatch + compute + reply time for one individual on ``slave``."""
+        net = self.cluster.network
+        send = net.transit_time(0, slave, 100.0)
+        compute = self.cluster.node(slave).compute_time(self.eval_cost)
+        reply = net.transit_time(slave, 0, 8.0)
+        return send + compute + reply
+
+    def _breed_one(self) -> Individual:
+        parents = self.config.selection(self.rng, self.population, 2, self.problem.maximize)
+        a, _ = offspring_pair(
+            self.rng, self.config, self.problem.spec, parents[0], parents[1]
+        )
+        return a
+
+    def _insert(self, child: Individual) -> None:
+        from ..core.population import Population
+
+        pop = Population(self.population, maximize=self.problem.maximize)
+        self.config.replacement(self.rng, pop, child)
+        self.population = pop.individuals
+
+    def run(self, max_evaluations: int = 5_000) -> AsyncMasterSlaveReport:
+        if max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1")
+        # initial population evaluated up-front (charged to the farm below)
+        genomes = self.problem.spec.sample_population(
+            self.rng, self.config.population_size
+        )
+        self.population = []
+        for g in genomes:
+            ind = Individual(genome=g)
+            ind.fitness = self.problem.evaluate(g)
+            self.population.append(ind)
+        self.evaluations = len(self.population)
+
+        n_slaves = self.cluster.n_nodes - 1
+        now = 0.0
+        busy_until = np.zeros(n_slaves)
+        busy_time = np.zeros(n_slaves)
+        completions = [0] * n_slaves
+        in_flight: dict[int, Individual] = {}
+        # prime every slave
+        for s in range(n_slaves):
+            child = self._breed_one()
+            rt = self._round_trip(s + 1)
+            busy_until[s] = now + rt
+            busy_time[s] += rt
+            in_flight[s] = child
+
+        solved = False
+        while self.evaluations < max_evaluations and not solved:
+            s = int(np.argmin(busy_until))
+            now = float(busy_until[s])
+            child = in_flight[s]
+            child.fitness = self.problem.evaluate(child.genome)
+            self.evaluations += 1
+            completions[s] += 1
+            self._insert(child)
+            if self.problem.is_solved(self.global_best().require_fitness()):
+                solved = True
+                break
+            fresh = self._breed_one()
+            rt = self._round_trip(s + 1)
+            busy_until[s] = now + rt
+            busy_time[s] += rt
+            in_flight[s] = fresh
+
+        horizon = max(now, 1e-12)
+        utilisation = [float(min(1.0, busy_time[s] / horizon)) for s in range(n_slaves)]
+        return AsyncMasterSlaveReport(
+            best=self.global_best().copy(),
+            evaluations=self.evaluations,
+            sim_time=now,
+            solved=solved,
+            utilisation=utilisation,
+            completions=completions,
+        )
+
+    def global_best(self) -> Individual:
+        return best_of(self.population, self.problem.maximize)

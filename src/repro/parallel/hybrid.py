@@ -1,0 +1,187 @@
+"""Hybrid PGA models: compositions of the three pure grains.
+
+"At present, hybrid parallelism approaches are also published to … employ
+advantages of both streams" (survey §1.2) and "With the advent of clusters
+of SMP machines, many research works implemented a hybrid model — a
+centralized model within each SMP machine, but running under a distributed
+model within machines in the cluster" (§3.3).
+
+Two canonical hybrids:
+
+:class:`CellularIslandModel`
+    Coarse-grained ring of demes where each deme is itself a *cellular* GA
+    (Alba & Troya's "structured-population (cellular) GAs for the islands").
+
+:class:`MasterSlaveIslandModel`
+    Island model in which each deme farms its fitness evaluations to a
+    local executor — the distributed-between / centralized-within SMP
+    cluster pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import GAConfig
+from ..core.engine import FitnessEvaluator
+from ..core.individual import Individual, best_of
+from ..core.problem import Problem
+from ..core.rng import spawn_rngs
+from ..migration.policy import MigrationPolicy
+from ..migration.schedule import MigrationSchedule, PeriodicSchedule
+from ..topology.static import RingTopology, Topology
+from .cellular import CellularGA
+from .classification import (
+    GrainModel,
+    ModelClassification,
+    ParallelismKind,
+    ProgrammingModel,
+    WalkStrategy,
+)
+from .island import IslandModel
+
+__all__ = ["CellularIslandModel", "MasterSlaveIslandModel", "HybridResult"]
+
+
+@dataclass
+class HybridResult:
+    """Outcome of a hybrid run."""
+
+    best: Individual
+    evaluations: int
+    epochs: int
+    solved: bool
+    deme_bests: list[float] = field(default_factory=list)
+
+    @property
+    def best_fitness(self) -> float:
+        return self.best.require_fitness()
+
+
+class CellularIslandModel:
+    """Ring (or arbitrary topology) of cellular-GA demes.
+
+    Migration sends each deme's best cells to its neighbours, where they
+    replace the worst cells — preserving the cellular structure inside each
+    island while adding the island model's coarse-grained diversity.
+    """
+
+    classification = ModelClassification(
+        grain=GrainModel.HYBRID,
+        walk=WalkStrategy.MULTIPLE,
+        parallelism=ParallelismKind.HYBRID,
+        programming=ProgrammingModel.DISTRIBUTED,
+    )
+
+    def __init__(
+        self,
+        problem: Problem,
+        n_islands: int,
+        config: GAConfig | None = None,
+        *,
+        rows: int = 8,
+        cols: int = 8,
+        topology: Topology | None = None,
+        policy: MigrationPolicy | None = None,
+        schedule: MigrationSchedule | None = None,
+        update: str = "synchronous",
+        seed: int | None = None,
+    ) -> None:
+        if n_islands < 1:
+            raise ValueError(f"need >= 1 island, got {n_islands}")
+        self.problem = problem
+        self.topology = topology or RingTopology(n_islands)
+        if self.topology.size != n_islands:
+            raise ValueError("topology size must equal n_islands")
+        self.policy = policy or MigrationPolicy(rate=2, replacement="worst")
+        self.schedule = schedule or PeriodicSchedule(5)
+        rngs = spawn_rngs(seed, n_islands + 1)
+        self.rng = rngs[-1]
+        self.demes = [
+            CellularGA(
+                problem,
+                config,
+                rows=rows,
+                cols=cols,
+                update=update,
+                seed=rngs[i],
+            )
+            for i in range(n_islands)
+        ]
+        self.epoch = 0
+
+    def initialize(self) -> None:
+        for deme in self.demes:
+            deme.initialize()
+
+    def step_epoch(self) -> None:
+        if not self.demes[0].grid:
+            self.initialize()
+        self.epoch += 1
+        for deme in self.demes:
+            deme.step()
+        for i, deme in enumerate(self.demes):
+            if self.schedule.should_migrate(i, self.epoch, self.rng):
+                ranked = sorted(
+                    range(deme.n_cells),
+                    key=lambda c: deme.grid[c].require_fitness(),
+                    reverse=self.problem.maximize,
+                )
+                for dst in self.topology.neighbors_out(i):
+                    migrants = [deme.grid[c].copy() for c in ranked[: self.policy.rate]]
+                    self._place_migrants(self.demes[dst], migrants)
+
+    def _place_migrants(self, deme: CellularGA, migrants: list[Individual]) -> None:
+        """Immigrants replace the destination's worst cells in place."""
+        ranked = sorted(
+            range(deme.n_cells),
+            key=lambda c: deme.grid[c].require_fitness(),
+            reverse=not self.problem.maximize,  # worst first
+        )
+        for cell, migrant in zip(ranked, migrants):
+            deme.grid[cell] = migrant.copy(origin="migrant")
+
+    def global_best(self) -> Individual:
+        return best_of([d.best_so_far for d in self.demes], self.problem.maximize)
+
+    def total_evaluations(self) -> int:
+        return sum(d.evaluations for d in self.demes)
+
+    def _solved(self) -> bool:
+        return self.problem.is_solved(self.global_best().require_fitness())
+
+    def run(self, epochs: int = 100) -> HybridResult:
+        if not self.demes[0].grid:
+            self.initialize()
+        while self.epoch < epochs and not self._solved():
+            self.step_epoch()
+        return HybridResult(
+            best=self.global_best().copy(),
+            evaluations=self.total_evaluations(),
+            epochs=self.epoch,
+            solved=self._solved(),
+            deme_bests=[d.best_so_far.require_fitness() for d in self.demes],
+        )
+
+
+class MasterSlaveIslandModel(IslandModel):
+    """Island model whose demes farm evaluations to local executors.
+
+    Functionally identical to :class:`~repro.parallel.island.IslandModel`
+    (the genetics are unchanged); the difference is that each deme engine
+    evaluates through ``executor`` — the centralized-within-distributed
+    SMP-cluster composition.
+    """
+
+    classification = ModelClassification(
+        grain=GrainModel.HYBRID,
+        walk=WalkStrategy.MULTIPLE,
+        parallelism=ParallelismKind.HYBRID,
+        programming=ProgrammingModel.HYBRID,
+    )
+
+    def __init__(self, *args, executor: FitnessEvaluator | None = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if executor is not None:
+            for deme in self.demes:
+                deme.evaluator = executor

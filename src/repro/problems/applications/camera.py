@@ -1,0 +1,133 @@
+"""Autonomous photogrammetric camera-network design (Olague 2001).
+
+"a system for placing cameras in order to satisfy a set of interrelated
+and competing constrains for three-dimensional objects … taking into
+account the imaging geometry, visibility, convergence angle and workspace
+constraints."
+
+Substitution: target points sit on/near the unit sphere; each camera is a
+point on a viewing sphere of radius R parameterised by (azimuth,
+elevation).  Reconstruction uncertainty of a 3-D point from multiple rays
+falls as rays become mutually orthogonal (optimal convergence ≈ 90°);
+visibility requires cameras above a minimum elevation (the workspace
+floor) and separated from each other.  The fitness aggregates exactly
+Olague's four competing criteria.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.genome import RealVectorSpec
+from ...core.problem import Problem
+from ...core.rng import ensure_rng
+
+__all__ = ["CameraPlacement"]
+
+
+class CameraPlacement(Problem):
+    """Place ``n_cameras`` on a viewing sphere to observe target points.
+
+    Genome: ``[az_1, el_1, az_2, el_2, …]`` normalised to [0, 1]; azimuth
+    spans [0, 2π), elevation spans [floor, π/2].
+
+    Fitness (minimised) = mean reconstruction uncertainty over targets
+    + visibility penalty + clustering penalty.
+    """
+
+    def __init__(
+        self,
+        n_cameras: int = 4,
+        n_targets: int = 30,
+        *,
+        radius: float = 3.0,
+        elevation_floor: float = 0.1,   # radians above the horizon
+        min_separation: float = 0.35,   # radians between cameras
+        seed: int = 0,
+    ) -> None:
+        if n_cameras < 2:
+            raise ValueError(f"need >= 2 cameras for triangulation, got {n_cameras}")
+        rng = ensure_rng(seed)
+        self.n_cameras = n_cameras
+        self.radius = radius
+        self.elevation_floor = elevation_floor
+        self.min_separation = min_separation
+        # random target cloud in the unit ball's upper hemisphere
+        pts = rng.normal(size=(n_targets, 3))
+        pts /= np.linalg.norm(pts, axis=1, keepdims=True)
+        pts *= rng.uniform(0.5, 1.0, size=(n_targets, 1))
+        pts[:, 2] = np.abs(pts[:, 2])
+        self.targets = pts
+        self.spec = RealVectorSpec(2 * n_cameras, 0.0, 1.0)
+        self.maximize = False
+
+    # -- geometry --------------------------------------------------------------------
+    def camera_positions(self, genome: np.ndarray) -> np.ndarray:
+        g = np.asarray(genome, dtype=float).reshape(self.n_cameras, 2)
+        az = g[:, 0] * 2.0 * np.pi
+        el = self.elevation_floor + g[:, 1] * (np.pi / 2.0 - self.elevation_floor)
+        x = np.cos(el) * np.cos(az)
+        y = np.cos(el) * np.sin(az)
+        z = np.sin(el)
+        return self.radius * np.stack([x, y, z], axis=1)
+
+    def _uncertainty(self, cams: np.ndarray) -> float:
+        """Mean triangulation uncertainty over targets.
+
+        For each target, rays to all cameras; uncertainty of a pair decays
+        with sin of the convergence angle (90° is ideal); the target's
+        score is the best pair's, averaged over targets.
+        """
+        total = 0.0
+        for t in self.targets:
+            rays = cams - t[None, :]
+            rays /= np.linalg.norm(rays, axis=1, keepdims=True)
+            cosang = np.clip(rays @ rays.T, -1.0, 1.0)
+            iu = np.triu_indices(self.n_cameras, 1)
+            sin2 = 1.0 - cosang[iu] ** 2
+            best = float(sin2.max())
+            total += 1.0 / max(best, 1e-6)
+        return total / self.targets.shape[0]
+
+    def _visibility_penalty(self, cams: np.ndarray) -> float:
+        """Targets should be in front of (not occluded by) the hemisphere rim.
+
+        A target is poorly visible from a camera when the view ray grazes
+        the horizon — approximate by penalising cameras whose elevation to
+        any target dips below the workspace floor.
+        """
+        penalty = 0.0
+        for c in cams:
+            to_targets = self.targets - c[None, :]
+            d = np.linalg.norm(to_targets, axis=1)
+            # angle of the ray below the camera's local horizontal
+            sin_drop = -to_targets[:, 2] / d
+            worst = float(np.max(sin_drop))
+            threshold = np.sin(np.pi / 2 - self.elevation_floor)
+            penalty += max(0.0, worst - threshold) * 10.0
+        return penalty
+
+    def _separation_penalty(self, cams: np.ndarray) -> float:
+        unit = cams / np.linalg.norm(cams, axis=1, keepdims=True)
+        cosang = np.clip(unit @ unit.T, -1.0, 1.0)
+        iu = np.triu_indices(self.n_cameras, 1)
+        ang = np.arccos(cosang[iu])
+        viol = np.maximum(0.0, self.min_separation - ang)
+        return float(20.0 * (viol**2).sum())
+
+    # -- Problem interface -----------------------------------------------------------------
+    def evaluate(self, genome: np.ndarray) -> float:
+        cams = self.camera_positions(genome)
+        return (
+            self._uncertainty(cams)
+            + self._visibility_penalty(cams)
+            + self._separation_penalty(cams)
+        )
+
+    def convergence_angles(self, genome: np.ndarray) -> np.ndarray:
+        """Pairwise camera convergence angles (radians) — for inspection."""
+        cams = self.camera_positions(genome)
+        unit = cams / np.linalg.norm(cams, axis=1, keepdims=True)
+        cosang = np.clip(unit @ unit.T, -1.0, 1.0)
+        iu = np.triu_indices(self.n_cameras, 1)
+        return np.arccos(cosang[iu])

@@ -1,0 +1,177 @@
+"""Nuclear reactor core design optimisation (Pereira & Lapa 2003).
+
+"The optimization problem consisted of adjusting several reactor cell
+parameters, such as dimensions, enrichment and materials, in order to
+minimize the average peak-factor in a three-enrichment-zone reactor,
+considering the restrictions on the average thermal flux, criticality and
+sub-moderation."
+
+Substitution: a one-group, one-dimensional slab-reactor *diffusion solver*
+(finite differences + inverse power iteration) computes the flux shape and
+effective multiplication factor k_eff for a 3-zone core.  It is a genuine
+neutronics eigenvalue computation — tiny, but with the same objective
+structure the original code had: flatter flux ↔ lower peaking factor, with
+criticality and moderation constraints penalised.
+
+Genome (normalised to [0, 1] per gene):
+    [enrich_1, enrich_2, enrich_3, width_1, width_2, moderation]
+Zone 3's width is the remainder of the core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from ...core.genome import RealVectorSpec
+from ...core.problem import Problem
+
+__all__ = ["ReactorCoreDesign", "CoreSolution"]
+
+
+@dataclass
+class CoreSolution:
+    """Full diffusion solution for one design."""
+
+    k_eff: float
+    flux: np.ndarray
+    power: np.ndarray
+    peaking_factor: float
+    mean_flux: float
+
+
+class ReactorCoreDesign(Problem):
+    """Minimise power peaking factor subject to criticality & moderation.
+
+    Fitness (minimised) = peaking + w_k·|k_eff − 1| + w_m·moderation-violation
+    + w_f·flux-shortfall.  A perfectly flat critical core would score ~1.
+    """
+
+    #: physical ranges
+    ENRICH_RANGE = (0.015, 0.05)    # U-235 fraction per zone
+    MODERATION_RANGE = (1.0, 3.0)   # moderator/fuel ratio
+    MIN_ZONE_FRACTION = 0.15        # no zone thinner than 15% of the core
+
+    def __init__(
+        self,
+        *,
+        core_length: float = 300.0,   # cm
+        mesh_points: int = 60,
+        target_mean_flux: float = 1.0,
+        criticality_weight: float = 20.0,
+        moderation_weight: float = 5.0,
+        flux_weight: float = 2.0,
+    ) -> None:
+        if mesh_points < 12:
+            raise ValueError(f"mesh_points must be >= 12, got {mesh_points}")
+        self.core_length = core_length
+        self.n = mesh_points
+        self.h = core_length / (mesh_points + 1)
+        self.target_mean_flux = target_mean_flux
+        self.criticality_weight = criticality_weight
+        self.moderation_weight = moderation_weight
+        self.flux_weight = flux_weight
+        self.spec = RealVectorSpec(6, 0.0, 1.0)
+        self.maximize = False
+
+    # -- decoding -----------------------------------------------------------------------
+    def decode(self, genome: np.ndarray) -> dict[str, np.ndarray | float]:
+        e_lo, e_hi = self.ENRICH_RANGE
+        enrich = e_lo + np.asarray(genome[:3], dtype=float) * (e_hi - e_lo)
+        # zone widths: map (w1, w2) to a simplex respecting minimum fractions
+        f_min = self.MIN_ZONE_FRACTION
+        free = 1.0 - 3 * f_min
+        a = float(genome[3]) * free
+        b = float(genome[4]) * (free - a)
+        widths = np.array([f_min + a, f_min + b, f_min + (free - a - b)])
+        m_lo, m_hi = self.MODERATION_RANGE
+        moderation = m_lo + float(genome[5]) * (m_hi - m_lo)
+        return {"enrichment": enrich, "widths": widths, "moderation": moderation}
+
+    # -- cross sections -------------------------------------------------------------------
+    def _materials(
+        self, enrich: np.ndarray, moderation: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-zone (D, Σ_a, νΣ_f) from enrichment & moderator ratio.
+
+        Linearised one-group constants: fission and absorption grow with
+        enrichment; moderation trades absorption for slowing-down, with an
+        *under-moderated* optimum (the sub-moderation restriction).
+        """
+        nu_sigma_f = 0.005 + 0.30 * enrich           # cm^-1
+        sigma_a = 0.0105 + 0.11 * enrich + 0.0012 * (moderation - 2.0) ** 2
+        d = np.full_like(enrich, 1.30) / np.sqrt(moderation / 2.0)
+        return d, sigma_a, nu_sigma_f
+
+    def _zone_of_mesh(self, widths: np.ndarray) -> np.ndarray:
+        """Zone index (0/1/2) of each interior mesh point."""
+        x = (np.arange(1, self.n + 1)) * self.h / self.core_length
+        bounds = np.cumsum(widths)
+        return np.searchsorted(bounds, x, side="right").clip(0, 2)
+
+    # -- diffusion solve ---------------------------------------------------------------------
+    def solve(self, genome: np.ndarray, *, tol: float = 1e-8, max_iter: int = 200) -> CoreSolution:
+        """Inverse power iteration on the one-group diffusion operator."""
+        params = self.decode(genome)
+        d_z, sa_z, nsf_z = self._materials(params["enrichment"], params["moderation"])
+        zones = self._zone_of_mesh(params["widths"])
+        d = d_z[zones]
+        sa = sa_z[zones]
+        nsf = nsf_z[zones]
+        h2 = self.h * self.h
+        # build -d/dx (D d/dx) + Σa with harmonic-mean interface diffusion
+        main = np.empty(self.n)
+        lower = np.empty(self.n - 1)
+        upper = np.empty(self.n - 1)
+        d_ext = np.concatenate([[d[0]], d, [d[-1]]])
+        for i in range(self.n):
+            d_w = 2.0 * d_ext[i] * d_ext[i + 1] / (d_ext[i] + d_ext[i + 1])
+            d_e = 2.0 * d_ext[i + 1] * d_ext[i + 2] / (d_ext[i + 1] + d_ext[i + 2])
+            main[i] = (d_w + d_e) / h2 + sa[i]
+            if i > 0:
+                lower[i - 1] = -d_w / h2
+            if i < self.n - 1:
+                upper[i] = -d_e / h2
+        A = np.diag(main) + np.diag(lower, -1) + np.diag(upper, 1)
+        lu = lu_factor(A)
+        flux = np.ones(self.n)
+        k = 1.0
+        for _ in range(max_iter):
+            source = nsf * flux
+            new_flux = lu_solve(lu, source / k)
+            k_new = k * float(np.sum(nsf * new_flux) / np.sum(nsf * flux))
+            new_flux /= np.abs(new_flux).max()
+            if abs(k_new - k) < tol:
+                k = k_new
+                flux = new_flux
+                break
+            k, flux = k_new, new_flux
+        flux = np.abs(flux)
+        # normalise to the target mean flux (power level is a free scaling)
+        mean = float(flux.mean())
+        if mean > 0:
+            flux = flux * (self.target_mean_flux / mean)
+        power = nsf * flux
+        mean_power = float(power.mean())
+        peaking = float(power.max() / mean_power) if mean_power > 0 else float("inf")
+        return CoreSolution(
+            k_eff=float(k),
+            flux=flux,
+            power=power,
+            peaking_factor=peaking,
+            mean_flux=float(flux.mean()),
+        )
+
+    # -- Problem interface -------------------------------------------------------------------
+    def evaluate(self, genome: np.ndarray) -> float:
+        sol = self.solve(genome)
+        params = self.decode(genome)
+        penalty = self.criticality_weight * abs(sol.k_eff - 1.0)
+        # sub-moderation restriction: stay below moderation 2.5 (penalise over)
+        over = max(0.0, params["moderation"] - 2.5)
+        penalty += self.moderation_weight * over**2
+        shortfall = max(0.0, self.target_mean_flux - sol.mean_flux)
+        penalty += self.flux_weight * shortfall
+        return sol.peaking_factor + penalty

@@ -1,0 +1,120 @@
+"""Transonic wing design surrogate (Oyama 2000; Sefrioui & Périaux 2000).
+
+The survey's aerodynamic entries optimised "three-dimensional shape … for
+aerodynamic design of a transonic aircraft wing" with CFD solvers of
+several fidelities.  We substitute an *algebraic drag model* with the same
+structure a multi-fidelity CFD stack exposes: induced drag falling with
+aspect ratio, transonic wave drag rising sharply with thickness and falling
+with sweep, viscous drag, and a lift-requirement penalty.  The low-fidelity
+models drop terms and add systematic bias — cheap but misleading exactly
+where cheap panel methods are misleading (the wave-drag regime) — which is
+the property Sefrioui's hierarchical GA exploits.
+
+Genome (all normalised to [0, 1]):
+    [aspect_ratio, sweep, thickness, taper, twist]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.genome import RealVectorSpec
+from ..multifidelity import MultiFidelityProblem
+
+__all__ = ["TransonicWingDesign"]
+
+
+def _denorm(x: float, lo: float, hi: float) -> float:
+    return lo + x * (hi - lo)
+
+
+class TransonicWingDesign(MultiFidelityProblem):
+    """Minimise total drag coefficient at a fixed cruise condition.
+
+    Fidelity 2 (truth): full drag build-up (induced + wave + viscous +
+    twist-loading correction) with the lift constraint enforced.
+    Fidelity 1: wave drag linearised around a nominal sweep (biased near
+    the optimum), viscous drag coarse.
+    Fidelity 0: induced drag only plus a crude constant for compressibility
+    — the classic "panel-method" cheat.
+
+    ``costs`` reflect CFD reality: each fidelity step is ~6x dearer.
+    """
+
+    maximize = False
+    costs = (1.0, 6.0, 36.0)
+
+    #: design-variable physical ranges
+    AR_RANGE = (4.0, 12.0)        # aspect ratio
+    SWEEP_RANGE = (0.0, 40.0)     # quarter-chord sweep, degrees
+    TC_RANGE = (0.06, 0.16)       # thickness/chord
+    TAPER_RANGE = (0.2, 1.0)      # taper ratio
+    TWIST_RANGE = (-5.0, 5.0)     # degrees washout
+
+    def __init__(self, mach: float = 0.82, cl_required: float = 0.5) -> None:
+        self.spec = RealVectorSpec(5, 0.0, 1.0)
+        self.mach = mach
+        self.cl_required = cl_required
+        # success threshold found by a long reference run of the truth model
+        self.target = None
+
+    # -- physics pieces ------------------------------------------------------------
+    def _decode(self, genome: np.ndarray) -> tuple[float, float, float, float, float]:
+        ar = _denorm(float(genome[0]), *self.AR_RANGE)
+        sweep = _denorm(float(genome[1]), *self.SWEEP_RANGE)
+        tc = _denorm(float(genome[2]), *self.TC_RANGE)
+        taper = _denorm(float(genome[3]), *self.TAPER_RANGE)
+        twist = _denorm(float(genome[4]), *self.TWIST_RANGE)
+        return ar, sweep, tc, taper, twist
+
+    def _induced_drag(self, ar: float, taper: float, twist: float) -> float:
+        # Oswald efficiency degrades away from taper ~0.4 and with twist
+        e = 0.98 - 0.1 * (taper - 0.4) ** 2 - 0.003 * abs(twist)
+        return self.cl_required**2 / (np.pi * ar * e)
+
+    def _wave_drag(self, sweep: float, tc: float) -> float:
+        # Korn-equation flavoured: drag-divergence Mach from sweep/thickness
+        cos_s = np.cos(np.radians(sweep))
+        m_dd = 0.95 / cos_s - tc / cos_s**2 - self.cl_required / (10.0 * cos_s**3)
+        excess = self.mach - m_dd
+        return 20.0 * max(0.0, excess) ** 4  # classic 4th-power rise
+
+    def _viscous_drag(self, ar: float, tc: float, taper: float) -> float:
+        wetted_factor = 1.0 + 1.8 * tc  # form factor
+        # slender high-AR wings have slightly more wetted area per lift
+        return 0.0055 * wetted_factor * (1.0 + 0.003 * ar) * (1.0 + 0.05 * (1 - taper))
+
+    def _structure_penalty(self, ar: float, tc: float) -> float:
+        # thin, high-aspect wings are structurally infeasible: soft penalty
+        stress = ar / (tc * 100.0)
+        return 0.002 * max(0.0, stress - 1.2) ** 2
+
+    def _twist_loading(self, twist: float) -> float:
+        # optimal washout near -2 degrees at this condition
+        return 0.0004 * (twist + 2.0) ** 2
+
+    # -- fidelities ---------------------------------------------------------------------
+    def evaluate_at(self, genome: np.ndarray, fidelity: int) -> float:
+        ar, sweep, tc, taper, twist = self._decode(genome)
+        if fidelity == 2:
+            return (
+                self._induced_drag(ar, taper, twist)
+                + self._wave_drag(sweep, tc)
+                + self._viscous_drag(ar, tc, taper)
+                + self._structure_penalty(ar, tc)
+                + self._twist_loading(twist)
+            )
+        if fidelity == 1:
+            # linearised wave drag: right trend, wrong curvature + bias
+            cos_s = np.cos(np.radians(sweep))
+            wave_lin = 0.004 * max(0.0, self.mach - 0.87 * cos_s)
+            return (
+                self._induced_drag(ar, taper, twist)
+                + wave_lin
+                + 1.1 * self._viscous_drag(ar, tc, taper)
+                + 0.001
+            )
+        if fidelity == 0:
+            # induced-drag-only panel method + constant compressibility guess
+            return self._induced_drag(ar, taper, twist) + 0.008
+        raise ValueError(f"fidelity {fidelity} out of range [0, 3)")

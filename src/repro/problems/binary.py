@@ -1,0 +1,179 @@
+"""Binary-string benchmark landscapes.
+
+The problem spectrum Alba & Troya (2000) used to study migration policies —
+"easy, deceptive, multimodal, NP-Complete, and epistatic search landscapes"
+— starts here: OneMax (easy), concatenated deceptive traps (deceptive),
+Royal Road (plateaued), NK landscapes (epistatic, tunable ruggedness),
+P-PEAKS (multimodal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.genome import BinarySpec
+from ..core.problem import Problem
+from ..core.rng import ensure_rng
+
+__all__ = [
+    "OneMax",
+    "ZeroMax",
+    "LeadingOnes",
+    "DeceptiveTrap",
+    "RoyalRoad",
+    "NKLandscape",
+    "PPeaks",
+]
+
+
+class OneMax(Problem):
+    """Count of ones — the canonical *easy* GA problem."""
+
+    def __init__(self, length: int = 100) -> None:
+        self.spec = BinarySpec(length)
+        self.maximize = True
+        self.optimum = float(length)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        return float(np.count_nonzero(genome))
+
+
+class ZeroMax(Problem):
+    """Count of zeros — used as a *minimisation-direction* control."""
+
+    def __init__(self, length: int = 100) -> None:
+        self.spec = BinarySpec(length)
+        self.maximize = False
+        self.optimum = 0.0
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        return float(np.count_nonzero(genome))
+
+
+class LeadingOnes(Problem):
+    """Length of the leading all-ones prefix; strongly sequential epistasis."""
+
+    def __init__(self, length: int = 100) -> None:
+        self.spec = BinarySpec(length)
+        self.maximize = True
+        self.optimum = float(length)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        zeros = np.flatnonzero(genome == 0)
+        return float(zeros[0]) if zeros.size else float(genome.shape[0])
+
+
+class DeceptiveTrap(Problem):
+    """Concatenated k-bit fully deceptive trap functions (Goldberg).
+
+    Each block of ``k`` bits scores ``k`` when all ones, else
+    ``k - 1 - ones`` — so the gradient points *away* from the optimum.
+    This is the workload for Cantú-Paz-style deme sizing (E6) and the
+    punctuated-equilibria demonstration (E10): single panmictic populations
+    get trapped; migrating demes recombine complementary blocks.
+    """
+
+    def __init__(self, blocks: int = 10, k: int = 4) -> None:
+        if k < 2:
+            raise ValueError(f"trap block size must be >= 2, got {k}")
+        if blocks < 1:
+            raise ValueError(f"need at least one block, got {blocks}")
+        self.blocks = blocks
+        self.k = k
+        self.spec = BinarySpec(blocks * k)
+        self.maximize = True
+        self.optimum = float(blocks * k)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        ones = genome.reshape(self.blocks, self.k).sum(axis=1)
+        scores = np.where(ones == self.k, float(self.k), self.k - 1.0 - ones)
+        return float(scores.sum())
+
+
+class RoyalRoad(Problem):
+    """Mitchell/Forrest/Holland Royal Road R1: reward complete schemata only."""
+
+    def __init__(self, blocks: int = 8, block_size: int = 8) -> None:
+        if blocks < 1 or block_size < 1:
+            raise ValueError("blocks and block_size must be positive")
+        self.blocks = blocks
+        self.block_size = block_size
+        self.spec = BinarySpec(blocks * block_size)
+        self.maximize = True
+        self.optimum = float(blocks * block_size)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        complete = genome.reshape(self.blocks, self.block_size).all(axis=1)
+        return float(np.count_nonzero(complete) * self.block_size)
+
+
+class NKLandscape(Problem):
+    """Kauffman NK landscape: tunably *epistatic* fitness.
+
+    Gene ``i`` interacts with ``K`` random other genes; each locus has a
+    random contribution table.  ``K = 0`` is additive (easy); increasing
+    ``K`` raises ruggedness.  Instances are deterministic given ``seed``.
+    ``optimum`` is computed exactly for small ``n`` via exhaustive search
+    (``n <= 20``), else left unknown.
+    """
+
+    def __init__(self, n: int = 20, k: int = 2, seed: int = 0, exact_optimum: bool | None = None) -> None:
+        if not 0 <= k < n:
+            raise ValueError(f"need 0 <= K < N, got N={n}, K={k}")
+        self.n = n
+        self.k = k
+        self.spec = BinarySpec(n)
+        self.maximize = True
+        rng = ensure_rng(seed)
+        # neighbours[i] = the K loci (besides i) feeding locus i's table
+        self.neighbors = np.empty((n, k), dtype=np.int64)
+        for i in range(n):
+            choices = np.setdiff1d(np.arange(n), [i])
+            self.neighbors[i] = rng.choice(choices, size=k, replace=False)
+        # tables[i][pattern] with pattern = bits of (x_i, x_neighbors)
+        self.tables = rng.random((n, 2 ** (k + 1)))
+        self._powers = 2 ** np.arange(k + 1)[::-1]
+        if exact_optimum is None:
+            exact_optimum = n <= 16
+        self.optimum = self._exhaustive_optimum() if exact_optimum else None
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        g = np.asarray(genome, dtype=np.int64)
+        # bit patterns per locus: own bit then neighbour bits, MSB-first
+        own = g[:, None]
+        nbr = g[self.neighbors]
+        patterns = np.concatenate([own, nbr], axis=1) @ self._powers
+        return float(self.tables[np.arange(self.n), patterns].mean())
+
+    def _exhaustive_optimum(self) -> float:
+        """Vectorised exhaustive search over all 2^n strings (n <= ~16)."""
+        count = 2 ** self.n
+        codes = np.arange(count, dtype=np.int64)
+        bits = (codes[:, None] >> np.arange(self.n)[None, :]) & 1  # (2^n, n)
+        own = bits[:, :, None]
+        nbr = bits[:, self.neighbors]  # (2^n, n, k)
+        patterns = np.concatenate([own, nbr], axis=2) @ self._powers  # (2^n, n)
+        contrib = self.tables[np.arange(self.n)[None, :], patterns]
+        return float(contrib.mean(axis=1).max())
+
+
+class PPeaks(Problem):
+    """P-PEAKS multimodal generator (Kennedy & Spears; used by Alba & Troya).
+
+    ``p`` random bit strings are peaks; the fitness of ``x`` is the maximal
+    proximity (in normalised Hamming similarity) to any peak.  Many global
+    optima, heavily multimodal.
+    """
+
+    def __init__(self, p: int = 100, length: int = 100, seed: int = 0) -> None:
+        if p < 1:
+            raise ValueError(f"need at least one peak, got {p}")
+        self.spec = BinarySpec(length)
+        self.maximize = True
+        self.optimum = 1.0
+        rng = ensure_rng(seed)
+        self.peaks = rng.integers(0, 2, size=(p, length), dtype=np.int8)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        same = (self.peaks == genome[None, :]).sum(axis=1)
+        return float(same.max() / self.spec.length)

@@ -1,0 +1,312 @@
+"""Combinatorial / NP-complete workloads.
+
+The survey's application range: "Numerical Mathematics and Graph Theory
+(numerical function optimatizations, graph bipartity, graph partitioning
+problem, scheduling problems, mission routing problems)" plus the
+NP-complete entries of Alba & Troya's problem spectrum (subset sum, MAXSAT)
+and the cluster-demo classics (TSP — Sena et al. 2001; knapsack; task-graph
+scheduling — Kwok & Ahmad 1997).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.genome import BinarySpec, PermutationSpec
+from ..core.problem import Problem
+from ..core.rng import ensure_rng
+
+__all__ = [
+    "SubsetSum",
+    "MaxSat",
+    "Knapsack",
+    "TravelingSalesman",
+    "GraphBipartition",
+    "TaskGraphScheduling",
+    "random_tsp_instance",
+]
+
+
+class SubsetSum(Problem):
+    """Pick a subset of ``weights`` summing as close to ``capacity`` as
+    possible without exceeding it (the DRM/DREAM test problem, Jelasity
+    2002).  Fitness is the achieved sum (0 when over capacity); maximised.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray | None = None,
+        capacity: float | None = None,
+        *,
+        n: int = 64,
+        seed: int = 0,
+    ) -> None:
+        rng = ensure_rng(seed)
+        if weights is None:
+            weights = rng.integers(1, 1000, size=n).astype(float)
+        self.weights = np.asarray(weights, dtype=float)
+        if capacity is None:
+            # guarantee a perfect subset exists: capacity = sum of a random half
+            mask = rng.random(self.weights.size) < 0.5
+            if not mask.any():
+                mask[0] = True
+            capacity = float(self.weights[mask].sum())
+        self.capacity = float(capacity)
+        self.spec = BinarySpec(self.weights.size)
+        self.maximize = True
+        self.optimum = self.capacity  # attainable by construction (when generated)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        total = float(np.dot(self.weights, genome))
+        return total if total <= self.capacity else 0.0
+
+
+class MaxSat(Problem):
+    """Random 3-SAT as MAXSAT: maximise the number of satisfied clauses.
+
+    Instances are generated satisfiable by planting a solution.
+    """
+
+    def __init__(
+        self,
+        n_vars: int = 50,
+        n_clauses: int = 215,
+        *,
+        seed: int = 0,
+        planted: bool = True,
+    ) -> None:
+        if n_vars < 3:
+            raise ValueError(f"need at least 3 variables, got {n_vars}")
+        rng = ensure_rng(seed)
+        self.spec = BinarySpec(n_vars)
+        self.maximize = True
+        plant = rng.integers(0, 2, size=n_vars) if planted else None
+        lits = np.empty((n_clauses, 3), dtype=np.int64)
+        negs = np.empty((n_clauses, 3), dtype=bool)
+        for c in range(n_clauses):
+            vs = rng.choice(n_vars, size=3, replace=False)
+            ns = rng.random(3) < 0.5
+            if plant is not None:
+                # ensure at least one literal is true under the planted assignment
+                truth = (plant[vs] == 1) != ns
+                if not truth.any():
+                    flip = int(rng.integers(0, 3))
+                    ns[flip] = not ns[flip]
+            lits[c] = vs
+            negs[c] = ns
+        self.literals = lits
+        self.negated = negs
+        self.optimum = float(n_clauses) if planted else None
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        vals = genome[self.literals] == 1  # (clauses, 3)
+        lit_true = vals != self.negated
+        return float(np.count_nonzero(lit_true.any(axis=1)))
+
+    @property
+    def n_clauses(self) -> int:
+        return self.literals.shape[0]
+
+
+class Knapsack(Problem):
+    """0/1 knapsack with a penalty for over-capacity selections."""
+
+    def __init__(
+        self,
+        values: np.ndarray | None = None,
+        weights: np.ndarray | None = None,
+        capacity: float | None = None,
+        *,
+        n: int = 50,
+        seed: int = 0,
+    ) -> None:
+        rng = ensure_rng(seed)
+        if values is None:
+            values = rng.integers(10, 100, size=n).astype(float)
+        if weights is None:
+            weights = rng.integers(5, 50, size=len(values)).astype(float)
+        self.values = np.asarray(values, dtype=float)
+        self.weights = np.asarray(weights, dtype=float)
+        if self.values.shape != self.weights.shape:
+            raise ValueError("values and weights must have equal length")
+        self.capacity = (
+            float(capacity) if capacity is not None else float(self.weights.sum()) * 0.5
+        )
+        self.spec = BinarySpec(self.values.size)
+        self.maximize = True
+        self.optimum = None  # exact DP optimum available via solve_exact()
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        weight = float(np.dot(self.weights, genome))
+        value = float(np.dot(self.values, genome))
+        if weight <= self.capacity:
+            return value
+        # linear death-penalty proportional to overweight
+        return max(0.0, value - 2.0 * (weight - self.capacity) * self._density)
+
+    @property
+    def _density(self) -> float:
+        return float(np.max(self.values / self.weights))
+
+    def solve_exact(self) -> float:
+        """Dynamic-programming optimum (weights must be integral)."""
+        cap = int(self.capacity)
+        w = self.weights.astype(np.int64)
+        v = self.values
+        best = np.zeros(cap + 1)
+        for wi, vi in zip(w, v):
+            if wi <= cap:
+                best[wi:] = np.maximum(best[wi:], best[:-wi] + vi if wi else best + vi)
+        return float(best.max())
+
+
+def random_tsp_instance(
+    n_cities: int, seed: int = 0, *, scale: float = 100.0
+) -> np.ndarray:
+    """Uniform random city coordinates in a ``scale`` × ``scale`` square."""
+    rng = ensure_rng(seed)
+    return rng.uniform(0.0, scale, size=(n_cities, 2))
+
+
+class TravelingSalesman(Problem):
+    """Euclidean TSP over given city coordinates; minimise tour length.
+
+    The survey's cluster case study (Sena et al. 2001) ran exactly this on a
+    workstation cluster.
+    """
+
+    def __init__(self, cities: np.ndarray, target: float | None = None) -> None:
+        cities = np.asarray(cities, dtype=float)
+        if cities.ndim != 2 or cities.shape[1] != 2 or cities.shape[0] < 3:
+            raise ValueError("cities must be an (n>=3, 2) coordinate array")
+        self.cities = cities
+        diff = cities[:, None, :] - cities[None, :, :]
+        self.distances = np.sqrt((diff * diff).sum(axis=2))
+        self.spec = PermutationSpec(cities.shape[0])
+        self.maximize = False
+        self.target = target
+
+    @classmethod
+    def random(cls, n_cities: int = 50, seed: int = 0) -> "TravelingSalesman":
+        return cls(random_tsp_instance(n_cities, seed))
+
+    @classmethod
+    def circular(cls, n_cities: int = 50, radius: float = 100.0) -> "TravelingSalesman":
+        """Cities on a circle — known optimal tour (the circle perimeter).
+
+        Gives experiments a combinatorial problem with a certifiable optimum.
+        """
+        theta = 2.0 * np.pi * np.arange(n_cities) / n_cities
+        pts = radius * np.stack([np.cos(theta), np.sin(theta)], axis=1)
+        inst = cls(pts)
+        inst.optimum = float(n_cities * 2.0 * radius * np.sin(np.pi / n_cities))
+        inst.target = inst.optimum * 1.05  # within 5% of optimal counts as solved
+        return inst
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        tour = np.asarray(genome, dtype=np.int64)
+        nxt = np.roll(tour, -1)
+        return float(self.distances[tour, nxt].sum())
+
+
+class GraphBipartition(Problem):
+    """Balanced graph bipartition: minimise cut edges, penalise imbalance.
+
+    "graph bipartity, graph partitioning problem" — survey §4.  The genome
+    assigns each vertex to side 0 or 1.
+    """
+
+    def __init__(
+        self,
+        adjacency: np.ndarray | None = None,
+        *,
+        n: int = 64,
+        edge_prob: float = 0.1,
+        seed: int = 0,
+        balance_weight: float | None = None,
+    ) -> None:
+        rng = ensure_rng(seed)
+        if adjacency is None:
+            a = rng.random((n, n)) < edge_prob
+            a = np.triu(a, 1)
+            adjacency = (a | a.T).astype(np.int8)
+        self.adjacency = np.asarray(adjacency)
+        if self.adjacency.shape[0] != self.adjacency.shape[1]:
+            raise ValueError("adjacency must be square")
+        nv = self.adjacency.shape[0]
+        self.spec = BinarySpec(nv)
+        self.maximize = False
+        # default: one cut edge costs as much as one unit of imbalance
+        self.balance_weight = (
+            balance_weight if balance_weight is not None else 1.0
+        )
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        side = np.asarray(genome, dtype=np.int8)
+        cut = float(np.sum(self.adjacency * (side[:, None] != side[None, :]))) / 2.0
+        imbalance = abs(float(side.sum()) - side.size / 2.0)
+        return cut + self.balance_weight * imbalance
+
+
+class TaskGraphScheduling(Problem):
+    """List-scheduling of a random DAG onto ``m`` processors (Kwok & Ahmad).
+
+    The genome is a *priority permutation* of tasks; decoding assigns each
+    ready task (in priority order) to the earliest-available processor,
+    respecting precedence and communication delays.  Fitness is the
+    makespan (minimised).
+    """
+
+    def __init__(
+        self,
+        n_tasks: int = 30,
+        n_processors: int = 4,
+        *,
+        seed: int = 0,
+        edge_prob: float = 0.15,
+        comm_cost: float = 2.0,
+    ) -> None:
+        if n_tasks < 2 or n_processors < 1:
+            raise ValueError("need >= 2 tasks and >= 1 processor")
+        rng = ensure_rng(seed)
+        self.n_tasks = n_tasks
+        self.n_processors = n_processors
+        self.durations = rng.uniform(1.0, 10.0, size=n_tasks)
+        # random DAG: edge i->j only for i < j
+        mask = rng.random((n_tasks, n_tasks)) < edge_prob
+        self.dag = np.triu(mask, 1)
+        self.comm_cost = comm_cost
+        self.spec = PermutationSpec(n_tasks)
+        self.maximize = False
+        self._preds = [np.flatnonzero(self.dag[:, j]) for j in range(n_tasks)]
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        priority = np.empty(self.n_tasks, dtype=np.int64)
+        priority[np.asarray(genome, dtype=np.int64)] = np.arange(self.n_tasks)
+        finish = np.full(self.n_tasks, -1.0)
+        proc_of = np.full(self.n_tasks, -1, dtype=np.int64)
+        proc_free = np.zeros(self.n_processors)
+        scheduled = np.zeros(self.n_tasks, dtype=bool)
+        for _ in range(self.n_tasks):
+            # ready tasks: all predecessors scheduled
+            ready = [
+                t
+                for t in range(self.n_tasks)
+                if not scheduled[t] and all(scheduled[p] for p in self._preds[t])
+            ]
+            # pick the ready task with the best (lowest) priority value
+            t = min(ready, key=lambda t: priority[t])
+            # earliest start on each processor given predecessor placement
+            best_proc, best_start = 0, np.inf
+            for proc in range(self.n_processors):
+                start = proc_free[proc]
+                for p in self._preds[t]:
+                    arrival = finish[p] + (self.comm_cost if proc_of[p] != proc else 0.0)
+                    start = max(start, arrival)
+                if start < best_start:
+                    best_proc, best_start = proc, start
+            finish[t] = best_start + self.durations[t]
+            proc_of[t] = best_proc
+            proc_free[best_proc] = finish[t]
+            scheduled[t] = True
+        return float(finish.max())

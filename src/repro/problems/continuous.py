@@ -1,0 +1,132 @@
+"""Continuous (real-vector) benchmark functions.
+
+The classic numerical-function-optimisation suite the PGA-as-function-
+optimizer lineage (Mühlenbein 1991, Tanese 1989) evaluated on: sphere,
+Rastrigin, Ackley, Griewank, Schwefel, Rosenbrock.  All are formulated as
+*minimisation* with known optimum 0 at a known point, matching the usual
+benchmark conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.genome import RealVectorSpec
+from ..core.problem import Problem
+
+__all__ = [
+    "Sphere",
+    "Rastrigin",
+    "Ackley",
+    "Griewank",
+    "Schwefel",
+    "Rosenbrock",
+    "Weierstrass",
+]
+
+
+class _ContinuousBenchmark(Problem):
+    """Shared scaffolding: box-bounded minimisation with optimum 0."""
+
+    maximize = False
+    optimum = 0.0
+
+    def __init__(self, dims: int, lower: float, upper: float, target: float = 1e-4) -> None:
+        self.spec = RealVectorSpec(dims, lower, upper)
+        self.target = target
+
+
+class Sphere(_ContinuousBenchmark):
+    """f(x) = sum x_i^2 — unimodal, separable; the *easy* continuous case."""
+
+    def __init__(self, dims: int = 30, target: float = 1e-4) -> None:
+        super().__init__(dims, -5.12, 5.12, target)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        return float(np.sum(genome * genome))
+
+
+class Rastrigin(_ContinuousBenchmark):
+    """Highly multimodal with a regular lattice of local minima."""
+
+    def __init__(self, dims: int = 30, target: float = 1e-2) -> None:
+        super().__init__(dims, -5.12, 5.12, target)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        x = genome
+        return float(10.0 * x.size + np.sum(x * x - 10.0 * np.cos(2.0 * np.pi * x)))
+
+
+class Ackley(_ContinuousBenchmark):
+    """Nearly flat outer region, single deep funnel at the origin."""
+
+    def __init__(self, dims: int = 30, target: float = 1e-2) -> None:
+        super().__init__(dims, -32.768, 32.768, target)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        x = genome
+        n = x.size
+        s1 = np.sqrt(np.sum(x * x) / n)
+        s2 = np.sum(np.cos(2.0 * np.pi * x)) / n
+        return float(20.0 + np.e - 20.0 * np.exp(-0.2 * s1) - np.exp(s2))
+
+
+class Griewank(_ContinuousBenchmark):
+    """Product term introduces weak, wide-range epistasis."""
+
+    def __init__(self, dims: int = 30, target: float = 1e-2) -> None:
+        super().__init__(dims, -600.0, 600.0, target)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        x = genome
+        idx = np.arange(1, x.size + 1, dtype=float)
+        return float(
+            1.0 + np.sum(x * x) / 4000.0 - np.prod(np.cos(x / np.sqrt(idx)))
+        )
+
+
+class Schwefel(_ContinuousBenchmark):
+    """Deceptive: the global optimum is far from the second-best region.
+
+    Shifted so the optimum value is 0 at x_i = 420.9687.
+    """
+
+    def __init__(self, dims: int = 30, target: float = 1e-1) -> None:
+        super().__init__(dims, -500.0, 500.0, target)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        x = genome
+        return float(
+            418.9828872724339 * x.size - np.sum(x * np.sin(np.sqrt(np.abs(x))))
+        )
+
+
+class Rosenbrock(_ContinuousBenchmark):
+    """The banana valley: unimodal but ill-conditioned and non-separable."""
+
+    def __init__(self, dims: int = 30, target: float = 1e-1) -> None:
+        super().__init__(dims, -2.048, 2.048, target)
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        x = genome
+        return float(
+            np.sum(100.0 * (x[1:] - x[:-1] ** 2) ** 2 + (1.0 - x[:-1]) ** 2)
+        )
+
+
+class Weierstrass(_ContinuousBenchmark):
+    """Continuous everywhere, differentiable nowhere; fractal ruggedness."""
+
+    def __init__(self, dims: int = 10, a: float = 0.5, b: float = 3.0, kmax: int = 20,
+                 target: float = 1e-2) -> None:
+        super().__init__(dims, -0.5, 0.5, target)
+        k = np.arange(kmax + 1)
+        self._ak = a ** k
+        self._bk = b ** k
+        # constant so that f(0) = 0
+        self._shift = float(np.sum(self._ak * np.cos(np.pi * self._bk)))
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        x = genome[:, None]  # (n, 1) against (kmax+1,) tables
+        inner = np.sum(self._ak * np.cos(2.0 * np.pi * self._bk * (x + 0.5)), axis=1)
+        return float(np.sum(inner) - x.shape[0] * self._shift)

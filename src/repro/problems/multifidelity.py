@@ -1,0 +1,89 @@
+"""Multi-fidelity problems: one objective, several models of it.
+
+Sefrioui & Périaux's Hierarchical GA "allowed mix of a simple and complex
+models, but achieved the same quality as reached by only complex models …
+three times faster".  That requires problems that expose the *same*
+objective at several fidelities with different evaluation costs — high
+fidelity is trustworthy and slow, low fidelity is biased/noisy and cheap.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..core.genome import GenomeSpec
+from ..core.problem import Problem
+
+__all__ = ["MultiFidelityProblem", "FidelityView"]
+
+
+class MultiFidelityProblem(abc.ABC):
+    """An objective computable at fidelities ``0`` (cheapest) … ``n-1`` (truth).
+
+    Attributes
+    ----------
+    costs:
+        Relative evaluation cost per fidelity (e.g. ``[1, 8, 64]``); used
+    by experiments to charge cost-adjusted budgets.
+    """
+
+    spec: GenomeSpec
+    maximize: bool = False
+    costs: Sequence[float] = (1.0,)
+    optimum: float | None = None
+    target: float | None = None
+
+    @property
+    def n_fidelities(self) -> int:
+        return len(self.costs)
+
+    @abc.abstractmethod
+    def evaluate_at(self, genome: np.ndarray, fidelity: int) -> float:
+        """Objective under model ``fidelity`` (higher = more faithful)."""
+
+    def highest_fidelity(self) -> int:
+        return self.n_fidelities - 1
+
+    def view(self, fidelity: int) -> "FidelityView":
+        """A plain :class:`Problem` evaluating at one fixed fidelity."""
+        return FidelityView(self, fidelity)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class FidelityView(Problem):
+    """Adapter exposing one fidelity of a multi-fidelity problem."""
+
+    def __init__(self, mf: MultiFidelityProblem, fidelity: int) -> None:
+        if not 0 <= fidelity < mf.n_fidelities:
+            raise ValueError(
+                f"fidelity {fidelity} out of range [0, {mf.n_fidelities})"
+            )
+        self.mf = mf
+        self.fidelity = fidelity
+        self.spec = mf.spec
+        self.maximize = mf.maximize
+        # success thresholds only make sense at the truth model
+        if fidelity == mf.highest_fidelity():
+            self.optimum = mf.optimum
+            self.target = mf.target
+        else:
+            self.optimum = None
+            self.target = None
+
+    def evaluate(self, genome: np.ndarray) -> float:
+        return self.mf.evaluate_at(genome, self.fidelity)
+
+    @property
+    def cost(self) -> float:
+        """Relative cost of one evaluation at this fidelity."""
+        return float(self.mf.costs[self.fidelity])
+
+    @property
+    def name(self) -> str:
+        return f"{self.mf.name}@f{self.fidelity}"

@@ -1,0 +1,15 @@
+"""Real-parallelism executors (threads / processes) behind the evaluator seam."""
+
+from .executor import (
+    MultiprocessingExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunk_indices,
+)
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadExecutor",
+    "MultiprocessingExecutor",
+    "chunk_indices",
+]

@@ -1,0 +1,168 @@
+"""Fitness-evaluation executors: serial, threads, processes.
+
+The *real-parallelism* counterpart of :mod:`repro.cluster`: these executors
+actually farm fitness evaluations out to OS threads or processes (the
+survey's master-slave data parallelism on an SMP machine).  They plug into
+any engine through the ``FitnessEvaluator`` seam.
+
+The process pool uses an initializer so the problem is shipped to each
+worker exactly once — the mpi4py tutorial's broadcast-once idiom — rather
+than pickled per task.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import get_context
+from typing import Sequence
+
+import numpy as np
+
+from ..core.problem import Problem
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadExecutor",
+    "MultiprocessingExecutor",
+    "chunk_indices",
+]
+
+
+def chunk_indices(n: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most ``chunks`` contiguous balanced spans."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    chunks = min(chunks, max(1, n))
+    bounds = np.linspace(0, n, chunks + 1).astype(int)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(chunks) if bounds[i] < bounds[i + 1]]
+
+
+class SerialExecutor:
+    """Evaluate in the calling thread (the baseline / 1-processor case)."""
+
+    def evaluate(self, problem: Problem, genomes: Sequence[np.ndarray]) -> list[float]:
+        return problem.evaluate_many(genomes)
+
+    def shutdown(self) -> None:  # symmetry with pooled executors
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class ThreadExecutor:
+    """Thread-pool evaluation — the survey's 'lightweight processes such as
+    POSIX threads … on SMP machines' model.
+
+    Python threads only help for fitness functions that release the GIL
+    (NumPy-heavy evaluations); the correctness path is identical either way.
+    """
+
+    def __init__(self, workers: int | None = None, chunked: bool = True) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunked = chunked
+        self._pool = ThreadPoolExecutor(max_workers=self.workers)
+
+    def evaluate(self, problem: Problem, genomes: Sequence[np.ndarray]) -> list[float]:
+        if not genomes:
+            return []
+        if self.chunked:
+            spans = chunk_indices(len(genomes), self.workers)
+            futures = [
+                self._pool.submit(problem.evaluate_many, list(genomes[a:b]))
+                for a, b in spans
+            ]
+            out: list[float] = []
+            for fut in futures:
+                out.extend(fut.result())
+            return out
+        return list(self._pool.map(problem.evaluate, genomes))
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+# -- process-pool plumbing ---------------------------------------------------------
+_WORKER_PROBLEM: Problem | None = None
+
+
+def _init_worker(problem_bytes: bytes) -> None:
+    global _WORKER_PROBLEM
+    _WORKER_PROBLEM = pickle.loads(problem_bytes)
+
+
+def _eval_chunk(genomes: list[np.ndarray]) -> list[float]:
+    if _WORKER_PROBLEM is None:
+        raise RuntimeError("worker process was not initialised with a problem")
+    return _WORKER_PROBLEM.evaluate_many(genomes)
+
+
+class MultiprocessingExecutor:
+    """Process-pool evaluation — real distributed-memory data parallelism.
+
+    The problem instance is broadcast to each worker once at pool start-up
+    (like an MPI ``bcast`` of the objective), so per-generation traffic is
+    genomes out / fitnesses back only.
+
+    Parameters
+    ----------
+    problem:
+        The problem to broadcast; :meth:`evaluate` only accepts this
+        problem (same type) to prevent silently evaluating a different
+        objective than the workers hold.
+    workers:
+        Pool size; defaults to the CPU count.
+    """
+
+    def __init__(self, problem: Problem, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._problem_type = type(problem)
+        ctx = get_context("fork" if os.name == "posix" else "spawn")
+        self._pool = ctx.Pool(
+            processes=self.workers,
+            initializer=_init_worker,
+            initargs=(pickle.dumps(problem),),
+        )
+
+    def evaluate(self, problem: Problem, genomes: Sequence[np.ndarray]) -> list[float]:
+        if type(problem) is not self._problem_type:
+            raise ValueError(
+                f"executor was initialised for {self._problem_type.__name__}, "
+                f"got {type(problem).__name__}"
+            )
+        if not genomes:
+            return []
+        spans = chunk_indices(len(genomes), self.workers)
+        chunks = [list(genomes[a:b]) for a, b in spans]
+        results = self._pool.map(_eval_chunk, chunks)
+        out: list[float] = []
+        for r in results:
+            out.extend(r)
+        return out
+
+    def shutdown(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "MultiprocessingExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

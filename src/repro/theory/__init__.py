@@ -1,0 +1,45 @@
+"""Approximation theories (the survey's §6 forecast, implemented).
+
+Closed-form models of takeover time, population sizing and parallel-machine
+performance, so measured behaviour (E2, E5, E6) can be checked against
+prediction — "approximations … based on a population size, problem
+difficulty, topology, time bounding, parallel computer parameters".
+"""
+
+from .parallel_models import (
+    island_epoch_time,
+    island_speedup_model,
+    masterslave_generation_time,
+    masterslave_speedup_model,
+    optimal_worker_count,
+)
+from .sizing import (
+    collateral_noise,
+    deme_size_for_success,
+    gamblers_ruin_size,
+    trap_signal_to_noise,
+)
+from .takeover import (
+    cellular_takeover_bound,
+    logistic_growth,
+    panmictic_tournament_takeover,
+    predicted_growth_curve,
+    ring_takeover,
+)
+
+__all__ = [
+    "logistic_growth",
+    "panmictic_tournament_takeover",
+    "cellular_takeover_bound",
+    "ring_takeover",
+    "predicted_growth_curve",
+    "gamblers_ruin_size",
+    "trap_signal_to_noise",
+    "deme_size_for_success",
+    "collateral_noise",
+    "masterslave_generation_time",
+    "optimal_worker_count",
+    "masterslave_speedup_model",
+    "island_epoch_time",
+    "island_speedup_model",
+]

@@ -1,0 +1,109 @@
+"""Analytic performance models of the parallel machines themselves.
+
+Closed-form predictions for the quantities the simulated cluster measures:
+master-slave generation makespan and its optimal worker count (Cantú-Paz's
+square-root rule), synchronous-island epoch time, and Amdahl-style speedup
+with explicit communication terms.  E2/E9-style measurements can be checked
+against these (tests do exactly that), giving the "theory vs experiment"
+loop the survey's §6 calls for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "masterslave_generation_time",
+    "optimal_worker_count",
+    "masterslave_speedup_model",
+    "island_epoch_time",
+    "island_speedup_model",
+]
+
+
+def masterslave_generation_time(
+    population: int,
+    workers: int,
+    eval_cost: float,
+    comm_cost: float,
+    *,
+    worker_speed: float = 1.0,
+) -> float:
+    """Predicted makespan of one farmed generation.
+
+    ``T = workers * Tc + ceil(n / workers) * Tf / speed`` — each worker costs
+    one round-trip set-up ``Tc`` (serialised at the master) plus its share
+    of evaluations.  The classic model behind Cantú-Paz's optimal-worker
+    analysis.
+    """
+    if population < 0 or workers < 1:
+        raise ValueError("population must be >= 0 and workers >= 1")
+    if eval_cost < 0 or comm_cost < 0 or worker_speed <= 0:
+        raise ValueError("costs must be >= 0 and speed positive")
+    share = int(np.ceil(population / workers))
+    return workers * comm_cost + share * eval_cost / worker_speed
+
+
+def optimal_worker_count(population: int, eval_cost: float, comm_cost: float) -> float:
+    """Cantú-Paz's square-root rule: ``S* = sqrt(n Tf / Tc)``.
+
+    Beyond this worker count the per-worker communication term dominates
+    the shrinking compute share and the makespan *rises* — the E2
+    saturation knee in closed form.
+    """
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    if eval_cost <= 0 or comm_cost <= 0:
+        raise ValueError("costs must be positive")
+    return float(np.sqrt(population * eval_cost / comm_cost))
+
+
+def masterslave_speedup_model(
+    population: int, workers: int, eval_cost: float, comm_cost: float
+) -> float:
+    """Predicted speedup of the farm over 1-worker execution."""
+    t1 = masterslave_generation_time(population, 1, eval_cost, comm_cost)
+    tp = masterslave_generation_time(population, workers, eval_cost, comm_cost)
+    return t1 / tp
+
+
+def island_epoch_time(
+    deme_population: int,
+    eval_cost: float,
+    *,
+    slowest_speed: float = 1.0,
+    migration_cost: float = 0.0,
+) -> float:
+    """Predicted barrier-synchronised island epoch time: the slowest node's
+    compute plus the migration exchange."""
+    if deme_population < 0:
+        raise ValueError("deme population must be >= 0")
+    if slowest_speed <= 0:
+        raise ValueError("speed must be positive")
+    return deme_population * eval_cost / slowest_speed + migration_cost
+
+
+def island_speedup_model(
+    total_population: int,
+    n_islands: int,
+    eval_cost: float,
+    *,
+    migration_cost: float = 0.0,
+    evaluations_ratio: float = 1.0,
+) -> float:
+    """Predicted time-to-solution speedup of n islands over panmictic.
+
+    ``evaluations_ratio`` is the algorithmic term: (panmictic evaluations to
+    solution) / (island total evaluations to solution).  Ratios above 1 —
+    common on deceptive landscapes (E3) — are exactly what makes measured
+    speedup super-linear: ``S = n * evaluations_ratio`` before
+    communication overhead.
+    """
+    if n_islands < 1:
+        raise ValueError(f"need >= 1 island, got {n_islands}")
+    if evaluations_ratio <= 0:
+        raise ValueError("evaluations ratio must be positive")
+    per_deme = max(1, total_population // n_islands)
+    t_pan = total_population * eval_cost
+    t_island = per_deme * eval_cost / evaluations_ratio + migration_cost
+    return t_pan / t_island

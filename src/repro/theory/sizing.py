@@ -1,0 +1,96 @@
+"""Population-sizing theory (the Cantú-Paz / Harik lineage).
+
+Cantú-Paz's dissertation — the survey's flagship theory citation — builds
+on the *gambler's ruin* population-sizing model (Harik, Cantú-Paz, Goldberg
+& Miller 1997): a building block wins its selection tournaments like a
+biased random walk, so the population needed to get a target success
+probability has a closed form.  These estimators let experiments pick
+principled sizes instead of folklore constants, and E6's "accurate
+population sizing" claim can be checked against them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "gamblers_ruin_size",
+    "trap_signal_to_noise",
+    "deme_size_for_success",
+    "collateral_noise",
+]
+
+
+def trap_signal_to_noise(k: int) -> tuple[float, float]:
+    """(signal d, per-block noise variance) of a k-bit deceptive trap.
+
+    Signal: fitness gap between the best (all ones, k) and the competing
+    attractor (all zeros, k-1) — d = 1.  Noise: variance of one block's
+    fitness over uniform random strings.
+    """
+    if k < 2:
+        raise ValueError(f"trap size must be >= 2, got {k}")
+    # enumerate the block's fitness distribution over #ones ~ Binomial(k, .5)
+    ones = np.arange(k + 1)
+    probs = np.array([float(math.comb(k, int(o))) for o in ones]) / 2**k
+    fitness = np.where(ones == k, float(k), k - 1.0 - ones)
+    mean = float(np.sum(probs * fitness))
+    var = float(np.sum(probs * (fitness - mean) ** 2))
+    return 1.0, var
+
+
+def collateral_noise(block_variance: float, n_blocks: int) -> float:
+    """Std-dev of the fitness noise a single block competes against:
+    sqrt((m - 1) sigma_bb^2) for m concatenated blocks."""
+    if n_blocks < 1:
+        raise ValueError(f"need >= 1 block, got {n_blocks}")
+    if block_variance < 0:
+        raise ValueError("variance must be >= 0")
+    return float(np.sqrt(max(0, n_blocks - 1) * block_variance))
+
+
+def gamblers_ruin_size(
+    k: int,
+    n_blocks: int,
+    *,
+    success_probability: float = 0.98,
+    signal: float | None = None,
+) -> int:
+    """Gambler's-ruin population size for a concatenated k-trap.
+
+    ``n = -2^(k-1) ln(alpha) sigma_bb sqrt(pi (m-1)) / d`` with
+    ``alpha = 1 - P_success`` (Harik et al. 1997, eq. for the one-block
+    success probability).  Returns a whole population size (rounded up,
+    minimum 4).
+    """
+    if not 0.0 < success_probability < 1.0:
+        raise ValueError("success probability must be in (0, 1)")
+    d, var = trap_signal_to_noise(k)
+    if signal is not None:
+        d = signal
+    alpha = 1.0 - success_probability
+    sigma_bb = np.sqrt(var)
+    m = max(2, n_blocks)
+    n = -(2 ** (k - 1)) * np.log(alpha) * sigma_bb * np.sqrt(np.pi * (m - 1)) / d
+    return max(4, int(np.ceil(n)))
+
+
+def deme_size_for_success(
+    k: int,
+    n_blocks: int,
+    n_demes: int,
+    *,
+    success_probability: float = 0.98,
+) -> int:
+    """Cantú-Paz's headline design rule, simplified: connected demes share
+    building blocks through migration, so the *per-deme* population for the
+    same overall success is roughly the panmictic requirement divided by
+    the deme count, floored at a mixing-viable minimum."""
+    if n_demes < 1:
+        raise ValueError(f"need >= 1 deme, got {n_demes}")
+    total = gamblers_ruin_size(
+        k, n_blocks, success_probability=success_probability
+    )
+    return max(4, int(np.ceil(total / n_demes)))

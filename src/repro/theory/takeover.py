@@ -1,0 +1,85 @@
+"""Analytic takeover-time models.
+
+The survey's §6 forecast: "approximations and approximation theories based
+on a population size, problem difficulty, topology, time bounding, parallel
+computer parameters are among the most important and useful ones."  This
+module provides the classic closed forms the selection-pressure literature
+(Goldberg & Deb 1991; Sarma & De Jong; Giacobini et al.) uses, so
+experiments can compare *measured* growth curves against *predicted* ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "logistic_growth",
+    "panmictic_tournament_takeover",
+    "cellular_takeover_bound",
+    "ring_takeover",
+    "predicted_growth_curve",
+]
+
+
+def logistic_growth(t: np.ndarray | float, rate: float, n: int, p0: float | None = None):
+    """Goldberg–Deb logistic growth model of best-individual proportion.
+
+    ``P(t) = 1 / (1 + (1/P0 - 1) e^{-rate t})`` — the standard panmictic
+    takeover model.  ``p0`` defaults to ``1/n`` (a single seeded copy).
+    """
+    if n < 1:
+        raise ValueError(f"population must be >= 1, got {n}")
+    if rate <= 0:
+        raise ValueError(f"growth rate must be positive, got {rate}")
+    p0 = p0 if p0 is not None else 1.0 / n
+    if not 0 < p0 <= 1:
+        raise ValueError(f"p0 must be in (0, 1], got {p0}")
+    t = np.asarray(t, dtype=float)
+    return 1.0 / (1.0 + (1.0 / p0 - 1.0) * np.exp(-rate * t))
+
+
+def panmictic_tournament_takeover(n: int, tournament: int = 2) -> float:
+    """Expected takeover time (generations) of k-tournament in a panmictic
+    population of ``n`` (Goldberg & Deb 1991 approximation).
+
+    ``t* ≈ (ln n + ln ln n) / ln k`` for k >= 2.
+    """
+    if n < 2:
+        raise ValueError(f"population must be >= 2, got {n}")
+    if tournament < 2:
+        raise ValueError(f"tournament size must be >= 2, got {tournament}")
+    return (np.log(n) + np.log(np.log(n))) / np.log(tournament)
+
+
+def cellular_takeover_bound(rows: int, cols: int, *, radius: float = 1.0) -> float:
+    """Lower bound on synchronous cellular takeover: information travels at
+    most ``radius`` grid steps per sweep, so takeover needs at least the
+    grid's maximal toroidal Manhattan distance / radius sweeps.
+
+    For best-wins von Neumann selection this bound is *tight* (our E5
+    measurement equals it) — diffusion, not selection noise, is the clock.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    max_dist = rows // 2 + cols // 2  # toroidal Manhattan eccentricity
+    return max_dist / radius
+
+
+def ring_takeover(n_demes: int, migration_interval: int) -> float:
+    """Epochs for the best individual to reach every deme on a
+    unidirectional ring with elitist migration: one hop per migration event,
+    ``n-1`` hops to cover the ring."""
+    if n_demes < 1:
+        raise ValueError(f"need >= 1 deme, got {n_demes}")
+    if migration_interval < 1:
+        raise ValueError(f"interval must be >= 1, got {migration_interval}")
+    return (n_demes - 1) * migration_interval
+
+
+def predicted_growth_curve(
+    steps: int, rate: float, n: int, p0: float | None = None
+) -> np.ndarray:
+    """Convenience: the logistic model sampled at integer steps 0..steps."""
+    return logistic_growth(np.arange(steps + 1), rate, n, p0)

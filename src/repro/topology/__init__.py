@@ -1,0 +1,47 @@
+"""Deme interconnects (coarse-grained) and cell neighbourhoods (fine-grained)."""
+
+from .dynamic import DynamicTopology, RandomRewiringTopology, ScheduleTopology
+from .neighborhood import (
+    CompactNeighborhood,
+    LinearNeighborhood,
+    MooreNeighborhood,
+    Neighborhood,
+    VonNeumannNeighborhood,
+)
+from .static import (
+    BidirectionalRingTopology,
+    CompleteTopology,
+    GridTopology,
+    HypercubeTopology,
+    IsolatedTopology,
+    PipelineTopology,
+    RandomRegularTopology,
+    RingTopology,
+    StarTopology,
+    Topology,
+    TorusTopology,
+    topology_by_name,
+)
+
+__all__ = [
+    "Topology",
+    "RingTopology",
+    "BidirectionalRingTopology",
+    "CompleteTopology",
+    "StarTopology",
+    "GridTopology",
+    "TorusTopology",
+    "HypercubeTopology",
+    "RandomRegularTopology",
+    "IsolatedTopology",
+    "PipelineTopology",
+    "topology_by_name",
+    "DynamicTopology",
+    "RandomRewiringTopology",
+    "ScheduleTopology",
+    "Neighborhood",
+    "VonNeumannNeighborhood",
+    "MooreNeighborhood",
+    "LinearNeighborhood",
+    "CompactNeighborhood",
+]

@@ -1,0 +1,88 @@
+"""Dynamic (time-varying) topologies.
+
+"Static and dynamic topologies could be used." — survey §1.1.  A dynamic
+topology re-derives its edge set as a function of the migration epoch, so
+long-run connectivity can exceed any single snapshot's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import ensure_rng
+from .static import Topology
+
+__all__ = ["DynamicTopology", "RandomRewiringTopology", "ScheduleTopology"]
+
+
+class DynamicTopology(Topology):
+    """Base for topologies whose edges depend on an epoch counter.
+
+    Call :meth:`advance` once per migration epoch; ``neighbors_out`` then
+    reflects the current snapshot.
+    """
+
+    def __init__(self, size: int) -> None:
+        super().__init__(size)
+        self.epoch = 0
+
+    def advance(self) -> None:
+        self.epoch += 1
+
+
+class RandomRewiringTopology(DynamicTopology):
+    """Each epoch, every deme gets ``k`` fresh random out-neighbours.
+
+    The long-run graph is complete even though each snapshot is sparse —
+    the cheap trick for approximating Cantú-Paz's fully-connected advantage
+    with low per-epoch link cost.
+    """
+
+    def __init__(self, size: int, k: int = 1, seed: int = 0) -> None:
+        super().__init__(size)
+        if not 0 <= k < size:
+            raise ValueError(f"need 0 <= k < size, got k={k}")
+        self.k = k
+        self._rng = ensure_rng(seed)
+        self._snapshot: list[list[int]] = []
+        self._rewire()
+
+    def _rewire(self) -> None:
+        self._snapshot = []
+        for i in range(self.size):
+            others = np.setdiff1d(np.arange(self.size), [i])
+            picks = self._rng.choice(others, size=self.k, replace=False)
+            self._snapshot.append(sorted(int(x) for x in picks))
+
+    def advance(self) -> None:
+        super().advance()
+        self._rewire()
+
+    def neighbors_out(self, i: int) -> list[int]:
+        self._check(i)
+        return list(self._snapshot[i])
+
+
+class ScheduleTopology(DynamicTopology):
+    """Cycle through a fixed list of static topologies, one per epoch."""
+
+    def __init__(self, phases: list[Topology]) -> None:
+        if not phases:
+            raise ValueError("need at least one phase topology")
+        sizes = {t.size for t in phases}
+        if len(sizes) != 1:
+            raise ValueError(f"all phases must share one size, got {sizes}")
+        super().__init__(phases[0].size)
+        self.phases = list(phases)
+
+    @property
+    def current(self) -> Topology:
+        return self.phases[self.epoch % len(self.phases)]
+
+    def neighbors_out(self, i: int) -> list[int]:
+        self._check(i)
+        return self.current.neighbors_out(i)
+
+    def neighbors_in(self, i: int) -> list[int]:
+        self._check(i)
+        return self.current.neighbors_in(i)

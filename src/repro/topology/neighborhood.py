@@ -1,0 +1,110 @@
+"""Cellular (fine-grained) neighbourhood structures.
+
+In a cellular GA every individual sits on a grid cell and interacts only
+with a small local neighbourhood; overlapping neighbourhoods propagate good
+genes by diffusion (Manderick & Spiessens 1989).  These shapes parameterise
+:class:`repro.parallel.cellular.CellularGA` and the Giacobini selection-
+pressure experiment (E5).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "Neighborhood",
+    "VonNeumannNeighborhood",
+    "MooreNeighborhood",
+    "LinearNeighborhood",
+    "CompactNeighborhood",
+]
+
+
+class Neighborhood(abc.ABC):
+    """Relative offsets of a cell's neighbours on a toroidal grid."""
+
+    @property
+    @abc.abstractmethod
+    def offsets(self) -> list[tuple[int, int]]:
+        """(drow, dcol) offsets, excluding (0, 0)."""
+
+    def neighbors(self, row: int, col: int, rows: int, cols: int) -> list[tuple[int, int]]:
+        """Toroidally wrapped neighbour coordinates of ``(row, col)``."""
+        return [((row + dr) % rows, (col + dc) % cols) for dr, dc in self.offsets]
+
+    def neighbor_indices(self, idx: int, rows: int, cols: int) -> list[int]:
+        """Flat-index version for grid stored row-major."""
+        r, c = divmod(idx, cols)
+        return [rr * cols + cc for rr, cc in self.neighbors(r, c, rows, cols)]
+
+    @property
+    def size(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def radius(self) -> float:
+        """Mean displacement — the knob controlling diffusion speed."""
+        d = np.asarray(self.offsets, dtype=float)
+        return float(np.sqrt((d * d).sum(axis=1)).mean())
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.replace("Neighborhood", "").lower()
+
+
+class VonNeumannNeighborhood(Neighborhood):
+    """N/S/E/W — the classic 'linear 5' (minus centre) cGA neighbourhood."""
+
+    @property
+    def offsets(self) -> list[tuple[int, int]]:
+        return [(-1, 0), (1, 0), (0, -1), (0, 1)]
+
+
+class MooreNeighborhood(Neighborhood):
+    """All 8 surrounding cells ('compact 9' minus centre)."""
+
+    @property
+    def offsets(self) -> list[tuple[int, int]]:
+        return [
+            (dr, dc)
+            for dr in (-1, 0, 1)
+            for dc in (-1, 0, 1)
+            if (dr, dc) != (0, 0)
+        ]
+
+
+class LinearNeighborhood(Neighborhood):
+    """L cells along each axis arm ('linear 2L+1'-style)."""
+
+    def __init__(self, arm: int = 2) -> None:
+        if arm < 1:
+            raise ValueError(f"arm must be >= 1, got {arm}")
+        self.arm = arm
+
+    @property
+    def offsets(self) -> list[tuple[int, int]]:
+        out: list[tuple[int, int]] = []
+        for d in range(1, self.arm + 1):
+            out.extend([(-d, 0), (d, 0), (0, -d), (0, d)])
+        return out
+
+
+class CompactNeighborhood(Neighborhood):
+    """All cells within Chebyshev distance ``radius`` (square block)."""
+
+    def __init__(self, radius: int = 2) -> None:
+        if radius < 1:
+            raise ValueError(f"radius must be >= 1, got {radius}")
+        self.block = radius
+
+    @property
+    def offsets(self) -> list[tuple[int, int]]:
+        r = self.block
+        return [
+            (dr, dc)
+            for dr in range(-r, r + 1)
+            for dc in range(-r, r + 1)
+            if (dr, dc) != (0, 0)
+        ]

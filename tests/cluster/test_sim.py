@@ -1,0 +1,201 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.cluster import Inbox, SimulationError, Simulator, Timeout
+
+
+class TestTimeouts:
+    def test_time_advances(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield Timeout(1.5)
+            log.append(sim.now)
+            yield Timeout(2.0)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [1.5, 3.5]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_zero_timeout_allowed(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(0.0)
+            return "done"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.finished and p.value == "done"
+
+
+class TestOrdering:
+    def test_events_fire_in_timestamp_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_later(3.0, lambda: order.append("c"))
+        sim.call_later(1.0, lambda: order.append("a"))
+        sim.call_later(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.call_later(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_call_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_call_at_past_rejected(self):
+        sim = Simulator()
+        sim.call_later(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+
+class TestInbox:
+    def test_get_waits_for_put(self):
+        sim = Simulator()
+        box = sim.inbox()
+        got = []
+
+        def consumer():
+            item = yield box
+            got.append((sim.now, item))
+
+        def producer():
+            yield Timeout(2.0)
+            box.put("hello")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(2.0, "hello")]
+
+    def test_get_immediate_when_item_present(self):
+        sim = Simulator()
+        box = sim.inbox()
+        box.put("x")
+        got = []
+
+        def consumer():
+            got.append((yield box))
+
+        sim.process(consumer())
+        sim.run()
+        assert got == ["x"]
+
+    def test_fifo_item_order(self):
+        sim = Simulator()
+        box = sim.inbox()
+        for k in range(3):
+            box.put(k)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield box))
+
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_two_consumers_each_get_one(self):
+        sim = Simulator()
+        box = sim.inbox()
+        got = []
+
+        def consumer(tag):
+            item = yield box
+            got.append((tag, item))
+
+        sim.process(consumer("a"))
+        sim.process(consumer("b"))
+        sim.call_later(1.0, box.put, "x")
+        sim.call_later(2.0, box.put, "y")
+        sim.run()
+        assert sorted(got) == [("a", "x"), ("b", "y")]
+
+    def test_put_later_models_latency(self):
+        sim = Simulator()
+        box = sim.inbox()
+        got = []
+
+        def consumer():
+            item = yield box
+            got.append(sim.now)
+
+        sim.process(consumer())
+        sim.put_later(3.5, box, "late")
+        sim.run()
+        assert got == [3.5]
+
+
+class TestRunControls:
+    def test_until_stops_clock(self):
+        sim = Simulator()
+        sim.call_later(10.0, lambda: None)
+        t = sim.run(until=5.0)
+        assert t == 5.0
+        # the event is still queued and fires on resume
+        t = sim.run()
+        assert t == 10.0
+
+    def test_event_cap(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield Timeout(1.0)
+
+        sim.process(forever())
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_run_until_complete_detects_deadlock(self):
+        sim = Simulator()
+        box = sim.inbox()
+
+        def starving():
+            yield box  # nobody ever puts
+
+        p = sim.process(starving())
+        with pytest.raises(SimulationError):
+            sim.run_until_complete([p])
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def answer():
+            yield Timeout(1.0)
+            return 42
+
+        p = sim.process(answer())
+        sim.run()
+        assert p.value == 42
+
+    def test_unsupported_yield_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield "what"
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,32 @@
+"""Dedicated tests for the execution-trace recorder."""
+
+from repro.cluster import Trace, TraceEvent
+
+
+class TestTrace:
+    def test_record_and_query(self):
+        t = Trace()
+        t.record(1.0, "dispatch", node=3)
+        t.record(2.0, "dispatch", node=4)
+        t.record(2.5, "failure", node=3)
+        assert len(t) == 3
+        assert t.count("dispatch") == 2
+        assert t.kinds() == {"dispatch", "failure"}
+        assert [e["node"] for e in t.of_kind("dispatch")] == [3, 4]
+
+    def test_events_preserve_order(self):
+        t = Trace()
+        for k in range(5):
+            t.record(float(k), "tick", k=k)
+        assert [e.time for e in t] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_event_field_access(self):
+        e = TraceEvent(time=1.0, kind="msg", fields={"src": 0, "dst": 1})
+        assert e["src"] == 0 and e["dst"] == 1
+        assert e.time == 1.0
+
+    def test_empty_trace(self):
+        t = Trace()
+        assert len(t) == 0
+        assert t.kinds() == set()
+        assert t.of_kind("anything") == []

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BinarySpec, GAConfig, Individual, Population
+from repro.problems import OneMax
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def onemax() -> OneMax:
+    return OneMax(20)
+
+
+def make_population(
+    fitnesses: list[float], *, maximize: bool = True, length: int = 4
+) -> Population:
+    """Population with prescribed fitnesses and arbitrary binary genomes."""
+    inds = []
+    for i, f in enumerate(fitnesses):
+        g = np.zeros(length, dtype=np.int8)
+        g[: i % (length + 1)] = 1
+        ind = Individual(genome=g)
+        ind.fitness = float(f)
+        inds.append(ind)
+    return Population(inds, maximize=maximize)
+
+
+@pytest.fixture
+def small_config() -> GAConfig:
+    return GAConfig(population_size=20, elitism=1)

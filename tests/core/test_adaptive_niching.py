@@ -1,0 +1,199 @@
+"""Tests for adaptive operators and niching (survey §6 features)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GAConfig,
+    GenerationalEngine,
+    Individual,
+    Population,
+    Problem,
+    RealVectorSpec,
+    SharedFitnessProblem,
+    distinct_peaks,
+    niche_counts,
+)
+from repro.core.operators import (
+    DecayingGaussianMutation,
+    SelfAdaptiveGaussianMutation,
+    extend_spec_with_sigma,
+)
+
+
+class TestDecayingGaussian:
+    def test_sigma_decays(self, rng):
+        mut = DecayingGaussianMutation(sigma0=1.0, decay=0.5, calls_per_generation=10)
+        s0 = mut.sigma
+        for _ in range(10):
+            mut(rng, np.zeros(4))
+        assert mut.sigma == pytest.approx(s0 * 0.5)
+
+    def test_sigma_floor(self, rng):
+        mut = DecayingGaussianMutation(
+            sigma0=1.0, decay=0.1, sigma_final=0.05, calls_per_generation=1
+        )
+        for _ in range(100):
+            mut(rng, np.zeros(4))
+        assert mut.sigma == 0.05
+
+    def test_clipping(self, rng):
+        mut = DecayingGaussianMutation(sigma0=5.0, lower=0.0, upper=1.0)
+        out = mut(rng, np.full(100, 0.5))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DecayingGaussianMutation(sigma0=0.0)
+        with pytest.raises(ValueError):
+            DecayingGaussianMutation(decay=1.5)
+
+
+class TestSelfAdaptive:
+    def test_sigma_gene_drives_step_size(self, rng):
+        mut = SelfAdaptiveGaussianMutation(tau=1e-9)  # effectively fixed sigma
+        big = np.array([0.0] * 10 + [0.0])    # sigma = 1
+        small = np.array([0.0] * 10 + [-3.0])  # sigma = 1e-3
+        step_big = np.abs(mut(rng, big)[:-1]).mean()
+        step_small = np.abs(mut(rng, small)[:-1]).mean()
+        assert step_big > 100 * step_small
+
+    def test_sigma_of(self):
+        assert SelfAdaptiveGaussianMutation.sigma_of(np.array([1.0, -2.0])) == pytest.approx(0.01)
+
+    def test_extend_spec(self):
+        spec = RealVectorSpec(5, -1.0, 1.0)
+        ext = extend_spec_with_sigma(spec, log_sigma_range=(-4.0, -1.0))
+        assert ext.length == 6
+        lo, hi = ext.bounds()
+        assert lo[-1] == -4.0 and hi[-1] == -1.0
+        assert lo[0] == -1.0 and hi[0] == 1.0
+
+    def test_too_short_genome(self, rng):
+        with pytest.raises(ValueError):
+            SelfAdaptiveGaussianMutation()(rng, np.array([0.0]))
+
+    def test_self_adaptation_solves_sphere(self):
+        """End to end: the strategy gene lets the GA fine-tune steps."""
+        from repro.problems import Sphere
+
+        base = Sphere(dims=6)
+
+        class SelfAdaptiveSphere(Problem):
+            def __init__(self):
+                self.spec = extend_spec_with_sigma(base.spec)
+                self.maximize = False
+                self.optimum = 0.0
+                self.target = 1e-2
+
+            def evaluate(self, g):
+                return base.evaluate(g[:-1])
+
+        cfg = GAConfig(
+            population_size=40,
+            mutation=SelfAdaptiveGaussianMutation(),
+            elitism=1,
+        )
+        res = GenerationalEngine(SelfAdaptiveSphere(), cfg, seed=1).run(120)
+        assert res.best_fitness < 0.5
+
+
+def _pop_at(points: list[list[float]], fitnesses: list[float]) -> Population:
+    inds = []
+    for p, f in zip(points, fitnesses):
+        ind = Individual(genome=np.asarray(p, dtype=float))
+        ind.fitness = f
+        inds.append(ind)
+    return Population(inds, maximize=True)
+
+
+class TestNicheCounts:
+    def test_isolated_points_count_one(self):
+        g = np.array([[0.0], [100.0]])
+        counts = niche_counts(g, sigma_share=1.0)
+        assert np.allclose(counts, 1.0)
+
+    def test_coincident_points_count_n(self):
+        g = np.zeros((4, 2))
+        counts = niche_counts(g, sigma_share=1.0)
+        assert np.allclose(counts, 4.0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            niche_counts(np.zeros((2, 1)), sigma_share=0.0)
+
+
+class TestSharedFitness:
+    def test_crowded_fitness_divided(self):
+        class Flat(Problem):
+            def __init__(self):
+                self.spec = RealVectorSpec(1, -10, 10)
+                self.maximize = True
+
+            def evaluate(self, g):
+                return 8.0
+
+        shared = SharedFitnessProblem(Flat(), sigma_share=1.0)
+        crowd = [np.array([0.0])] * 4 + [np.array([9.0])]
+        out = shared.evaluate_many(crowd)
+        assert out[-1] == pytest.approx(8.0)      # lone point keeps raw fitness
+        assert out[0] == pytest.approx(2.0)        # 4-crowd divides by 4
+
+    def test_rejects_minimization(self):
+        from repro.problems import Sphere
+
+        with pytest.raises(ValueError):
+            SharedFitnessProblem(Sphere(), sigma_share=1.0)
+
+    def test_sharing_maintains_two_peaks(self):
+        """Classic niching demo: equal twin peaks, sharing holds both."""
+
+        class TwinPeaks(Problem):
+            def __init__(self):
+                self.spec = RealVectorSpec(1, 0.0, 1.0)
+                self.maximize = True
+
+            def evaluate(self, g):
+                x = float(g[0])
+                return float(
+                    np.exp(-200 * (x - 0.2) ** 2) + np.exp(-200 * (x - 0.8) ** 2)
+                )
+
+        def peaks_found(problem, seed) -> int:
+            eng = GenerationalEngine(
+                problem, GAConfig(population_size=60, elitism=0), seed=seed
+            )
+            eng.run(40)
+            # re-evaluate raw fitness for peak extraction
+            for ind in eng.population:
+                ind.fitness = (
+                    problem.inner.evaluate(ind.genome)
+                    if isinstance(problem, SharedFitnessProblem)
+                    else problem.evaluate(ind.genome)
+                )
+            found = distinct_peaks(eng.population, min_distance=0.3)
+            return sum(1 for p in found if p.require_fitness() > 0.5)
+
+        raw = TwinPeaks()
+        shared = SharedFitnessProblem(TwinPeaks(), sigma_share=0.3)
+        shared_counts = [peaks_found(shared, s) for s in range(3)]
+        assert max(shared_counts) == 2, f"sharing failed to hold both peaks: {shared_counts}"
+
+
+class TestDistinctPeaks:
+    def test_greedy_extraction(self):
+        pop = _pop_at([[0.0], [0.1], [5.0], [9.9]], [10.0, 9.0, 8.0, 7.0])
+        peaks = distinct_peaks(pop, min_distance=1.0, top_fraction=1.0)
+        assert [p.require_fitness() for p in peaks] == [10.0, 8.0, 7.0]
+
+    def test_top_fraction_limits_candidates(self):
+        pop = _pop_at([[float(i)] for i in range(8)], [float(i) for i in range(8)])
+        peaks = distinct_peaks(pop, min_distance=0.5, top_fraction=0.25)
+        assert len(peaks) == 2  # only the top 2 of 8 considered
+
+    def test_invalid_params(self):
+        pop = _pop_at([[0.0]], [1.0])
+        with pytest.raises(ValueError):
+            distinct_peaks(pop, min_distance=0.0)
+        with pytest.raises(ValueError):
+            distinct_peaks(pop, min_distance=1.0, top_fraction=0.0)

@@ -1,0 +1,49 @@
+"""Unit tests for callbacks and run history."""
+
+from repro.core import GAConfig, GenerationalEngine, History, LambdaCallback
+from repro.problems import OneMax
+
+
+class TestHistory:
+    def test_curves_lengths_match(self):
+        eng = GenerationalEngine(OneMax(12), GAConfig(population_size=8), seed=1)
+        eng.run(10)
+        h = eng.history
+        assert len(h.best_curve()) == len(h.mean_curve()) == len(h)
+        assert len(h) >= 2  # generation 0 + at least one step
+
+    def test_best_curve_monotone_with_elitism(self):
+        eng = GenerationalEngine(
+            OneMax(12), GAConfig(population_size=8, elitism=1), seed=1
+        )
+        eng.run(15)
+        curve = eng.history.best_curve()
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_evaluations_curve_increasing(self):
+        eng = GenerationalEngine(OneMax(12), GAConfig(population_size=8), seed=1)
+        eng.run(5)
+        evals = eng.history.evaluations_curve()
+        assert all(b > a for a, b in zip(evals, evals[1:]))
+
+
+class TestLambdaCallback:
+    def test_invoked_every_generation(self):
+        calls = []
+        cb = LambdaCallback(lambda state, pop: calls.append(state.generation))
+        eng = GenerationalEngine(
+            OneMax(12), GAConfig(population_size=8), seed=1, callbacks=[cb]
+        )
+        eng.run(4)
+        assert calls[0] == 0
+        assert calls == sorted(calls)
+        assert len(calls) == len(eng.history)
+
+    def test_callback_sees_evaluated_population(self):
+        seen = []
+        cb = LambdaCallback(lambda state, pop: seen.append(pop.all_evaluated))
+        eng = GenerationalEngine(
+            OneMax(12), GAConfig(population_size=8), seed=1, callbacks=[cb]
+        )
+        eng.run(3)
+        assert all(seen)

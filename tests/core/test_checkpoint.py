@@ -1,0 +1,111 @@
+"""Tests for engine checkpoint/resume."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EngineSnapshot,
+    GAConfig,
+    GenerationalEngine,
+    SteadyStateEngine,
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+    snapshot_engine,
+)
+from repro.problems import OneMax
+
+
+def fresh_engine(seed=7, cls=GenerationalEngine):
+    return cls(OneMax(24), GAConfig(population_size=12, elitism=1), seed=seed)
+
+
+class TestSnapshot:
+    def test_uninitialised_engine_rejected(self):
+        with pytest.raises(ValueError):
+            snapshot_engine(fresh_engine())
+
+    def test_snapshot_captures_counters(self):
+        eng = fresh_engine()
+        eng.run(5)
+        snap = snapshot_engine(eng)
+        assert snap.generation == eng.state.generation
+        assert snap.evaluations == eng.state.evaluations
+        assert len(snap.genomes) == 12
+
+    def test_snapshot_is_a_copy(self):
+        eng = fresh_engine()
+        eng.initialize()
+        snap = snapshot_engine(eng)
+        eng.population[0].genome[:] = -1
+        assert snap.genomes[0][0] != -1
+
+
+class TestResumeEquivalence:
+    @pytest.mark.parametrize("cls", [GenerationalEngine, SteadyStateEngine])
+    def test_resumed_run_matches_uninterrupted_run(self, cls):
+        """The acid test: stop-snapshot-restore-continue must equal a run
+        that never stopped."""
+        reference = fresh_engine(seed=9, cls=cls)
+        reference.run(12)
+
+        first_half = fresh_engine(seed=9, cls=cls)
+        first_half.run(6)
+        snap = snapshot_engine(first_half)
+
+        resumed = fresh_engine(seed=9, cls=cls)
+        restore_engine(resumed, snap)
+        resumed.run(12)  # termination counts total generations
+
+        assert resumed.state.generation == reference.state.generation
+        assert resumed.state.evaluations == reference.state.evaluations
+        assert resumed.best_so_far.require_fitness() == pytest.approx(
+            reference.best_so_far.require_fitness()
+        )
+        assert np.array_equal(
+            resumed.population.fitness_array(), reference.population.fitness_array()
+        )
+
+    def test_rng_state_restored(self):
+        eng = fresh_engine(seed=3)
+        eng.run(3)
+        snap = snapshot_engine(eng)
+        value_after = eng.rng.random()
+        resumed = fresh_engine(seed=999)  # wrong seed — state must override
+        restore_engine(resumed, snap)
+        assert resumed.rng.random() == value_after
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        eng = fresh_engine(seed=4)
+        eng.run(4)
+        path = save_checkpoint(eng, tmp_path / "run.ckpt")
+        assert path.exists()
+        resumed = fresh_engine(seed=4)
+        load_checkpoint(resumed, path)
+        assert resumed.state.generation == eng.state.generation
+        assert resumed.population.best().fitness == eng.population.best().fitness
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        eng = fresh_engine(seed=4)
+        eng.run(2)
+        save_checkpoint(eng, tmp_path / "run.ckpt")
+        assert not (tmp_path / "run.ckpt.tmp").exists()
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        with open(path, "wb") as fh:
+            pickle.dump({"not": "a snapshot"}, fh)
+        with pytest.raises(ValueError):
+            load_checkpoint(fresh_engine(), path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        eng = fresh_engine()
+        eng.run(2)
+        snap = snapshot_engine(eng)
+        snap.version = 999
+        with pytest.raises(ValueError):
+            restore_engine(fresh_engine(), snap)

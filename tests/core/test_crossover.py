@@ -1,0 +1,213 @@
+"""Unit tests for crossover operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.genome import (
+    BinarySpec,
+    IntegerVectorSpec,
+    PermutationSpec,
+    RealVectorSpec,
+)
+from repro.core.operators.crossover import (
+    ArithmeticCrossover,
+    BlendCrossover,
+    CycleCrossover,
+    KPointCrossover,
+    OnePointCrossover,
+    OrderCrossover,
+    PartiallyMappedCrossover,
+    SimulatedBinaryCrossover,
+    TwoDimensionalCrossover,
+    TwoPointCrossover,
+    UniformCrossover,
+    crossover_for_spec,
+)
+
+DISCRETE_OPS = [
+    OnePointCrossover(),
+    TwoPointCrossover(),
+    KPointCrossover(k=3),
+    UniformCrossover(),
+]
+PERM_OPS = [PartiallyMappedCrossover(), OrderCrossover(), CycleCrossover()]
+
+
+@pytest.mark.parametrize("op", DISCRETE_OPS, ids=lambda o: type(o).__name__)
+class TestDiscreteCrossovers:
+    def test_children_have_parent_genes_per_locus(self, rng, op):
+        a = np.zeros(20, dtype=np.int8)
+        b = np.ones(20, dtype=np.int8)
+        ca, cb = op(rng, a, b)
+        # at every locus the two children carry {0, 1} between them
+        assert np.all(ca + cb == 1)
+
+    def test_parents_unmodified(self, rng, op):
+        a = np.zeros(10, dtype=np.int8)
+        b = np.ones(10, dtype=np.int8)
+        op(rng, a, b)
+        assert a.sum() == 0 and b.sum() == 10
+
+    def test_shape_mismatch_raises(self, rng, op):
+        with pytest.raises(ValueError):
+            op(rng, np.zeros(5), np.zeros(6))
+
+    def test_identical_parents_give_identical_children(self, rng, op):
+        a = np.array([1, 0, 1, 1, 0], dtype=np.int8)
+        ca, cb = op(rng, a, a.copy())
+        assert np.array_equal(ca, a) and np.array_equal(cb, a)
+
+
+class TestOnePoint:
+    def test_cut_structure(self, rng):
+        a = np.zeros(10, dtype=np.int8)
+        b = np.ones(10, dtype=np.int8)
+        ca, _ = OnePointCrossover()(rng, a, b)
+        # child a must be 0^k 1^(10-k) with 1 <= k <= 9
+        flips = np.flatnonzero(np.diff(ca))
+        assert len(flips) == 1
+
+    def test_length_one_returns_copies(self, rng):
+        a, b = np.array([0], dtype=np.int8), np.array([1], dtype=np.int8)
+        ca, cb = OnePointCrossover()(rng, a, b)
+        assert ca[0] == 0 and cb[0] == 1
+
+
+class TestKPoint:
+    def test_segment_count_bounded_by_k(self, rng):
+        op = KPointCrossover(k=2)
+        a = np.zeros(30, dtype=np.int8)
+        b = np.ones(30, dtype=np.int8)
+        ca, _ = op(rng, a, b)
+        assert len(np.flatnonzero(np.diff(ca))) <= 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KPointCrossover(k=0)
+
+
+class TestUniform:
+    def test_swap_prob_zero_copies(self, rng):
+        a = np.zeros(8, dtype=np.int8)
+        b = np.ones(8, dtype=np.int8)
+        ca, cb = UniformCrossover(swap_prob=0.0)(rng, a, b)
+        assert np.array_equal(ca, a) and np.array_equal(cb, b)
+
+    def test_swap_prob_one_swaps_all(self, rng):
+        a = np.zeros(8, dtype=np.int8)
+        b = np.ones(8, dtype=np.int8)
+        ca, cb = UniformCrossover(swap_prob=1.0)(rng, a, b)
+        assert np.array_equal(ca, b) and np.array_equal(cb, a)
+
+    def test_invalid_prob(self):
+        with pytest.raises(ValueError):
+            UniformCrossover(swap_prob=1.5)
+
+
+class TestRealCrossovers:
+    def test_arithmetic_is_convex(self, rng):
+        a = np.array([0.0, 0.0])
+        b = np.array([1.0, 2.0])
+        ca, cb = ArithmeticCrossover()(rng, a, b)
+        assert np.all(ca >= a) and np.all(ca <= b)
+        assert np.allclose(ca + cb, a + b)  # mass conservation
+
+    def test_arithmetic_fixed_alpha(self, rng):
+        ca, cb = ArithmeticCrossover(alpha=0.25)(rng, np.array([0.0]), np.array([4.0]))
+        assert np.isclose(ca[0], 3.0) and np.isclose(cb[0], 1.0)
+
+    def test_blend_extends_range(self, rng):
+        a, b = np.array([0.0] * 50), np.array([1.0] * 50)
+        children = np.concatenate(BlendCrossover(alpha=0.5)(rng, a, b))
+        assert children.min() >= -0.5 and children.max() <= 1.5
+        # with alpha=0.5 some genes should exceed the parent box
+        assert (children < 0).any() or (children > 1).any()
+
+    def test_sbx_preserves_centroid(self, rng):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([4.0, 0.0, 3.0])
+        ca, cb = SimulatedBinaryCrossover()(rng, a, b)
+        assert np.allclose(ca + cb, a + b)
+
+    def test_sbx_high_eta_stays_near_parents(self, rng):
+        a = np.array([0.0] * 20)
+        b = np.array([1.0] * 20)
+        ca, _ = SimulatedBinaryCrossover(eta=1000.0, per_gene_prob=1.0)(rng, a, b)
+        assert np.all(np.minimum(np.abs(ca), np.abs(ca - 1.0)) < 0.05)
+
+
+@pytest.mark.parametrize("op", PERM_OPS, ids=lambda o: type(o).__name__)
+class TestPermutationCrossovers:
+    def test_children_are_permutations(self, rng, op):
+        spec = PermutationSpec(15)
+        for _ in range(10):
+            a, b = spec.sample(rng), spec.sample(rng)
+            ca, cb = op(rng, a, b)
+            assert spec.is_valid(ca), f"{op} produced invalid child {ca}"
+            assert spec.is_valid(cb)
+
+    def test_identical_parents_fixed_point(self, rng, op):
+        a = np.arange(8)
+        ca, cb = op(rng, a, a.copy())
+        assert np.array_equal(ca, a) and np.array_equal(cb, a)
+
+    def test_parents_unmodified(self, rng, op):
+        a, b = np.arange(8), np.arange(8)[::-1].copy()
+        a0, b0 = a.copy(), b.copy()
+        op(rng, a, b)
+        assert np.array_equal(a, a0) and np.array_equal(b, b0)
+
+
+class TestCycleCrossoverStructure:
+    def test_every_locus_from_some_parent(self, rng):
+        a = np.array([0, 1, 2, 3, 4])
+        b = np.array([1, 2, 3, 4, 0])
+        ca, cb = CycleCrossover()(rng, a, b)
+        for k in range(5):
+            assert ca[k] in (a[k], b[k])
+            assert cb[k] in (a[k], b[k])
+
+
+class TestTwoDimensional:
+    def test_block_exchange(self, rng):
+        op = TwoDimensionalCrossover(rows=4, cols=5)
+        a = np.zeros(20)
+        b = np.ones(20)
+        ca, cb = op(rng, a, b)
+        # whatever a lost, b gained
+        assert np.allclose(ca + cb, 1.0)
+        # the swapped region is a contiguous rectangle in 2-D
+        A = ca.reshape(4, 5)
+        rows_touched = np.flatnonzero(A.any(axis=1))
+        cols_touched = np.flatnonzero(A.any(axis=0))
+        if rows_touched.size:
+            assert np.array_equal(
+                rows_touched, np.arange(rows_touched[0], rows_touched[-1] + 1)
+            )
+            assert np.array_equal(
+                cols_touched, np.arange(cols_touched[0], cols_touched[-1] + 1)
+            )
+
+    def test_wrong_length_raises(self, rng):
+        with pytest.raises(ValueError):
+            TwoDimensionalCrossover(rows=2, cols=2)(rng, np.zeros(5), np.zeros(5))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            TwoDimensionalCrossover(rows=0, cols=3)
+
+
+class TestDefaults:
+    def test_defaults_per_spec(self):
+        assert isinstance(crossover_for_spec(BinarySpec(4)), TwoPointCrossover)
+        assert isinstance(
+            crossover_for_spec(RealVectorSpec(4)), SimulatedBinaryCrossover
+        )
+        assert isinstance(crossover_for_spec(PermutationSpec(4)), OrderCrossover)
+        assert isinstance(
+            crossover_for_spec(IntegerVectorSpec(4, 0, 3)), TwoPointCrossover
+        )
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(TypeError):
+            crossover_for_spec(object())

@@ -1,0 +1,207 @@
+"""Unit + behavioural tests for the sequential engines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GAConfig,
+    GenerationalEngine,
+    Individual,
+    MaxEvaluations,
+    MaxGenerations,
+    Problem,
+    RealVectorSpec,
+    Stagnation,
+    SteadyStateEngine,
+    TargetFitness,
+)
+from repro.problems import OneMax, Sphere, ZeroMax
+
+
+class TestInitialization:
+    def test_initialize_evaluates_everyone(self, onemax):
+        eng = GenerationalEngine(onemax, GAConfig(population_size=10), seed=1)
+        pop = eng.initialize()
+        assert len(pop) == 10 and pop.all_evaluated
+        assert eng.state.evaluations == 10
+
+    def test_initialize_with_seeded_individuals(self, onemax):
+        eng = GenerationalEngine(onemax, GAConfig(population_size=4), seed=1)
+        seeds = [Individual(genome=np.ones(20, dtype=np.int8)) for _ in range(4)]
+        pop = eng.initialize(seeds)
+        assert pop.best().fitness == 20.0
+
+    def test_history_records_generation_zero(self, onemax):
+        eng = GenerationalEngine(onemax, GAConfig(population_size=6), seed=1)
+        eng.initialize()
+        assert len(eng.history) == 1
+
+    def test_result_before_init_raises(self, onemax):
+        eng = GenerationalEngine(onemax, seed=1)
+        with pytest.raises(RuntimeError):
+            eng.result()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("cls", [GenerationalEngine, SteadyStateEngine])
+    def test_same_seed_same_trajectory(self, onemax, cls):
+        r1 = cls(onemax, GAConfig(population_size=12), seed=7).run(15)
+        r2 = cls(onemax, GAConfig(population_size=12), seed=7).run(15)
+        assert r1.best_fitness == r2.best_fitness
+        assert r1.evaluations == r2.evaluations
+        assert np.array_equal(r1.best.genome, r2.best.genome)
+
+    def test_different_seeds_differ(self, onemax):
+        r1 = GenerationalEngine(onemax, GAConfig(population_size=12), seed=1).run(3)
+        r2 = GenerationalEngine(onemax, GAConfig(population_size=12), seed=2).run(3)
+        assert not np.array_equal(
+            r1.population[0].genome, r2.population[0].genome
+        )
+
+
+class TestConvergence:
+    def test_generational_solves_onemax(self):
+        p = OneMax(30)
+        res = GenerationalEngine(p, GAConfig(population_size=50), seed=3).run(200)
+        assert res.solved and res.best_fitness == 30.0
+
+    def test_steady_state_solves_onemax(self):
+        p = OneMax(30)
+        res = SteadyStateEngine(p, GAConfig(population_size=50), seed=3).run(200)
+        assert res.solved
+
+    def test_minimization_direction(self):
+        p = ZeroMax(20)
+        res = GenerationalEngine(p, GAConfig(population_size=40), seed=5).run(100)
+        assert res.best_fitness <= 2.0
+
+    def test_continuous_problem_improves(self):
+        p = Sphere(dims=5)
+        eng = GenerationalEngine(p, GAConfig(population_size=40), seed=2)
+        eng.initialize()
+        start = eng.population.best().fitness
+        res = eng.run(60)
+        assert res.best_fitness < start * 0.1
+
+
+class TestElitism:
+    def test_best_never_degrades_with_elitism(self, onemax):
+        eng = GenerationalEngine(onemax, GAConfig(population_size=16, elitism=2), seed=4)
+        eng.initialize()
+        bests = []
+        for _ in range(20):
+            eng.step()
+            bests.append(eng.population.best().fitness)
+        assert all(b2 >= b1 for b1, b2 in zip(bests, bests[1:]))
+
+    def test_population_size_constant(self, onemax):
+        eng = GenerationalEngine(onemax, GAConfig(population_size=15, elitism=3), seed=4)
+        eng.initialize()
+        for _ in range(5):
+            eng.step()
+            assert len(eng.population) == 15
+
+
+class TestSteadyState:
+    def test_population_never_shrinks(self, onemax):
+        eng = SteadyStateEngine(onemax, GAConfig(population_size=10), seed=1)
+        eng.initialize()
+        for _ in range(5):
+            eng.step()
+            assert len(eng.population) == 10
+
+    def test_one_generation_is_popsize_births(self, onemax):
+        eng = SteadyStateEngine(onemax, GAConfig(population_size=10), seed=1)
+        eng.initialize()
+        before = eng.state.evaluations
+        eng.step()
+        assert eng.state.evaluations - before == 10
+
+    def test_default_replacement_never_worsens(self, onemax):
+        eng = SteadyStateEngine(onemax, GAConfig(population_size=10), seed=2)
+        eng.initialize()
+        worst_before = eng.population.worst().fitness
+        eng.step()
+        assert eng.population.worst().fitness >= worst_before
+
+
+class TestTerminationIntegration:
+    def test_stops_on_target(self):
+        p = OneMax(10)
+        res = GenerationalEngine(p, GAConfig(population_size=30), seed=1).run(
+            TargetFitness(10.0) | MaxGenerations(500)
+        )
+        assert res.solved and res.stop_reason == "solved"
+
+    def test_stops_on_evaluation_budget(self, onemax):
+        res = GenerationalEngine(onemax, GAConfig(population_size=10), seed=1).run(
+            MaxEvaluations(45)
+        )
+        assert res.evaluations >= 45
+        assert res.evaluations <= 45 + 10  # at most one generation overshoot
+
+    def test_int_shorthand(self, onemax):
+        res = GenerationalEngine(onemax, GAConfig(population_size=10), seed=1).run(5)
+        assert res.generations <= 5
+
+    def test_stagnation_stops(self):
+        p = OneMax(10)
+        res = GenerationalEngine(p, GAConfig(population_size=30), seed=1).run(
+            Stagnation(5) | MaxGenerations(500)
+        )
+        assert res.generations < 500
+
+
+class TestBestSoFarTracking:
+    def test_best_so_far_monotone_without_elitism(self, onemax):
+        eng = GenerationalEngine(onemax, GAConfig(population_size=12, elitism=0), seed=6)
+        eng.initialize()
+        bests = [eng.best_so_far.fitness]
+        for _ in range(15):
+            eng.step()
+            bests.append(eng.best_so_far.fitness)
+        assert all(b2 >= b1 for b1, b2 in zip(bests, bests[1:]))
+
+    def test_result_best_is_copy(self, onemax):
+        eng = GenerationalEngine(onemax, GAConfig(population_size=8), seed=1)
+        res = eng.run(2)
+        res.best.genome[:] = -1
+        assert eng.best_so_far.genome[0] != -1
+
+
+class TestEvaluatorSeam:
+    def test_broken_evaluator_detected(self, onemax):
+        class Broken:
+            def evaluate(self, problem, genomes):
+                return [1.0]  # wrong length
+
+        eng = GenerationalEngine(onemax, GAConfig(population_size=5), seed=1, evaluator=Broken())
+        with pytest.raises(RuntimeError):
+            eng.initialize()
+
+    def test_custom_evaluator_used(self, onemax):
+        calls = []
+
+        class Spy:
+            def evaluate(self, problem, genomes):
+                calls.append(len(genomes))
+                return problem.evaluate_many(genomes)
+
+        eng = GenerationalEngine(onemax, GAConfig(population_size=5), seed=1, evaluator=Spy())
+        eng.initialize()
+        assert calls == [5]
+
+
+class TestRepairIntegration:
+    def test_offspring_respect_bounds(self):
+        class Bounded(Problem):
+            def __init__(self):
+                self.spec = RealVectorSpec(4, 0.0, 1.0)
+                self.maximize = False
+
+            def evaluate(self, g):
+                assert np.all(g >= 0.0) and np.all(g <= 1.0), "unrepaired genome"
+                return float(g.sum())
+
+        res = GenerationalEngine(Bounded(), GAConfig(population_size=10), seed=1).run(10)
+        assert res.generations == 10

@@ -1,0 +1,138 @@
+"""Unit tests for genome specifications."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BinarySpec,
+    IntegerVectorSpec,
+    PermutationSpec,
+    RealVectorSpec,
+)
+
+
+class TestBinarySpec:
+    def test_sample_shape_and_domain(self, rng):
+        spec = BinarySpec(32)
+        g = spec.sample(rng)
+        assert g.shape == (32,)
+        assert set(np.unique(g)) <= {0, 1}
+
+    def test_sample_is_valid(self, rng):
+        spec = BinarySpec(16)
+        for _ in range(20):
+            assert spec.is_valid(spec.sample(rng))
+
+    def test_invalid_wrong_length(self):
+        spec = BinarySpec(8)
+        assert not spec.is_valid(np.zeros(9, dtype=np.int8))
+
+    def test_invalid_non_binary_values(self):
+        spec = BinarySpec(4)
+        assert not spec.is_valid(np.array([0, 1, 2, 0]))
+
+    def test_repair_clips_and_rounds(self, rng):
+        spec = BinarySpec(4)
+        repaired = spec.repair(np.array([-1.0, 0.4, 0.9, 3.0]), rng)
+        assert spec.is_valid(repaired)
+        assert repaired.tolist() == [0, 0, 1, 1]
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            BinarySpec(0)
+
+    def test_sample_population_count(self, rng):
+        pops = BinarySpec(8).sample_population(rng, 13)
+        assert len(pops) == 13
+
+    def test_samples_cover_both_values(self, rng):
+        g = BinarySpec(200).sample(rng)
+        assert 0 < g.sum() < 200  # astronomically unlikely to fail
+
+
+class TestRealVectorSpec:
+    def test_sample_within_bounds(self, rng):
+        spec = RealVectorSpec(10, -2.0, 3.0)
+        for _ in range(10):
+            g = spec.sample(rng)
+            assert np.all(g >= -2.0) and np.all(g <= 3.0)
+
+    def test_per_gene_bounds(self, rng):
+        lo = np.array([0.0, 10.0])
+        hi = np.array([1.0, 20.0])
+        spec = RealVectorSpec(2, lo, hi)
+        g = spec.sample(rng)
+        assert 0.0 <= g[0] <= 1.0
+        assert 10.0 <= g[1] <= 20.0
+
+    def test_repair_clips(self, rng):
+        spec = RealVectorSpec(3, 0.0, 1.0)
+        repaired = spec.repair(np.array([-5.0, 0.5, 7.0]), rng)
+        assert repaired.tolist() == [0.0, 0.5, 1.0]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RealVectorSpec(3, 1.0, 1.0)
+
+    def test_is_valid_checks_bounds(self):
+        spec = RealVectorSpec(2, 0.0, 1.0)
+        assert spec.is_valid(np.array([0.5, 0.5]))
+        assert not spec.is_valid(np.array([0.5, 1.5]))
+
+    def test_span(self):
+        spec = RealVectorSpec(2, -1.0, 3.0)
+        assert np.allclose(spec.span, 4.0)
+
+
+class TestPermutationSpec:
+    def test_sample_is_permutation(self, rng):
+        spec = PermutationSpec(12)
+        for _ in range(10):
+            g = spec.sample(rng)
+            assert sorted(g.tolist()) == list(range(12))
+
+    def test_is_valid_rejects_duplicates(self):
+        spec = PermutationSpec(4)
+        assert not spec.is_valid(np.array([0, 1, 1, 3]))
+        assert spec.is_valid(np.array([3, 1, 0, 2]))
+
+    def test_repair_restores_validity(self, rng):
+        spec = PermutationSpec(5)
+        broken = np.array([2, 2, 7, 0, 0])
+        fixed = spec.repair(broken, rng)
+        assert spec.is_valid(fixed)
+
+    def test_repair_keeps_first_occurrences_in_order(self, rng):
+        spec = PermutationSpec(5)
+        fixed = spec.repair(np.array([3, 3, 1, 1, 0]), rng)
+        # 3 appears before 1 before 0, and that relative order is preserved
+        pos = {int(v): i for i, v in enumerate(fixed)}
+        assert pos[3] < pos[1] < pos[0]
+
+    def test_length_one_rejected(self):
+        with pytest.raises(ValueError):
+            PermutationSpec(1)
+
+
+class TestIntegerVectorSpec:
+    def test_sample_within_inclusive_bounds(self, rng):
+        spec = IntegerVectorSpec(50, low=-3, high=3)
+        g = spec.sample(rng)
+        assert g.min() >= -3 and g.max() <= 3
+
+    def test_high_is_inclusive(self, rng):
+        spec = IntegerVectorSpec(500, low=0, high=1)
+        g = spec.sample(rng)
+        assert set(np.unique(g)) == {0, 1}
+
+    def test_repair(self, rng):
+        spec = IntegerVectorSpec(3, low=0, high=5)
+        fixed = spec.repair(np.array([-2.0, 2.4, 9.0]), rng)
+        assert fixed.tolist() == [0, 2, 5]
+
+    def test_cardinality(self):
+        assert IntegerVectorSpec(3, low=-1, high=1).cardinality == 3
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerVectorSpec(3, low=2, high=1)

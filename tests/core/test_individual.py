@@ -1,0 +1,78 @@
+"""Unit tests for Individual and fitness comparison helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Individual, best_of, better, sort_by_fitness, worst_of
+
+
+def ind(fitness=None, genome=None) -> Individual:
+    i = Individual(genome=np.zeros(3) if genome is None else genome)
+    i.fitness = fitness
+    return i
+
+
+class TestIndividual:
+    def test_unevaluated_by_default(self):
+        assert not Individual(genome=np.zeros(2)).evaluated
+
+    def test_require_fitness_raises_when_unevaluated(self):
+        with pytest.raises(ValueError):
+            Individual(genome=np.zeros(2)).require_fitness()
+
+    def test_copy_is_deep_for_genome(self):
+        a = ind(1.0, np.array([1.0, 2.0]))
+        b = a.copy()
+        b.genome[0] = 99.0
+        assert a.genome[0] == 1.0
+
+    def test_copy_preserves_fitness_and_attrs(self):
+        a = ind(2.5)
+        a.attrs["tag"] = "x"
+        b = a.copy()
+        assert b.fitness == 2.5 and b.attrs == {"tag": "x"}
+
+    def test_copy_can_override_origin(self):
+        b = ind(1.0).copy(origin="migrant:3")
+        assert b.origin == "migrant:3"
+
+    def test_invalidate_clears_fitness(self):
+        a = ind(1.0)
+        a.invalidate()
+        assert not a.evaluated
+
+    def test_uids_are_unique(self):
+        assert ind().uid != ind().uid
+
+
+class TestComparisons:
+    def test_better_maximize(self):
+        a, b = ind(3.0), ind(1.0)
+        assert better(a, b, maximize=True) is a
+        assert better(a, b, maximize=False) is b
+
+    def test_better_tie_goes_to_first(self):
+        a, b = ind(2.0), ind(2.0)
+        assert better(a, b, maximize=True) is a
+        assert better(a, b, maximize=False) is a
+
+    def test_best_and_worst_of(self):
+        pop = [ind(1.0), ind(5.0), ind(3.0)]
+        assert best_of(pop, True).fitness == 5.0
+        assert worst_of(pop, True).fitness == 1.0
+        assert best_of(pop, False).fitness == 1.0
+        assert worst_of(pop, False).fitness == 5.0
+
+    def test_best_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_of([], True)
+
+    def test_sort_by_fitness_directions(self):
+        pop = [ind(2.0), ind(1.0), ind(3.0)]
+        assert [i.fitness for i in sort_by_fitness(pop, True)] == [3.0, 2.0, 1.0]
+        assert [i.fitness for i in sort_by_fitness(pop, False)] == [1.0, 2.0, 3.0]
+
+    def test_sort_is_stable(self):
+        a, b = ind(1.0), ind(1.0)
+        out = sort_by_fitness([a, b], True)
+        assert out[0] is a and out[1] is b

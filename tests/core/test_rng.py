@@ -1,0 +1,67 @@
+"""Unit tests for RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import derive_rng, ensure_rng, pairwise_indices, spawn_rngs, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_int_seed_deterministic(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert ensure_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_streams_are_independent(self):
+        a, b = spawn_rngs(0, 2)
+        xs = a.random(1000)
+        ys = b.random(1000)
+        assert abs(np.corrcoef(xs, ys)[0, 1]) < 0.1
+        assert not np.allclose(xs, ys)
+
+    def test_reproducible(self):
+        a1, _ = spawn_rngs(42, 2)
+        a2, _ = spawn_rngs(42, 2)
+        assert a1.random() == a2.random()
+
+    def test_spawn_seeds_picklable(self):
+        import pickle
+
+        seeds = spawn_seeds(1, 3)
+        assert len(seeds) == 3
+        pickle.dumps(seeds)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_zero_count_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestDerive:
+    def test_derived_differs_from_parent_stream(self):
+        parent = ensure_rng(3)
+        child = derive_rng(parent)
+        assert not np.allclose(parent.random(100), child.random(100))
+
+
+class TestPairwise:
+    def test_covers_disjoint_pairs(self, rng):
+        pairs = pairwise_indices(rng, 10)
+        flat = [i for p in pairs for i in p]
+        assert len(pairs) == 5
+        assert sorted(flat) == list(range(10))
+
+    def test_odd_population_drops_one(self, rng):
+        pairs = pairwise_indices(rng, 7)
+        assert len(pairs) == 3

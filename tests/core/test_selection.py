@@ -1,0 +1,135 @@
+"""Unit tests for selection operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators.selection import (
+    BestSelection,
+    BoltzmannSelection,
+    LinearRankSelection,
+    RandomSelection,
+    RouletteWheelSelection,
+    StochasticUniversalSampling,
+    TournamentSelection,
+    TruncationSelection,
+)
+
+from ..conftest import make_population
+
+ALL_OPS = [
+    TournamentSelection(2),
+    RouletteWheelSelection(),
+    LinearRankSelection(),
+    StochasticUniversalSampling(),
+    TruncationSelection(0.5),
+    BoltzmannSelection(),
+    RandomSelection(),
+    BestSelection(),
+]
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: type(o).__name__)
+class TestContract:
+    def test_returns_n_individuals(self, rng, op):
+        pop = make_population([1, 2, 3, 4, 5])
+        out = op(rng, pop.individuals, 7, True)
+        assert len(out) == 7
+
+    def test_members_come_from_population(self, rng, op):
+        pop = make_population([1, 2, 3, 4])
+        uids = {i.uid for i in pop}
+        out = op(rng, pop.individuals, 10, True)
+        assert all(i.uid in uids for i in out)
+
+    def test_minimize_direction(self, rng, op):
+        pop = make_population([1.0, 100.0] * 5, maximize=False)
+        out = op(rng, pop.individuals, 200, False)
+        mean_f = np.mean([i.fitness for i in out])
+        # selecting for minimisation must not favour the bad (100.0) side
+        assert mean_f <= 60.0
+
+
+def _selection_bias(op, rng, n=3000) -> float:
+    """Mean fitness of selected minus population mean (maximisation)."""
+    pop = make_population([1, 2, 3, 4, 5, 6, 7, 8])
+    out = op(rng, pop.individuals, n, True)
+    return float(np.mean([i.fitness for i in out]) - 4.5)
+
+
+class TestPressureOrdering:
+    def test_random_is_unbiased(self, rng):
+        assert abs(_selection_bias(RandomSelection(), rng)) < 0.25
+
+    def test_tournament_bias_grows_with_size(self, rng):
+        b2 = _selection_bias(TournamentSelection(2), rng)
+        b5 = _selection_bias(TournamentSelection(5), rng)
+        assert 0 < b2 < b5
+
+    def test_best_selection_maximal(self, rng):
+        assert _selection_bias(BestSelection(), rng) == pytest.approx(3.5)
+
+    def test_roulette_biased_toward_fit(self, rng):
+        assert _selection_bias(RouletteWheelSelection(), rng) > 0.5
+
+    def test_truncation_excludes_bottom(self, rng):
+        pop = make_population([1, 2, 3, 4])
+        out = TruncationSelection(0.5)(rng, pop.individuals, 100, True)
+        assert min(i.fitness for i in out) >= 3
+
+    def test_boltzmann_temperature_controls_pressure(self, rng):
+        hot = _selection_bias(BoltzmannSelection(temperature=100.0), rng)
+        cold = _selection_bias(BoltzmannSelection(temperature=0.3), rng)
+        assert cold > hot
+
+    def test_rank_sp_controls_pressure(self, rng):
+        low = _selection_bias(LinearRankSelection(sp=1.1), rng)
+        high = _selection_bias(LinearRankSelection(sp=2.0), rng)
+        assert high > low
+
+
+class TestSUS:
+    def test_expected_counts_low_variance(self, rng):
+        # SUS guarantees floor/ceil of the expected copy count per member
+        pop = make_population([1, 1, 1, 5])
+        # min-shift puts all signal on the best; the 5% uniform floor
+        # leaves the rest: p(best) = 0.95 + 0.05/4
+        p_best = 0.95 + 0.05 / 4
+        counts = []
+        for _ in range(50):
+            out = StochasticUniversalSampling()(rng, pop.individuals, 8, True)
+            counts.append(sum(1 for i in out if i.fitness == 5))
+        expected = 8 * p_best
+        assert all(abs(c - expected) <= 1.0 + 1e-9 for c in counts)
+
+    def test_worst_member_retains_floor_probability(self, rng):
+        pop = make_population([1, 1, 1, 5])
+        out = RouletteWheelSelection()(rng, pop.individuals, 5000, True)
+        worst_share = sum(1 for i in out if i.fitness == 1) / 5000
+        assert 0.01 < worst_share < 0.10  # ~3 * 0.05/4 = 0.0375
+
+
+class TestEdgeCases:
+    def test_empty_population_raises(self, rng):
+        with pytest.raises((ValueError, IndexError)):
+            TournamentSelection(2)(rng, [], 3, True)
+
+    def test_all_equal_fitness_uniformish(self, rng):
+        pop = make_population([2, 2, 2, 2])
+        out = RouletteWheelSelection()(rng, pop.individuals, 100, True)
+        assert len(out) == 100  # degenerate weights handled
+
+    def test_single_member_population(self, rng):
+        pop = make_population([1])
+        for op in ALL_OPS:
+            out = op(rng, pop.individuals, 3, True)
+            assert len(out) == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TournamentSelection(0)
+        with pytest.raises(ValueError):
+            TruncationSelection(0.0)
+        with pytest.raises(ValueError):
+            BoltzmannSelection(temperature=0.0)
+        with pytest.raises(ValueError):
+            LinearRankSelection(sp=2.5)

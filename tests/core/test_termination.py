@@ -1,0 +1,97 @@
+"""Unit tests for termination criteria."""
+
+import pytest
+
+from repro.core import (
+    AllOf,
+    AnyOf,
+    EvolutionState,
+    MaxEvaluations,
+    MaxGenerations,
+    Never,
+    Stagnation,
+    TargetFitness,
+)
+
+
+def state(**kw) -> EvolutionState:
+    return EvolutionState(**kw)
+
+
+class TestMaxGenerations:
+    def test_boundary(self):
+        t = MaxGenerations(10)
+        assert not t.should_stop(state(generation=9))
+        assert t.should_stop(state(generation=10))
+        assert t.should_stop(state(generation=11))
+
+    def test_zero_limit_stops_immediately(self):
+        assert MaxGenerations(0).should_stop(state())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MaxGenerations(-1)
+
+
+class TestMaxEvaluations:
+    def test_boundary(self):
+        t = MaxEvaluations(100)
+        assert not t.should_stop(state(evaluations=99))
+        assert t.should_stop(state(evaluations=100))
+
+
+class TestTargetFitness:
+    def test_maximize_direction(self):
+        t = TargetFitness(10.0)
+        assert not t.should_stop(state(best_fitness=9.5, maximize=True))
+        assert t.should_stop(state(best_fitness=10.0, maximize=True))
+
+    def test_minimize_direction(self):
+        t = TargetFitness(0.1)
+        assert not t.should_stop(state(best_fitness=0.2, maximize=False))
+        assert t.should_stop(state(best_fitness=0.05, maximize=False))
+
+    def test_no_fitness_yet(self):
+        assert not TargetFitness(1.0).should_stop(state(best_fitness=None))
+
+    def test_tolerance(self):
+        t = TargetFitness(1.0, tol=0.01)
+        assert t.should_stop(state(best_fitness=0.995, maximize=True))
+
+
+class TestStagnation:
+    def test_fires_after_patience(self):
+        t = Stagnation(3)
+        assert not t.should_stop(state(stagnant_generations=2))
+        assert t.should_stop(state(stagnant_generations=3))
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            Stagnation(0)
+
+
+class TestCombinators:
+    def test_never(self):
+        assert not Never().should_stop(state(generation=10**9))
+
+    def test_any_of_via_operator(self):
+        t = MaxGenerations(5) | TargetFitness(10.0)
+        assert t.should_stop(state(generation=5))
+        assert t.should_stop(state(generation=0, best_fitness=11.0, maximize=True))
+        assert not t.should_stop(state(generation=1, best_fitness=1.0, maximize=True))
+
+    def test_any_of_reports_firing_reason(self):
+        t = AnyOf(MaxGenerations(5), TargetFitness(10.0))
+        t.should_stop(state(generation=5))
+        assert t.reason() == "MaxGenerations"
+
+    def test_all_of_via_operator(self):
+        t = MaxGenerations(5) & MaxEvaluations(100)
+        assert not t.should_stop(state(generation=6, evaluations=50))
+        assert t.should_stop(state(generation=6, evaluations=150))
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ValueError):
+            AnyOf()
+        with pytest.raises(ValueError):
+            AllOf()

@@ -1,0 +1,75 @@
+"""Unit tests for experiment-internal pure helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.e07_hierarchical import _work_to_reach
+from repro.experiments.e10_punctuated import MIGRATION_INTERVAL, _improvement_epochs
+from repro.parallel.island import EpochRecord
+
+
+def record(epoch: int, best: float) -> EpochRecord:
+    return EpochRecord(
+        epoch=epoch,
+        evaluations=epoch * 100,
+        global_best=best,
+        deme_bests=[best],
+        migrants_sent=0,
+        migrants_accepted=0,
+    )
+
+
+class TestWorkToReach:
+    def test_first_crossing(self):
+        works = [10.0, 20.0, 30.0, 40.0]
+        bests = [5.0, 3.0, 2.0, 1.0]
+        assert _work_to_reach(works, bests, target=2.5) == 30.0
+
+    def test_immediate(self):
+        assert _work_to_reach([10.0], [1.0], target=2.0) == 10.0
+
+    def test_never(self):
+        assert _work_to_reach([10.0], [5.0], target=1.0) == float("inf")
+
+
+class TestImprovementEpochs:
+    def test_skips_burn_in(self):
+        records = [record(e, float(e)) for e in range(1, 30)]
+        out = _improvement_epochs(records, burn_in=10)
+        assert out == list(range(11, 30))
+
+    def test_only_strict_improvements(self):
+        records = [
+            record(1, 1.0),
+            record(2, 1.0),   # plateau — not an improvement
+            record(3, 2.0),
+            record(4, 1.5),   # regression impossible in practice but guarded
+            record(5, 3.0),
+        ]
+        out = _improvement_epochs(records, burn_in=0)
+        assert out == [1, 3, 5]
+
+    def test_default_burn_in_is_migration_interval(self):
+        records = [record(e, float(e)) for e in range(1, MIGRATION_INTERVAL + 3)]
+        out = _improvement_epochs(records)
+        assert out == [MIGRATION_INTERVAL + 1, MIGRATION_INTERVAL + 2]
+
+
+class TestExperimentDocstrings:
+    def test_every_runner_quotes_the_survey(self):
+        """Each experiment module documents the claim it reproduces."""
+        from repro.experiments import REGISTRY
+
+        for key, runner in REGISTRY.items():
+            module = __import__(runner.__module__, fromlist=["__doc__"])
+            doc = module.__doc__ or ""
+            assert len(doc) > 100, f"{key} runner lacks a claim docstring"
+
+    def test_quick_flag_supported_everywhere(self):
+        import inspect
+
+        from repro.experiments import REGISTRY
+
+        for key, runner in REGISTRY.items():
+            sig = inspect.signature(runner)
+            assert "quick" in sig.parameters, f"{key} lacks quick mode"

@@ -1,0 +1,88 @@
+"""Unit tests for report structures and rendering."""
+
+import pytest
+
+from repro.experiments import ExperimentReport, SeriesSpec, TableSpec
+from repro.experiments.report import Expectation, render_series, render_table
+
+
+class TestTableSpec:
+    def test_add_row_and_column(self):
+        t = TableSpec(title="t", columns=["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]
+
+    def test_wrong_arity_rejected(self):
+        t = TableSpec(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_render_alignment(self):
+        t = TableSpec(title="demo", columns=["name", "x"])
+        t.add_row("alpha", 1.5)
+        t.add_row("b", 22222.0)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "x" in lines[1]
+        assert len({len(l) for l in lines[1:2]}) == 1
+
+    def test_float_formatting(self):
+        t = TableSpec(title="f", columns=["v"])
+        t.add_row(1.23456789)
+        t.add_row(1.2e-9)
+        t.add_row(float("nan"))
+        out = t.render()
+        assert "1.235" in out and "1.2e-09" in out.replace("1.200e-09", "1.2e-09")
+        assert "nan" in out
+
+
+class TestSeriesSpec:
+    def test_add_checks_lengths(self):
+        s = SeriesSpec(title="s", x_label="x", y_label="y")
+        with pytest.raises(ValueError):
+            s.add("a", [1, 2], [1.0])
+
+    def test_render_contains_markers_and_legend(self):
+        s = SeriesSpec(title="curves", x_label="t", y_label="v")
+        s.add("up", [0, 1, 2], [0.0, 1.0, 2.0])
+        s.add("down", [0, 1, 2], [2.0, 1.0, 0.0])
+        out = s.render(width=20, height=8)
+        assert "o=up" in out and "x=down" in out
+        assert "curves" in out
+
+    def test_render_empty(self):
+        s = SeriesSpec(title="e", x_label="x", y_label="y")
+        assert "(no data)" in s.render()
+
+    def test_render_constant_series(self):
+        s = SeriesSpec(title="c", x_label="x", y_label="y")
+        s.add("flat", [0, 1], [1.0, 1.0])
+        s.render()  # must not divide by zero
+
+
+class TestExperimentReport:
+    def test_expectations_aggregate(self):
+        r = ExperimentReport(experiment_id="EX", title="demo")
+        r.expect("good", True, "fine")
+        r.expect("bad", False, "broke")
+        assert not r.all_passed
+        assert [e.name for e in r.failed()] == ["bad"]
+
+    def test_render_includes_everything(self):
+        r = ExperimentReport(experiment_id="EX", title="demo")
+        t = TableSpec(title="tab", columns=["a"])
+        t.add_row(1)
+        r.tables.append(t)
+        r.expect("check", True)
+        r.notes.append("a note")
+        out = r.render()
+        assert "EX: demo" in out
+        assert "tab" in out
+        assert "[PASS] check" in out
+        assert "note: a note" in out
+
+    def test_expectation_str(self):
+        assert str(Expectation("n", True, "d")) == "[PASS] n — d"
+        assert str(Expectation("n", False)) == "[FAIL] n"

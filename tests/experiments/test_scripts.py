@@ -1,0 +1,65 @@
+"""Tests for the EXPERIMENTS.md generation/refresh tooling."""
+
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent.parent / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+
+class TestPaperClaims:
+    def test_every_experiment_has_a_claim(self):
+        from generate_experiments_md import PAPER_CLAIMS
+
+        from repro.experiments import REGISTRY
+
+        assert set(PAPER_CLAIMS) == set(REGISTRY)
+        assert all(len(v) > 20 for v in PAPER_CLAIMS.values())
+
+
+class TestSectionRegex:
+    """The refresh script's section-splicing regex must be exact."""
+
+    DOC = (
+        "# header\n\nSummary: **11/12 experiments reproduce their claimed shape**\n"
+        "(40/42 individual shape checks pass).\n\n"
+        "## E1 — first\n\nbody one\n\n"
+        "## E7 — seventh\n\nbody seven\nmore\n\n"
+        "## E12 — twelfth\n\nbody twelve\n"
+    )
+
+    def _splice(self, key: str, replacement: str) -> str:
+        pattern = re.compile(
+            rf"^## {key} — .*?(?=^## E\d+ — |\Z)", re.DOTALL | re.MULTILINE
+        )
+        assert pattern.search(self.DOC)
+        return pattern.sub(replacement + "\n", self.DOC, count=1)
+
+    def test_middle_section_replaced_cleanly(self):
+        out = self._splice("E7", "## E7 — seventh\n\nNEW BODY\n")
+        assert "NEW BODY" in out
+        assert "body seven" not in out
+        assert "body one" in out and "body twelve" in out
+
+    def test_last_section_replaced(self):
+        out = self._splice("E12", "## E12 — twelfth\n\nNEW END\n")
+        assert out.rstrip().endswith("NEW END")
+        assert "body seven" in out
+
+    def test_e1_does_not_match_e12(self):
+        out = self._splice("E1", "## E1 — first\n\nONLY ONE\n")
+        assert "body twelve" in out  # E12 untouched
+        assert out.count("ONLY ONE") == 1
+
+    def test_recount_header_regex(self):
+        doc = self.DOC + (
+            "\n**Measured (3s):** REPRODUCED\n"
+            "- ✓ `a` — d\n- ✗ `b` — d\n"
+        )
+        reproduced = len(re.findall(r"^\*\*Measured \(\d+s\):\*\* REPRODUCED", doc, re.M))
+        checks_pass = len(re.findall(r"^- ✓ `", doc, re.M))
+        checks_fail = len(re.findall(r"^- ✗ `", doc, re.M))
+        assert (reproduced, checks_pass, checks_fail) == (1, 1, 1)

@@ -1,0 +1,194 @@
+"""Unit tests for metrics: speedup, pressure, diversity, efficacy."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    EfficacyReport,
+    RunOutcome,
+    amdahl_speedup,
+    between_deme_divergence,
+    cellular_growth_curve,
+    classify_speedup,
+    efficiency,
+    fitness_std,
+    gene_entropy,
+    logistic_fit_rate,
+    mean_pairwise_distance,
+    panmictic_growth_curve,
+    repeat_runs,
+    speedup,
+    speedup_curve,
+    summarize_runs,
+    takeover_time,
+    unique_fraction,
+)
+from repro.metrics.speedup import SpeedupPoint
+
+from ..conftest import make_population
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert efficiency(10.0, 2.0, 5) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError):
+            efficiency(1.0, 1.0, 0)
+
+    def test_curve_sorted_and_normalised(self):
+        pts = speedup_curve([4, 1, 2], [2.5, 10.0, 5.0])
+        assert [p.workers for p in pts] == [1, 2, 4]
+        assert [round(p.speedup, 6) for p in pts] == [1.0, 2.0, 4.0]
+        assert all(p.efficiency == pytest.approx(1.0) for p in pts)
+
+    def test_explicit_baseline(self):
+        pts = speedup_curve([2], [5.0], baseline=20.0)
+        assert pts[0].speedup == 4.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            speedup_curve([1, 2], [1.0])
+
+    def test_amdahl_limits(self):
+        assert amdahl_speedup(0.0, 8) == 8.0
+        assert amdahl_speedup(1.0, 8) == 1.0
+        assert amdahl_speedup(0.1, 10**6) == pytest.approx(10.0, rel=1e-3)
+
+    def test_classification(self):
+        assert classify_speedup(SpeedupPoint(4, 1.0, 5.0, 1.25)) == "super-linear"
+        assert classify_speedup(SpeedupPoint(4, 1.0, 4.0, 1.0)) == "linear"
+        assert classify_speedup(SpeedupPoint(4, 1.0, 2.0, 0.5)) == "sub-linear"
+
+
+class TestPressure:
+    def test_takeover_time_basic(self):
+        assert takeover_time([0.1, 0.5, 1.0]) == 2
+        assert takeover_time([0.1, 0.5, 0.9]) is None
+
+    def test_growth_curve_monotone_under_best_wins(self):
+        c = cellular_growth_curve(8, 8, update="synchronous", seed=1)
+        props = c.proportions
+        assert all(b >= a for a, b in zip(props, props[1:]))
+        assert props[0] == pytest.approx(1 / 64)
+        assert c.takeover is not None
+
+    def test_sync_slower_than_line_sweep(self):
+        sync = cellular_growth_curve(12, 12, update="synchronous", seed=2)
+        line = cellular_growth_curve(12, 12, update="line-sweep", seed=2)
+        assert line.takeover < sync.takeover
+
+    def test_sync_takeover_bounded_by_grid_distance(self):
+        # best-wins von Neumann sync takeover = max toroidal Manhattan
+        # distance from the seed, <= rows/2 + cols/2
+        c = cellular_growth_curve(10, 10, update="synchronous", seed=3)
+        assert c.takeover <= 10
+
+    def test_panmictic_faster_than_cellular(self):
+        pan = panmictic_growth_curve(100, seed=4, max_steps=500)
+        cell = cellular_growth_curve(10, 10, update="synchronous", seed=4)
+        assert pan.takeover is not None
+        assert pan.takeover < cell.takeover
+
+    def test_logistic_fit_on_true_logistic(self):
+        t = np.arange(30)
+        p = 1.0 / (1.0 + np.exp(-(0.7 * t - 8)))
+        assert logistic_fit_rate(p.tolist()) == pytest.approx(0.7, rel=0.05)
+
+    def test_logistic_fit_degenerate(self):
+        assert np.isnan(logistic_fit_rate([1.0, 1.0, 1.0]))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            cellular_growth_curve(8, 8, update="diagonal")
+
+
+class TestDiversity:
+    def test_converged_population_zero_distance(self):
+        pop = make_population([1.0] * 4)
+        for ind in pop:
+            ind.genome = np.array([1, 0, 1, 0], dtype=np.int8)
+        assert mean_pairwise_distance(pop) == 0.0
+        assert gene_entropy(pop) == 0.0
+        assert unique_fraction(pop) == 0.25
+
+    def test_maximal_binary_entropy(self):
+        pop = make_population([1.0, 1.0])
+        pop[0].genome = np.zeros(4, dtype=np.int8)
+        pop[1].genome = np.ones(4, dtype=np.int8)
+        assert gene_entropy(pop) == pytest.approx(1.0)
+        assert mean_pairwise_distance(pop) == pytest.approx(4.0)
+        assert unique_fraction(pop) == 1.0
+
+    def test_pairwise_distance_matches_bruteforce(self, rng):
+        pop = make_population([1.0] * 6)
+        for ind in pop:
+            ind.genome = rng.random(5)
+        g = np.stack([i.genome for i in pop])
+        brute = np.mean(
+            [
+                np.abs(g[i] - g[j]).sum()
+                for i in range(6)
+                for j in range(i + 1, 6)
+            ]
+        )
+        assert mean_pairwise_distance(pop) == pytest.approx(brute)
+
+    def test_fitness_std(self):
+        pop = make_population([1.0, 3.0])
+        assert fitness_std(pop) == 1.0
+
+    def test_between_deme_divergence(self):
+        a = make_population([1.0] * 3)
+        b = make_population([1.0] * 3)
+        for ind in a:
+            ind.genome = np.zeros(4)
+        for ind in b:
+            ind.genome = np.ones(4)
+        assert between_deme_divergence([a, b]) == pytest.approx(4.0)
+        assert between_deme_divergence([a]) == 0.0
+
+
+class TestEfficacy:
+    def test_summary_fields(self):
+        outcomes = [
+            RunOutcome(solved=True, evaluations=100, best_fitness=10.0),
+            RunOutcome(solved=False, evaluations=500, best_fitness=8.0),
+            RunOutcome(solved=True, evaluations=200, best_fitness=10.0),
+        ]
+        rep = summarize_runs(outcomes)
+        assert rep.runs == 3 and rep.hits == 2
+        assert rep.efficacy == pytest.approx(2 / 3)
+        assert rep.mean_evaluations_hit == 150.0
+        assert rep.expected_evaluations == pytest.approx(800 / 2)
+        assert rep.mean_best == pytest.approx(28 / 3)
+
+    def test_no_hits(self):
+        rep = summarize_runs([RunOutcome(False, 100, 1.0)])
+        assert rep.efficacy == 0.0
+        assert rep.expected_evaluations == float("inf")
+        assert np.isnan(rep.mean_evaluations_hit)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_repeat_runs_distinct_seeds(self):
+        seen = []
+
+        def run_fn(seed: int) -> RunOutcome:
+            seen.append(seed)
+            return RunOutcome(True, seed, float(seed))
+
+        rep = repeat_runs(run_fn, 4, base_seed=10)
+        assert seen == [10, 11, 12, 13]
+        assert rep.runs == 4
+
+    def test_mean_time(self):
+        rep = summarize_runs(
+            [RunOutcome(True, 1, 1.0, time=2.0), RunOutcome(True, 1, 1.0, time=4.0)]
+        )
+        assert rep.mean_time == 3.0

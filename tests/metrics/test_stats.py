@@ -1,0 +1,109 @@
+"""Tests for the statistical comparison utilities."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import Comparison, a12_effect_size, bootstrap_ci, compare_samples
+
+
+class TestA12:
+    def test_complete_separation(self):
+        assert a12_effect_size([3, 4, 5], [0, 1, 2]) == 1.0
+        assert a12_effect_size([0, 1, 2], [3, 4, 5]) == 0.0
+
+    def test_identical_samples(self):
+        assert a12_effect_size([1, 1], [1, 1]) == 0.5
+
+    def test_half_overlap(self):
+        assert a12_effect_size([1, 3], [2, 2]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            a12_effect_size([], [1.0])
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for trial in range(20):
+            sample = rng.normal(5.0, 1.0, size=40)
+            lo, hi = bootstrap_ci(sample, seed=trial)
+            hits += lo <= 5.0 <= hi
+        assert hits >= 17  # 95% CI should cover ~19/20
+
+    def test_interval_ordering(self):
+        lo, hi = bootstrap_ci([1.0, 2.0, 3.0, 4.0], seed=0)
+        assert lo <= np.mean([1, 2, 3, 4]) <= hi
+
+    def test_narrow_for_constant_sample(self):
+        lo, hi = bootstrap_ci([2.0] * 10, seed=0)
+        assert lo == hi == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestCompareSamples:
+    def test_clear_winner(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(10.0, 1.0, size=30)
+        b = rng.normal(5.0, 1.0, size=30)
+        cmp = compare_samples(a, b)
+        assert cmp.significant and cmp.winner == "a"
+        assert cmp.a12 > 0.9
+
+    def test_minimize_direction_flips_winner(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(10.0, 1.0, size=30)  # higher = worse when minimising
+        b = rng.normal(5.0, 1.0, size=30)
+        cmp = compare_samples(a, b, maximize=False)
+        assert cmp.winner == "b"
+        assert cmp.mean_a == pytest.approx(a.mean())  # reported in raw units
+
+    def test_tie_on_same_distribution(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(0.0, 1.0, size=25)
+        b = rng.normal(0.0, 1.0, size=25)
+        cmp = compare_samples(a, b)
+        assert cmp.winner == "tie" or cmp.p_value > 0.01
+
+    def test_identical_constant_samples(self):
+        cmp = compare_samples([2.0, 2.0, 2.0], [2.0, 2.0, 2.0])
+        assert cmp.p_value == 1.0 and cmp.winner == "tie"
+
+    def test_summary_readable(self):
+        cmp = compare_samples([1.0, 2.0, 3.0], [1.5, 2.5, 3.5])
+        s = cmp.summary()
+        assert "p=" in s and "A12=" in s
+
+    def test_too_small_samples_rejected(self):
+        with pytest.raises(ValueError):
+            compare_samples([1.0], [2.0, 3.0])
+
+
+class TestIntegrationWithRuns:
+    def test_detects_real_algorithmic_difference(self):
+        """Island vs isolated on deceptive traps: the statistics agree with
+        E4/E6's mean-based conclusion, now with significance attached."""
+        from repro.core import GAConfig, MaxEvaluations
+        from repro.migration import MigrationPolicy, NeverSchedule, PeriodicSchedule
+        from repro.parallel import IslandModel
+        from repro.problems import DeceptiveTrap
+
+        def score(schedule, seed):
+            m = IslandModel(
+                DeceptiveTrap(blocks=8, k=4), 6, GAConfig(population_size=14, elitism=1),
+                policy=MigrationPolicy(rate=1, selection="best"),
+                schedule=schedule, seed=seed,
+            )
+            return m.run(MaxEvaluations(8_000)).best_fitness
+
+        migrating = [score(PeriodicSchedule(4), 100 + s) for s in range(6)]
+        isolated = [score(NeverSchedule(), 100 + s) for s in range(6)]
+        cmp = compare_samples(migrating, isolated)
+        assert cmp.a12 >= 0.5  # migration at least as good, typically better
+        assert cmp.mean_a >= cmp.mean_b

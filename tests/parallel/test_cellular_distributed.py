@@ -1,0 +1,76 @@
+"""Tests for the strip-distributed cellular GA."""
+
+import pytest
+
+from repro.cluster import Network, SimulatedCluster
+from repro.core import GAConfig
+from repro.parallel import DistributedCellularGA
+from repro.problems import OneMax
+
+
+def make(nodes: int, *, rows=16, cols=16, latency=1e-4, seed=1, speeds=1.0):
+    cluster = SimulatedCluster(
+        nodes, speeds=speeds, network=Network(nodes, latency=latency, bandwidth=1e6)
+    )
+    return DistributedCellularGA(
+        OneMax(24), GAConfig(), rows=rows, cols=cols,
+        cluster=cluster, eval_cost=1e-3, seed=seed,
+    )
+
+
+class TestStripPartitioning:
+    def test_strips_cover_grid(self):
+        d = make(5, rows=17)
+        assert sum(d.strip_rows) == 17
+        assert max(d.strip_rows) - min(d.strip_rows) <= 1
+
+    def test_more_nodes_than_rows_rejected(self):
+        with pytest.raises(ValueError):
+            make(20, rows=16)
+
+    def test_invalid_eval_cost(self):
+        cluster = SimulatedCluster(2)
+        with pytest.raises(ValueError):
+            DistributedCellularGA(
+                OneMax(8), rows=4, cols=4, cluster=cluster, eval_cost=0.0
+            )
+
+
+class TestScalability:
+    def test_near_linear_scaling_with_cheap_network(self):
+        t1 = make(1).run(max_sweeps=6).sim_time
+        t8 = make(8).run(max_sweeps=6).sim_time
+        assert t1 / t8 > 5.5  # >~70% efficiency at 8 nodes
+
+    def test_comm_fraction_grows_with_nodes(self):
+        f2 = make(2).run(max_sweeps=6).comm_fraction
+        f8 = make(8).run(max_sweeps=6).comm_fraction
+        assert f8 > f2 > 0.0
+
+    def test_single_node_no_communication(self):
+        rep = make(1).run(max_sweeps=6)
+        assert rep.comm_time == 0.0 and rep.comm_fraction == 0.0
+
+    def test_slow_network_erodes_scaling(self):
+        fast = make(8, latency=1e-5).run(max_sweeps=6).sim_time
+        slow = make(8, latency=5e-2).run(max_sweeps=6).sim_time
+        assert slow > fast
+
+    def test_barrier_waits_for_slowest_node(self):
+        uniform = make(4).run(max_sweeps=6).sim_time
+        lopsided = make(4, speeds=[1.0, 1.0, 1.0, 0.25]).run(max_sweeps=6).sim_time
+        assert lopsided > uniform * 2  # one 4x-slow strip dominates
+
+
+class TestGeneticsUnaffected:
+    def test_same_genetics_any_node_count(self):
+        r1 = make(1, seed=5).run(max_sweeps=8)
+        r8 = make(8, seed=5).run(max_sweeps=8)
+        assert r1.best_fitness == r8.best_fitness
+        assert r1.evaluations == r8.evaluations
+        assert r1.sweeps == r8.sweeps
+
+    def test_solves_and_stops_early(self):
+        rep = make(4, seed=6).run(max_sweeps=200)
+        assert rep.solved
+        assert rep.sweeps < 200

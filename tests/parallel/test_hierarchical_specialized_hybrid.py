@@ -1,0 +1,183 @@
+"""Tests for hierarchical, specialized-island and hybrid models."""
+
+import numpy as np
+import pytest
+
+from repro.core import GAConfig, MaxGenerations
+from repro.parallel import (
+    CellularIslandModel,
+    HierarchicalGA,
+    MasterSlaveIslandModel,
+    SIMScenario,
+    SpecializedIslandModel,
+    standard_scenarios,
+)
+from repro.problems import ZDT1, OneMax, SchafferF2
+from repro.problems.applications import TransonicWingDesign
+from repro.runtime import ThreadExecutor
+
+
+class TestHierarchicalGA:
+    @pytest.fixture
+    def hga(self) -> HierarchicalGA:
+        return HierarchicalGA(
+            TransonicWingDesign(),
+            GAConfig(population_size=10, elitism=1),
+            layers=3,
+            branching=2,
+            migration_interval=2,
+            seed=1,
+        )
+
+    def test_tree_structure(self, hga):
+        assert [len(layer) for layer in hga.demes] == [1, 2, 4]
+
+    def test_layer_fidelities_decrease_downward(self, hga):
+        assert hga.layer_fidelity == [2, 1, 0]
+
+    def test_children_of(self, hga):
+        assert hga._children_of(0, 0) == [0, 1]
+        assert hga._children_of(1, 1) == [2, 3]
+        assert hga._children_of(2, 0) == []  # leaves
+
+    def test_work_units_weighted_by_cost(self, hga):
+        hga.initialize()
+        # top deme: 10 evals x cost 36; layer 1: 2x10x6; layer 2: 4x10x1
+        assert hga.work_units() == pytest.approx(10 * 36 + 20 * 6 + 40 * 1)
+
+    def test_run_improves_top_best(self, hga):
+        hga.initialize()
+        start = hga.top_best().require_fitness()
+        res = hga.run(max_epochs=10)
+        assert res.best_fitness <= start
+
+    def test_work_budget_respected(self, hga):
+        res = hga.run(max_epochs=1000, work_budget=20_000)
+        assert res.work_units <= 20_000 * 1.5  # stops within ~1 epoch overshoot
+
+    def test_promotion_reevaluates_under_parent_model(self, hga):
+        hga.initialize()
+        top = hga.demes[0][0]
+        before = top.state.evaluations
+        hga.epoch = hga.migration_interval - 1
+        hga.step_epoch()  # triggers exchange
+        # top deme paid for re-evaluating promoted children
+        assert top.state.evaluations > before + 10  # step + promotions
+
+    def test_more_layers_than_fidelities_reuse_cheapest(self):
+        hga = HierarchicalGA(
+            TransonicWingDesign(), GAConfig(population_size=8),
+            layers=5, branching=1, seed=2,
+        )
+        assert hga.layer_fidelity == [2, 1, 0, 0, 0]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HierarchicalGA(TransonicWingDesign(), layers=0)
+        with pytest.raises(ValueError):
+            HierarchicalGA(TransonicWingDesign(), branching=0)
+
+
+class TestSpecializedIslandModel:
+    def test_standard_scenarios_shape(self):
+        scens = standard_scenarios()
+        assert len(scens) == 7
+        assert scens[0].n_subeas == 1
+        assert scens[6].n_subeas == 4
+
+    def test_archive_is_nondominated(self):
+        model = SpecializedIslandModel(
+            SchafferF2(), standard_scenarios()[3],
+            GAConfig(population_size=16), seed=3,
+        )
+        res = model.run(epochs=5)
+        objs = res.archive_objectives
+        from repro.problems import pareto_front
+
+        assert len(pareto_front(objs)) == objs.shape[0]
+
+    def test_hypervolume_positive(self):
+        model = SpecializedIslandModel(
+            ZDT1(dims=6), standard_scenarios()[5],
+            GAConfig(population_size=16),
+            hv_reference=(1.1, 7.0), seed=4,
+        )
+        res = model.run(epochs=5)
+        assert res.hypervolume > 0
+
+    def test_migration_reevaluates_under_destination_weights(self):
+        scen = SIMScenario("two-spec", ((1.0, 0.0), (0.0, 1.0)), migration_interval=1)
+        model = SpecializedIslandModel(
+            SchafferF2(), scen, GAConfig(population_size=10), seed=5
+        )
+        model.initialize()
+        evals_before = model.total_evaluations()
+        model.step_epoch()  # includes a migration (interval 1)
+        spent = model.total_evaluations() - evals_before
+        assert spent > 2 * 10  # generation work + immigrant re-evaluations
+
+    def test_archive_capacity_respected(self):
+        model = SpecializedIslandModel(
+            ZDT1(dims=6), standard_scenarios()[1],
+            GAConfig(population_size=16), archive_capacity=10, seed=6,
+        )
+        res = model.run(epochs=6)
+        assert res.archive_size <= 10
+
+    def test_scenario_weight_validation(self):
+        scen = SIMScenario("bad", ((1.0, 0.0, 0.0),))
+        with pytest.raises(ValueError):
+            SpecializedIslandModel(SchafferF2(), scen)
+
+
+class TestCellularIslandModel:
+    def test_solves_onemax(self):
+        m = CellularIslandModel(OneMax(24), 3, rows=4, cols=4, seed=7)
+        res = m.run(epochs=80)
+        assert res.solved
+
+    def test_migration_places_bests_over_worsts(self):
+        m = CellularIslandModel(OneMax(16), 2, rows=3, cols=3, seed=8)
+        m.initialize()
+        # force one deme to be terrible
+        import numpy as np
+        from repro.core import Individual
+
+        for c in range(m.demes[1].n_cells):
+            bad = Individual(genome=np.zeros(16, dtype=np.int8))
+            bad.fitness = 0.0
+            m.demes[1].grid[c] = bad
+        best0 = m.demes[0].best_so_far.require_fitness()
+        m.epoch = 4  # next step triggers the periodic schedule (interval 5)
+        m.step_epoch()
+        fit1 = max(i.require_fitness() for i in m.demes[1].grid)
+        assert fit1 > 0.0  # an immigrant landed
+
+    def test_evaluations_aggregate(self):
+        m = CellularIslandModel(OneMax(16), 2, rows=3, cols=3, seed=9)
+        m.run(epochs=4)
+        assert m.total_evaluations() == sum(d.evaluations for d in m.demes)
+
+
+class TestMasterSlaveIslandModel:
+    def test_executor_shared_by_demes(self):
+        with ThreadExecutor(workers=2) as ex:
+            m = MasterSlaveIslandModel(
+                OneMax(16), 3, GAConfig(population_size=8), executor=ex, seed=10
+            )
+            assert all(d.evaluator is ex for d in m.demes)
+            res = m.run(MaxGenerations(30))
+        assert res.best_fitness >= 14
+
+    def test_matches_plain_island_genetics(self):
+        from repro.parallel import IslandModel
+
+        plain = IslandModel(OneMax(16), 3, GAConfig(population_size=8), seed=11)
+        hybrid = MasterSlaveIslandModel(
+            OneMax(16), 3, GAConfig(population_size=8),
+            executor=ThreadExecutor(workers=2), seed=11,
+        )
+        r1 = plain.run(MaxGenerations(10))
+        r2 = hybrid.run(MaxGenerations(10))
+        assert r1.best_fitness == r2.best_fitness
+        assert r1.evaluations == r2.evaluations

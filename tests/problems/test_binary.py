@@ -1,0 +1,148 @@
+"""Unit tests for binary benchmark landscapes."""
+
+import numpy as np
+import pytest
+
+from repro.problems import (
+    DeceptiveTrap,
+    LeadingOnes,
+    NKLandscape,
+    OneMax,
+    PPeaks,
+    RoyalRoad,
+    ZeroMax,
+)
+
+
+class TestOneMax:
+    def test_known_values(self):
+        p = OneMax(8)
+        assert p.evaluate(np.zeros(8, dtype=np.int8)) == 0.0
+        assert p.evaluate(np.ones(8, dtype=np.int8)) == 8.0
+        assert p.optimum == 8.0
+
+    def test_monotone_in_ones(self, rng):
+        p = OneMax(16)
+        g = np.zeros(16, dtype=np.int8)
+        prev = p.evaluate(g)
+        for i in range(16):
+            g[i] = 1
+            cur = p.evaluate(g)
+            assert cur == prev + 1
+            prev = cur
+
+
+class TestZeroMax:
+    def test_direction(self):
+        p = ZeroMax(8)
+        assert p.maximize is False
+        assert p.is_solved(p.evaluate(np.zeros(8, dtype=np.int8)))
+
+
+class TestLeadingOnes:
+    def test_prefix_semantics(self):
+        p = LeadingOnes(6)
+        assert p.evaluate(np.array([1, 1, 0, 1, 1, 1])) == 2.0
+        assert p.evaluate(np.ones(6, dtype=np.int8)) == 6.0
+        assert p.evaluate(np.array([0, 1, 1, 1, 1, 1])) == 0.0
+
+
+class TestDeceptiveTrap:
+    def test_optimum_is_all_ones(self):
+        p = DeceptiveTrap(blocks=3, k=4)
+        assert p.evaluate(np.ones(12, dtype=np.int8)) == 12.0 == p.optimum
+
+    def test_deceptive_gradient(self):
+        # within a block, fewer ones scores higher (until all-ones)
+        p = DeceptiveTrap(blocks=1, k=4)
+        scores = [
+            p.evaluate(np.array([1] * ones + [0] * (4 - ones), dtype=np.int8))
+            for ones in range(5)
+        ]
+        assert scores == [3.0, 2.0, 1.0, 0.0, 4.0]
+
+    def test_second_best_is_all_zeros(self):
+        p = DeceptiveTrap(blocks=2, k=4)
+        assert p.evaluate(np.zeros(8, dtype=np.int8)) == 6.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DeceptiveTrap(blocks=0)
+        with pytest.raises(ValueError):
+            DeceptiveTrap(k=1)
+
+
+class TestRoyalRoad:
+    def test_only_complete_blocks_score(self):
+        p = RoyalRoad(blocks=2, block_size=4)
+        g = np.array([1, 1, 1, 0, 1, 1, 1, 1], dtype=np.int8)
+        assert p.evaluate(g) == 4.0
+        assert p.evaluate(np.ones(8, dtype=np.int8)) == 8.0 == p.optimum
+
+    def test_plateau(self):
+        # 0..block_size-1 ones in a block are worth the same: 0
+        p = RoyalRoad(blocks=1, block_size=4)
+        for ones in range(4):
+            g = np.array([1] * ones + [0] * (4 - ones), dtype=np.int8)
+            assert p.evaluate(g) == 0.0
+
+
+class TestNKLandscape:
+    def test_deterministic_given_seed(self, rng):
+        a = NKLandscape(n=12, k=2, seed=5, exact_optimum=False)
+        b = NKLandscape(n=12, k=2, seed=5, exact_optimum=False)
+        g = a.spec.sample(rng)
+        assert a.evaluate(g) == b.evaluate(g)
+
+    def test_k0_is_additive(self, rng):
+        p = NKLandscape(n=10, k=0, seed=1, exact_optimum=False)
+        # additive: single-bit flips change fitness by that locus alone,
+        # so greedy bit-climbing from anywhere reaches the same optimum
+        def climb(g):
+            g = g.copy()
+            improved = True
+            while improved:
+                improved = False
+                for i in range(10):
+                    g2 = g.copy()
+                    g2[i] = 1 - g2[i]
+                    if p.evaluate(g2) > p.evaluate(g):
+                        g = g2
+                        improved = True
+            return p.evaluate(g)
+
+        tops = {round(climb(p.spec.sample(rng)), 12) for _ in range(5)}
+        assert len(tops) == 1
+
+    def test_exact_optimum_bounds_samples(self, rng):
+        p = NKLandscape(n=10, k=3, seed=2)
+        assert p.optimum is not None
+        for _ in range(50):
+            assert p.evaluate(p.spec.sample(rng)) <= p.optimum + 1e-12
+
+    def test_values_in_unit_interval(self, rng):
+        p = NKLandscape(n=14, k=4, seed=3, exact_optimum=False)
+        for _ in range(20):
+            v = p.evaluate(p.spec.sample(rng))
+            assert 0.0 <= v <= 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            NKLandscape(n=5, k=5)
+
+
+class TestPPeaks:
+    def test_peak_scores_one(self):
+        p = PPeaks(p=10, length=20, seed=4)
+        assert p.evaluate(p.peaks[3]) == 1.0
+
+    def test_range(self, rng):
+        p = PPeaks(p=10, length=20, seed=4)
+        for _ in range(20):
+            v = p.evaluate(p.spec.sample(rng))
+            assert 0.0 <= v <= 1.0
+
+    def test_multimodality(self):
+        # every peak is a global optimum
+        p = PPeaks(p=5, length=30, seed=6)
+        assert all(p.evaluate(pk) == 1.0 for pk in p.peaks)

@@ -1,0 +1,88 @@
+"""Unit tests for continuous benchmark functions."""
+
+import numpy as np
+import pytest
+
+from repro.problems import (
+    Ackley,
+    Griewank,
+    Rastrigin,
+    Rosenbrock,
+    Schwefel,
+    Sphere,
+    Weierstrass,
+)
+
+ALL = [Sphere, Rastrigin, Ackley, Griewank, Rosenbrock, Weierstrass]
+
+
+@pytest.mark.parametrize("cls", ALL, ids=lambda c: c.__name__)
+class TestCommonProperties:
+    def test_minimization_with_zero_optimum(self, cls):
+        p = cls()
+        assert p.maximize is False and p.optimum == 0.0
+
+    def test_random_points_nonnegative(self, cls, rng):
+        p = cls()
+        for _ in range(20):
+            assert p.evaluate(p.spec.sample(rng)) >= -1e-9
+
+    def test_solved_at_target(self, cls):
+        p = cls()
+        assert p.is_solved(p.target / 2)
+        assert not p.is_solved(p.target * 10)
+
+
+class TestKnownOptima:
+    def test_sphere_at_origin(self):
+        assert Sphere(dims=5).evaluate(np.zeros(5)) == 0.0
+
+    def test_rastrigin_at_origin(self):
+        assert Rastrigin(dims=5).evaluate(np.zeros(5)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rastrigin_local_minima_lattice(self):
+        # integer points are local minima with value ~ 10+ per unit offset
+        p = Rastrigin(dims=2)
+        assert p.evaluate(np.array([1.0, 0.0])) == pytest.approx(1.0, abs=1e-6)
+
+    def test_ackley_at_origin(self):
+        assert Ackley(dims=4).evaluate(np.zeros(4)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_griewank_at_origin(self):
+        assert Griewank(dims=6).evaluate(np.zeros(6)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rosenbrock_at_ones(self):
+        assert Rosenbrock(dims=5).evaluate(np.ones(5)) == 0.0
+
+    def test_schwefel_at_known_point(self):
+        p = Schwefel(dims=3)
+        x = np.full(3, 420.9687)
+        assert p.evaluate(x) == pytest.approx(0.0, abs=1e-3)
+
+    def test_weierstrass_at_origin(self):
+        assert Weierstrass(dims=3).evaluate(np.zeros(3)) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestStructure:
+    def test_sphere_is_separable_and_convex(self):
+        p = Sphere(dims=2)
+        assert p.evaluate(np.array([1.0, 0.0])) + p.evaluate(
+            np.array([0.0, 2.0])
+        ) == pytest.approx(p.evaluate(np.array([1.0, 2.0])))
+
+    def test_rastrigin_more_rugged_than_sphere(self, rng):
+        # count sign changes of the gradient along a line — crude ruggedness
+        xs = np.linspace(-5, 5, 400)
+        sphere_vals = [Sphere(dims=1).evaluate(np.array([x])) for x in xs]
+        rast_vals = [Rastrigin(dims=1).evaluate(np.array([x])) for x in xs]
+
+        def minima(v):
+            v = np.asarray(v)
+            return int(np.sum((v[1:-1] < v[:-2]) & (v[1:-1] < v[2:])))
+
+        assert minima(rast_vals) > minima(sphere_vals)
+
+    def test_bounds_match_convention(self):
+        assert Sphere().spec.lower == -5.12
+        assert Schwefel().spec.upper == 500.0
+        assert Ackley().spec.upper == pytest.approx(32.768)

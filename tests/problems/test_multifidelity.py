@@ -1,0 +1,79 @@
+"""Unit tests for multi-fidelity problems and the wing-design instance."""
+
+import numpy as np
+import pytest
+
+from repro.problems.applications.wing import TransonicWingDesign
+from repro.problems.multifidelity import FidelityView
+
+
+@pytest.fixture
+def wing() -> TransonicWingDesign:
+    return TransonicWingDesign()
+
+
+class TestFidelityView:
+    def test_view_matches_evaluate_at(self, wing, rng):
+        g = wing.spec.sample(rng)
+        for f in range(wing.n_fidelities):
+            assert wing.view(f).evaluate(g) == wing.evaluate_at(g, f)
+
+    def test_out_of_range_fidelity(self, wing):
+        with pytest.raises(ValueError):
+            wing.view(3)
+        with pytest.raises(ValueError):
+            wing.view(-1)
+
+    def test_only_truth_view_carries_thresholds(self, wing):
+        wing.target = 0.02
+        assert wing.view(2).target == 0.02
+        assert wing.view(0).target is None
+
+    def test_view_cost(self, wing):
+        assert wing.view(0).cost == 1.0
+        assert wing.view(2).cost == 36.0
+
+    def test_view_name_includes_fidelity(self, wing):
+        assert "f1" in wing.view(1).name
+
+
+class TestWingPhysics:
+    def test_costs_increase_with_fidelity(self, wing):
+        assert list(wing.costs) == sorted(wing.costs)
+
+    def test_all_fidelities_positive(self, wing, rng):
+        for _ in range(20):
+            g = wing.spec.sample(rng)
+            for f in range(3):
+                assert wing.evaluate_at(g, f) > 0.0
+
+    def test_wave_drag_rises_past_drag_divergence(self, wing):
+        # unswept thick wing at M=0.82 has wave drag; swept thin doesn't
+        thick_unswept = np.array([0.5, 0.0, 1.0, 0.5, 0.5])
+        thin_swept = np.array([0.5, 1.0, 0.0, 0.5, 0.5])
+        truth = wing.view(2)
+        assert truth.evaluate(thick_unswept) > truth.evaluate(thin_swept)
+
+    def test_induced_drag_falls_with_aspect_ratio(self, wing):
+        low_ar = np.array([0.0, 0.5, 0.2, 0.5, 0.5])
+        high_ar = np.array([1.0, 0.5, 0.2, 0.5, 0.5])
+        cheap = wing.view(0)  # induced-only model isolates the effect
+        assert cheap.evaluate(high_ar) < cheap.evaluate(low_ar)
+
+    def test_low_fidelity_is_biased_near_transonic_optimum(self, wing):
+        # the cheap model ignores wave drag, so the *gap* between a thick
+        # unswept wing and a thin swept one shrinks under fidelity 0 —
+        # exactly the misranking risk the hierarchy's top layer corrects
+        thick_unswept = np.array([0.9, 0.0, 1.0, 0.5, 0.5])
+        thin_swept = np.array([0.9, 1.0, 0.0, 0.5, 0.5])
+        gap_truth = wing.evaluate_at(thick_unswept, 2) - wing.evaluate_at(thin_swept, 2)
+        gap_cheap = wing.evaluate_at(thick_unswept, 0) - wing.evaluate_at(thin_swept, 0)
+        assert gap_truth > gap_cheap + 1e-4
+
+    def test_fidelities_correlate_globally(self, wing, rng):
+        # despite bias, cheap and truth models rank random designs similarly
+        gs = [wing.spec.sample(rng) for _ in range(60)]
+        f0 = [wing.evaluate_at(g, 0) for g in gs]
+        f2 = [wing.evaluate_at(g, 2) for g in gs]
+        rho = np.corrcoef(np.argsort(np.argsort(f0)), np.argsort(np.argsort(f2)))[0, 1]
+        assert rho > 0.3

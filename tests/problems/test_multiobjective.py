@@ -1,0 +1,139 @@
+"""Unit tests for multiobjective problems and Pareto utilities."""
+
+import numpy as np
+import pytest
+
+from repro.problems import (
+    ZDT1,
+    ZDT2,
+    ZDT3,
+    FonsecaFleming,
+    ScalarizedObjective,
+    SchafferF2,
+    dominates,
+    hypervolume_2d,
+    pareto_front,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates([1, 1], [2, 2])
+        assert dominates([1, 2], [2, 2])
+
+    def test_no_self_dominance(self):
+        assert not dominates([1, 1], [1, 1])
+
+    def test_incomparable(self):
+        assert not dominates([1, 3], [3, 1])
+        assert not dominates([3, 1], [1, 3])
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        pts = np.array([[1, 3], [2, 2], [3, 1], [3, 3]])
+        assert set(pareto_front(pts)) == {0, 1, 2}
+
+    def test_duplicates_both_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        front = pareto_front(pts)
+        assert 2 not in front and len(front) == 2
+
+    def test_single_point(self):
+        assert pareto_front(np.array([[5.0, 5.0]])).tolist() == [0]
+
+    def test_all_on_front(self):
+        pts = np.array([[1, 4], [2, 3], [3, 2], [4, 1]])
+        assert len(pareto_front(pts)) == 4
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d(np.array([[0.5, 0.5]]), [1, 1]) == pytest.approx(0.25)
+
+    def test_staircase(self):
+        pts = np.array([[0.2, 0.6], [0.5, 0.3], [0.8, 0.1]])
+        assert hypervolume_2d(pts, [1, 1]) == pytest.approx(0.51)
+
+    def test_point_outside_reference_ignored(self):
+        pts = np.array([[2.0, 2.0]])
+        assert hypervolume_2d(pts, [1, 1]) == 0.0
+
+    def test_dominated_points_dont_add(self):
+        base = np.array([[0.3, 0.3]])
+        plus_dominated = np.array([[0.3, 0.3], [0.5, 0.5]])
+        assert hypervolume_2d(base, [1, 1]) == hypervolume_2d(plus_dominated, [1, 1])
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.zeros((3, 3)), [1, 1, 1])
+
+
+class TestScalarization:
+    def test_weighted_sum(self):
+        mo = SchafferF2()
+        p = ScalarizedObjective(mo, [0.5, 0.5])
+        g = np.array([1.0])
+        objs = mo.evaluate_objectives(g)
+        assert p.evaluate(g) == pytest.approx(0.5 * objs[0] + 0.5 * objs[1])
+
+    def test_one_hot_selects_single_objective(self):
+        mo = SchafferF2()
+        p = ScalarizedObjective(mo, [1.0, 0.0])
+        assert p.evaluate(np.array([0.0])) == pytest.approx(0.0)  # f1(0)=0
+
+    def test_weights_normalised(self):
+        mo = SchafferF2()
+        p = ScalarizedObjective(mo, [2.0, 2.0])
+        assert np.allclose(p.weights, [0.5, 0.5])
+
+    def test_invalid_weights(self):
+        mo = SchafferF2()
+        with pytest.raises(ValueError):
+            ScalarizedObjective(mo, [0.0, 0.0])
+        with pytest.raises(ValueError):
+            ScalarizedObjective(mo, [1.0, -1.0])
+        with pytest.raises(ValueError):
+            ScalarizedObjective(mo, [1.0, 0.0, 0.0])
+
+
+class TestZDTFamily:
+    @pytest.mark.parametrize("cls", [ZDT1, ZDT2, ZDT3])
+    def test_two_objectives(self, cls, rng):
+        p = cls(dims=8)
+        objs = p.evaluate_objectives(p.spec.sample(rng))
+        assert objs.shape == (2,)
+
+    def test_zdt1_pareto_relation(self):
+        # on the front (tail genes 0): f2 = 1 - sqrt(f1)
+        p = ZDT1(dims=5)
+        for f1 in (0.0, 0.25, 1.0):
+            g = np.zeros(5)
+            g[0] = f1
+            objs = p.evaluate_objectives(g)
+            assert objs[1] == pytest.approx(1.0 - np.sqrt(f1))
+
+    def test_zdt2_concave_front(self):
+        p = ZDT2(dims=5)
+        g = np.zeros(5)
+        g[0] = 0.5
+        objs = p.evaluate_objectives(g)
+        assert objs[1] == pytest.approx(1.0 - 0.25)
+
+    def test_g_grows_off_front(self, rng):
+        p = ZDT1(dims=5)
+        on = np.zeros(5)
+        off = np.zeros(5)
+        off[1:] = 0.5
+        assert p.evaluate_objectives(off)[1] > p.evaluate_objectives(on)[1]
+
+    def test_too_few_dims(self):
+        with pytest.raises(ValueError):
+            ZDT1(dims=1)
+
+
+class TestFonseca:
+    def test_symmetric_objectives_at_origin(self):
+        p = FonsecaFleming(dims=3)
+        objs = p.evaluate_objectives(np.zeros(3))
+        assert objs[0] == pytest.approx(objs[1])

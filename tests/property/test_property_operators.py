@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for operators and genome invariants.
+
+The invariants here hold for *all* inputs, not just the unit-test samples:
+permutation closure under every permutation operator, mass conservation of
+arithmetic recombination, bound preservation of bounded mutations, and the
+per-locus gene-conservation law of discrete crossovers.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.genome import BinarySpec, PermutationSpec, RealVectorSpec
+from repro.core.operators.crossover import (
+    CycleCrossover,
+    KPointCrossover,
+    OnePointCrossover,
+    OrderCrossover,
+    PartiallyMappedCrossover,
+    SimulatedBinaryCrossover,
+    TwoPointCrossover,
+    UniformCrossover,
+)
+from repro.core.operators.mutation import (
+    BitFlipMutation,
+    GaussianMutation,
+    InsertionMutation,
+    InversionMutation,
+    PolynomialMutation,
+    ScrambleMutation,
+    SwapMutation,
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+lengths = st.integers(min_value=2, max_value=64)
+
+DISCRETE_CX = [OnePointCrossover(), TwoPointCrossover(), KPointCrossover(3), UniformCrossover()]
+PERM_CX = [PartiallyMappedCrossover(), OrderCrossover(), CycleCrossover()]
+PERM_MUT = [SwapMutation(), InversionMutation(), ScrambleMutation(), InsertionMutation()]
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, length=lengths, op_idx=st.integers(0, len(DISCRETE_CX) - 1))
+def test_discrete_crossover_conserves_genes_per_locus(seed, length, op_idx):
+    """At every locus, children's multiset of genes equals the parents'."""
+    rng = np.random.default_rng(seed)
+    op = DISCRETE_CX[op_idx]
+    a = rng.integers(0, 4, size=length)
+    b = rng.integers(0, 4, size=length)
+    ca, cb = op(rng, a.copy(), b.copy())
+    for k in range(length):
+        assert sorted([ca[k], cb[k]]) == sorted([a[k], b[k]])
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, length=st.integers(2, 40), op_idx=st.integers(0, len(PERM_CX) - 1))
+def test_permutation_crossover_closure(seed, length, op_idx):
+    """Permutation crossovers always yield valid permutations."""
+    rng = np.random.default_rng(seed)
+    spec = PermutationSpec(length)
+    op = PERM_CX[op_idx]
+    a, b = spec.sample(rng), spec.sample(rng)
+    ca, cb = op(rng, a, b)
+    assert spec.is_valid(ca) and spec.is_valid(cb)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, length=st.integers(1, 40), op_idx=st.integers(0, len(PERM_MUT) - 1))
+def test_permutation_mutation_closure(seed, length, op_idx):
+    rng = np.random.default_rng(seed)
+    if length < 2:
+        return
+    spec = PermutationSpec(length)
+    op = PERM_MUT[op_idx]
+    g = spec.sample(rng)
+    assert spec.is_valid(op(rng, g))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, length=lengths)
+def test_sbx_centroid_conservation(seed, length):
+    """SBX preserves the parents' centroid exactly."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=length)
+    b = rng.normal(size=length)
+    ca, cb = SimulatedBinaryCrossover()(rng, a, b)
+    np.testing.assert_allclose(ca + cb, a + b, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, length=lengths, rate=st.floats(0.0, 1.0))
+def test_bitflip_stays_binary(seed, length, rate):
+    rng = np.random.default_rng(seed)
+    spec = BinarySpec(length)
+    g = spec.sample(rng)
+    out = BitFlipMutation(rate=rate)(rng, g)
+    assert spec.is_valid(out)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, length=lengths, sigma=st.floats(0.01, 10.0))
+def test_gaussian_mutation_respects_bounds(seed, length, sigma):
+    rng = np.random.default_rng(seed)
+    spec = RealVectorSpec(length, -1.0, 2.0)
+    g = spec.sample(rng)
+    out = GaussianMutation(sigma=sigma, rate=1.0, lower=-1.0, upper=2.0)(rng, g)
+    assert np.all(out >= -1.0) and np.all(out <= 2.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, length=lengths, eta=st.floats(1.0, 100.0))
+def test_polynomial_mutation_respects_bounds(seed, length, eta):
+    rng = np.random.default_rng(seed)
+    spec = RealVectorSpec(length, 0.0, 1.0)
+    g = spec.sample(rng)
+    out = PolynomialMutation(lower=0.0, upper=1.0, eta=eta, rate=1.0)(rng, g)
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, length=st.integers(2, 40))
+def test_permutation_repair_is_idempotent_fixpoint(seed, length):
+    """Repairing a valid permutation returns it unchanged; repairing garbage
+    yields something repair maps to itself."""
+    rng = np.random.default_rng(seed)
+    spec = PermutationSpec(length)
+    g = spec.sample(rng)
+    assert np.array_equal(spec.repair(g, rng), g)
+    garbage = rng.integers(-3, length + 3, size=length)
+    fixed = spec.repair(garbage, rng)
+    assert spec.is_valid(fixed)
+    assert np.array_equal(spec.repair(fixed, rng), fixed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, length=lengths)
+def test_binary_repair_idempotent(seed, length):
+    rng = np.random.default_rng(seed)
+    spec = BinarySpec(length)
+    noisy = rng.normal(size=length) * 3
+    fixed = spec.repair(noisy, rng)
+    assert spec.is_valid(fixed)
+    assert np.array_equal(spec.repair(fixed, rng), fixed)

@@ -1,0 +1,165 @@
+"""Property-based tests for topologies, buffers, schedules and the sim kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Simulator, Timeout
+from repro.core import Individual
+from repro.migration import MigrationBuffer, PeriodicSchedule
+from repro.problems.multiobjective import dominates, pareto_front
+from repro.runtime import chunk_indices
+from repro.topology import (
+    BidirectionalRingTopology,
+    CompleteTopology,
+    HypercubeTopology,
+    RandomRegularTopology,
+    RingTopology,
+    TorusTopology,
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(size=st.integers(2, 24), kind=st.integers(0, 3), seed=seeds)
+def test_topology_in_out_duality(size, kind, seed):
+    """j in out(i)  <=>  i in in(j), for every static topology."""
+    topos = [
+        RingTopology(size),
+        BidirectionalRingTopology(size),
+        CompleteTopology(size),
+        RandomRegularTopology(size, k=min(2, size - 1), seed=seed),
+    ]
+    topo = topos[kind]
+    for i in range(topo.size):
+        for j in topo.neighbors_out(i):
+            assert i in topo.neighbors_in(j)
+        for j in topo.neighbors_in(i):
+            assert i in topo.neighbors_out(j)
+
+
+@settings(max_examples=30, deadline=None)
+@given(d=st.integers(0, 6))
+def test_hypercube_edge_count(d):
+    topo = HypercubeTopology(d)
+    assert len(topo.edges()) == d * 2**d
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=st.integers(3, 8), cols=st.integers(3, 8))
+def test_torus_regular_degree(rows, cols):
+    topo = TorusTopology(rows, cols)
+    assert all(topo.degree(i) == 4 for i in range(topo.size))
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(0, 500), chunks=st.integers(1, 64))
+def test_chunk_indices_partition(n, chunks):
+    """Chunks tile [0, n) exactly: disjoint, ordered, covering."""
+    spans = chunk_indices(n, chunks)
+    pos = 0
+    for a, b in spans:
+        assert a == pos and b > a
+        pos = b
+    assert pos == n
+    assert len(spans) <= chunks
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(st.integers(0, 5), min_size=1, max_size=20),
+    seed=seeds,
+)
+def test_migration_buffer_never_loses_unexpired_parcels(delays, seed):
+    """Without capacity limits, every posted parcel is eventually collected
+    exactly once."""
+    buf = MigrationBuffer(delay=3)
+    posted = 0
+    collected = 0
+    for t, d in enumerate(delays):
+        ind = Individual(genome=np.zeros(2))
+        ind.fitness = float(t)
+        buf.post([ind], source=0, sent_at=t)
+        posted += 1
+        collected += len(buf.collect(now=t))
+    collected += len(buf.collect(now=len(delays) + 10))
+    assert collected == posted
+    assert buf.dropped == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(interval=st.integers(1, 20), horizon=st.integers(1, 200))
+def test_periodic_schedule_fires_exactly_every_interval(interval, horizon):
+    rng = np.random.default_rng(0)
+    s = PeriodicSchedule(interval)
+    fires = [g for g in range(horizon + 1) if s.should_migrate(0, g, rng)]
+    assert fires == [g for g in range(1, horizon + 1) if g % interval == 0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.floats(0, 10, allow_nan=False), st.floats(0, 10, allow_nan=False)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_pareto_front_is_mutually_nondominated(points):
+    pts = np.asarray(points, dtype=float)
+    front = pareto_front(pts)
+    for i in front:
+        for j in front:
+            if i != j:
+                assert not dominates(pts[i], pts[j])
+    # every non-front point is dominated by some front point
+    front_set = set(front.tolist())
+    for k in range(pts.shape[0]):
+        if k not in front_set:
+            assert any(dominates(pts[i], pts[k]) for i in front)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    durations=st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=15)
+)
+def test_simulator_time_is_monotone(durations):
+    """Observed process times are non-decreasing and sum correctly."""
+    sim = Simulator()
+    observed = []
+
+    def proc():
+        for d in durations:
+            yield Timeout(d)
+            observed.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert observed == sorted(observed)
+    assert observed[-1] == sum(durations) or abs(observed[-1] - sum(durations)) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sends=st.lists(st.floats(0.0, 5.0, allow_nan=False), min_size=1, max_size=10),
+    seed=seeds,
+)
+def test_simulator_messages_arrive_in_latency_order(sends, seed):
+    """put_later deliveries arrive sorted by delivery time regardless of
+    posting order."""
+    sim = Simulator()
+    box = sim.inbox()
+    arrivals = []
+
+    def consumer():
+        for _ in sends:
+            item = yield box
+            arrivals.append((sim.now, item))
+
+    sim.process(consumer())
+    for k, delay in enumerate(sends):
+        sim.put_later(delay, box, k)
+    sim.run()
+    times = [t for t, _ in arrivals]
+    assert times == sorted(times)
+    assert len(arrivals) == len(sends)

@@ -1,0 +1,42 @@
+"""Smoke tests: the examples must import cleanly and the fast ones run.
+
+Each example is a deliverable; importing executes nothing (main() guard),
+so import-checking all of them is cheap, and we execute the quick ones
+end-to-end.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_at_least_three():
+    assert len(ALL_EXAMPLES) >= 3, ALL_EXAMPLES
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports_cleanly(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # main() guard keeps this side-effect free
+    assert hasattr(module, "main")
+
+
+def test_quickstart_runs_end_to_end():
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    assert "sequential GA" in out.stdout
+    assert "island PGA" in out.stdout
+    assert "simulated run" in out.stdout

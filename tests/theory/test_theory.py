@@ -1,0 +1,189 @@
+"""Tests for the approximation theories, including theory-vs-measurement."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import cellular_growth_curve, panmictic_growth_curve
+from repro.theory import (
+    cellular_takeover_bound,
+    collateral_noise,
+    deme_size_for_success,
+    gamblers_ruin_size,
+    island_epoch_time,
+    island_speedup_model,
+    logistic_growth,
+    masterslave_generation_time,
+    masterslave_speedup_model,
+    optimal_worker_count,
+    panmictic_tournament_takeover,
+    predicted_growth_curve,
+    ring_takeover,
+    trap_signal_to_noise,
+)
+
+
+class TestLogisticModel:
+    def test_starts_at_p0_and_saturates(self):
+        curve = predicted_growth_curve(100, rate=0.5, n=100)
+        assert curve[0] == pytest.approx(1 / 100)
+        assert curve[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_monotone(self):
+        curve = predicted_growth_curve(50, rate=0.7, n=64)
+        assert np.all(np.diff(curve) > 0)
+
+    def test_rate_orders_curves(self):
+        slow = logistic_growth(10.0, rate=0.3, n=100)
+        fast = logistic_growth(10.0, rate=1.0, n=100)
+        assert fast > slow
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            logistic_growth(1.0, rate=0.0, n=10)
+        with pytest.raises(ValueError):
+            logistic_growth(1.0, rate=1.0, n=0)
+        with pytest.raises(ValueError):
+            logistic_growth(1.0, rate=1.0, n=10, p0=1.5)
+
+
+class TestTakeoverPredictions:
+    def test_panmictic_prediction_matches_measurement(self):
+        n = 1024
+        predicted = panmictic_tournament_takeover(n, 2)
+        measured = [
+            panmictic_growth_curve(n, seed=s, max_steps=500).takeover
+            for s in range(5)
+        ]
+        measured = [m for m in measured if m is not None]
+        assert measured
+        # Goldberg-Deb approximation is within a factor ~2 of simulation
+        assert 0.5 * predicted <= np.mean(measured) <= 2.5 * predicted
+
+    def test_cellular_bound_is_tight_for_best_wins(self):
+        rows = cols = 16
+        bound = cellular_takeover_bound(rows, cols)
+        measured = [
+            cellular_growth_curve(rows, cols, update="synchronous", seed=s).takeover
+            for s in range(5)
+        ]
+        assert all(m >= bound - 1 for m in measured)  # never beats diffusion
+        assert min(m - bound for m in measured) <= 2  # and it's nearly tight
+
+    def test_cellular_bound_grows_with_grid(self):
+        assert cellular_takeover_bound(32, 32) > cellular_takeover_bound(8, 8)
+
+    def test_ring_takeover(self):
+        assert ring_takeover(8, migration_interval=4) == 28
+        assert ring_takeover(1, migration_interval=4) == 0
+
+    def test_tournament_size_speeds_takeover(self):
+        assert panmictic_tournament_takeover(256, 4) < panmictic_tournament_takeover(256, 2)
+
+
+class TestSizing:
+    def test_trap_signal(self):
+        d, var = trap_signal_to_noise(4)
+        assert d == 1.0 and var > 0
+
+    def test_size_grows_with_blocks(self):
+        assert gamblers_ruin_size(4, 20) > gamblers_ruin_size(4, 5)
+
+    def test_size_grows_with_confidence(self):
+        assert gamblers_ruin_size(4, 10, success_probability=0.999) > gamblers_ruin_size(
+            4, 10, success_probability=0.9
+        )
+
+    def test_size_grows_with_trap_order(self):
+        assert gamblers_ruin_size(5, 10) > gamblers_ruin_size(3, 10)
+
+    def test_deme_size_divides(self):
+        total = gamblers_ruin_size(4, 8)
+        per_deme = deme_size_for_success(4, 8, 8)
+        assert per_deme == max(4, int(np.ceil(total / 8)))
+
+    def test_collateral_noise(self):
+        assert collateral_noise(1.0, 5) == pytest.approx(2.0)
+        assert collateral_noise(1.0, 1) == 0.0
+
+    def test_sizing_prediction_actually_solves_traps(self):
+        """The theory's population solves the trap it was sized for."""
+        from repro.core import GAConfig, GenerationalEngine, MaxGenerations
+        from repro.problems import DeceptiveTrap
+
+        k, blocks = 3, 6
+        n = gamblers_ruin_size(k, blocks, success_probability=0.95)
+        problem = DeceptiveTrap(blocks=blocks, k=k)
+        hits = 0
+        for s in range(3):
+            res = GenerationalEngine(
+                problem, GAConfig(population_size=n, elitism=1), seed=s
+            ).run(MaxGenerations(150))
+            hits += res.solved
+        assert hits >= 2  # sized for 95% per-run success
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            trap_signal_to_noise(1)
+        with pytest.raises(ValueError):
+            gamblers_ruin_size(4, 10, success_probability=1.0)
+        with pytest.raises(ValueError):
+            deme_size_for_success(4, 10, 0)
+
+
+class TestParallelModels:
+    def test_generation_time_components(self):
+        t = masterslave_generation_time(100, 4, eval_cost=0.1, comm_cost=0.01)
+        assert t == pytest.approx(4 * 0.01 + 25 * 0.1)
+
+    def test_optimal_worker_count_formula(self):
+        assert optimal_worker_count(100, 0.1, 0.001) == pytest.approx(100.0)
+
+    def test_makespan_minimised_near_optimum(self):
+        n, tf, tc = 256, 0.05, 0.002
+        star = optimal_worker_count(n, tf, tc)
+        t_at = masterslave_generation_time(n, int(star), tf, tc)
+        t_small = masterslave_generation_time(n, max(1, int(star // 4)), tf, tc)
+        t_big = masterslave_generation_time(n, int(star * 4), tf, tc)
+        assert t_at <= t_small and t_at <= t_big
+
+    def test_speedup_model_saturates(self):
+        s8 = masterslave_speedup_model(128, 8, eval_cost=1e-4, comm_cost=1e-3)
+        s64 = masterslave_speedup_model(128, 64, eval_cost=1e-4, comm_cost=1e-3)
+        assert s64 < 8  # communication-bound regime: far below linear
+        assert s8 < 8
+
+    def test_model_tracks_simulated_farm(self):
+        """Theory vs the discrete-event simulation (E2's machinery)."""
+        from repro.cluster import Network, SimulatedCluster
+        from repro.core import GAConfig, MaxGenerations
+        from repro.parallel import SimulatedMasterSlave
+        from repro.problems import OneMax
+
+        pop, eval_cost, latency = 64, 1e-2, 1e-3
+
+        def measured(workers: int) -> float:
+            cluster = SimulatedCluster(
+                workers + 1, network=Network(workers + 1, latency=latency, bandwidth=1e9)
+            )
+            ms = SimulatedMasterSlave(
+                OneMax(32), GAConfig(population_size=pop), cluster=cluster,
+                eval_cost=eval_cost, chunks_per_worker=1, seed=1,
+            )
+            rep = ms.run(MaxGenerations(3))
+            return rep.mean_makespan
+
+        for workers in (2, 8):
+            predicted = masterslave_generation_time(pop, workers, eval_cost, latency)
+            assert measured(workers) == pytest.approx(predicted, rel=0.5)
+
+    def test_island_epoch_time_slowest_node(self):
+        t = island_epoch_time(20, 0.01, slowest_speed=0.25)
+        assert t == pytest.approx(20 * 0.01 / 0.25)
+
+    def test_island_superlinear_regime(self):
+        s = island_speedup_model(160, 8, 1e-3, evaluations_ratio=2.0)
+        assert s > 8  # super-linear exactly when the algorithmic ratio > 1
+
+    def test_island_sublinear_with_overhead(self):
+        s = island_speedup_model(160, 8, 1e-3, migration_cost=1.0, evaluations_ratio=1.0)
+        assert s < 8

@@ -1,0 +1,107 @@
+"""Unit tests for dynamic topologies and cellular neighbourhoods."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    CompactNeighborhood,
+    CompleteTopology,
+    LinearNeighborhood,
+    MooreNeighborhood,
+    RandomRewiringTopology,
+    RingTopology,
+    ScheduleTopology,
+    VonNeumannNeighborhood,
+)
+
+
+class TestRandomRewiring:
+    def test_edges_change_on_advance(self):
+        t = RandomRewiringTopology(10, k=2, seed=1)
+        before = t.edges()
+        t.advance()
+        after = t.edges()
+        assert before != after
+
+    def test_degree_constant(self):
+        t = RandomRewiringTopology(10, k=2, seed=1)
+        for _ in range(5):
+            assert all(t.degree(i) == 2 for i in range(10))
+            t.advance()
+
+    def test_long_run_coverage(self):
+        # over many epochs, most node pairs appear as edges at least once
+        t = RandomRewiringTopology(6, k=1, seed=2)
+        seen = set()
+        for _ in range(200):
+            seen.update(t.edges())
+            t.advance()
+        assert len(seen) > 0.8 * 6 * 5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RandomRewiringTopology(4, k=4)
+
+
+class TestScheduleTopology:
+    def test_cycles_through_phases(self):
+        t = ScheduleTopology([RingTopology(4), CompleteTopology(4)])
+        assert len(t.neighbors_out(0)) == 1  # ring phase
+        t.advance()
+        assert len(t.neighbors_out(0)) == 3  # complete phase
+        t.advance()
+        assert len(t.neighbors_out(0)) == 1  # back to ring
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleTopology([RingTopology(4), CompleteTopology(5)])
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleTopology([])
+
+
+class TestNeighborhoods:
+    def test_von_neumann_size(self):
+        assert VonNeumannNeighborhood().size == 4
+
+    def test_moore_size(self):
+        assert MooreNeighborhood().size == 8
+
+    def test_linear_arm(self):
+        assert LinearNeighborhood(arm=2).size == 8
+
+    def test_compact_radius(self):
+        assert CompactNeighborhood(radius=2).size == 24
+
+    def test_toroidal_wrap(self):
+        nb = VonNeumannNeighborhood()
+        coords = nb.neighbors(0, 0, 4, 4)
+        assert (3, 0) in coords and (0, 3) in coords
+
+    def test_flat_indices_consistent(self):
+        nb = MooreNeighborhood()
+        idx = nb.neighbor_indices(0, 4, 4)
+        assert len(idx) == 8
+        assert all(0 <= i < 16 for i in idx)
+        assert len(set(idx)) == 8
+
+    def test_no_self_in_neighborhood(self):
+        for nb in (
+            VonNeumannNeighborhood(),
+            MooreNeighborhood(),
+            LinearNeighborhood(2),
+            CompactNeighborhood(2),
+        ):
+            assert (0, 0) not in nb.offsets
+            assert 5 not in nb.neighbor_indices(5, 4, 4)
+
+    def test_radius_ordering(self):
+        # diffusion speed knob: compact(2) reaches further than von Neumann
+        assert CompactNeighborhood(2).radius > VonNeumannNeighborhood().radius
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LinearNeighborhood(arm=0)
+        with pytest.raises(ValueError):
+            CompactNeighborhood(radius=0)

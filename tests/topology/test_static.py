@@ -1,0 +1,184 @@
+"""Unit tests for static topologies."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    BidirectionalRingTopology,
+    CompleteTopology,
+    GridTopology,
+    HypercubeTopology,
+    IsolatedTopology,
+    PipelineTopology,
+    RandomRegularTopology,
+    RingTopology,
+    StarTopology,
+    TorusTopology,
+    topology_by_name,
+)
+
+CONNECTED = [
+    RingTopology(8),
+    BidirectionalRingTopology(8),
+    CompleteTopology(8),
+    StarTopology(8),
+    GridTopology(2, 4),
+    TorusTopology(2, 4),
+    HypercubeTopology(3),
+    RandomRegularTopology(8, k=3, seed=1),
+]
+
+
+@pytest.mark.parametrize("topo", CONNECTED, ids=lambda t: type(t).__name__)
+class TestConnectedTopologies:
+    def test_neighbors_in_range(self, topo):
+        for i in range(topo.size):
+            for j in topo.neighbors_out(i):
+                assert 0 <= j < topo.size and j != i
+
+    def test_in_out_consistency(self, topo):
+        for i in range(topo.size):
+            for j in topo.neighbors_out(i):
+                assert i in topo.neighbors_in(j)
+
+    def test_is_connected(self, topo):
+        assert topo.is_connected()
+
+    def test_out_of_range_raises(self, topo):
+        with pytest.raises(IndexError):
+            topo.neighbors_out(topo.size)
+        with pytest.raises(IndexError):
+            topo.neighbors_out(-1)
+
+    def test_adjacency_matrix_matches_edges(self, topo):
+        m = topo.adjacency_matrix()
+        assert m.sum() == len(topo.edges())
+
+
+class TestDiameters:
+    def test_complete_diameter_one(self):
+        assert CompleteTopology(6).diameter() == 1.0
+
+    def test_unidirectional_ring_diameter(self):
+        assert RingTopology(8).diameter() == 7.0
+
+    def test_bidirectional_ring_diameter(self):
+        assert BidirectionalRingTopology(8).diameter() == 4.0
+
+    def test_hypercube_diameter_is_dimension(self):
+        assert HypercubeTopology(4).diameter() == 4.0
+
+    def test_star_diameter_two(self):
+        assert StarTopology(8).diameter() == 2.0
+
+    def test_isolated_not_connected(self):
+        t = IsolatedTopology(4)
+        assert not t.is_connected()
+        assert t.neighbors_out(0) == []
+
+    def test_diameter_ordering_drives_convergence_claims(self):
+        # E6 relies on complete < torus/grid < ring
+        assert (
+            CompleteTopology(8).diameter()
+            < TorusTopology(2, 4).diameter()
+            <= RingTopology(8).diameter()
+        )
+
+
+class TestRing:
+    def test_direction(self):
+        t = RingTopology(4)
+        assert t.neighbors_out(3) == [0]
+        assert t.neighbors_in(0) == [3]
+
+    def test_size_one_has_no_edges(self):
+        assert RingTopology(1).neighbors_out(0) == []
+
+    def test_size_two_bidirectional_no_duplicates(self):
+        t = BidirectionalRingTopology(2)
+        assert t.neighbors_out(0) == [1]
+
+
+class TestPipeline:
+    def test_endpoints(self):
+        t = PipelineTopology(4)
+        assert t.neighbors_out(3) == []
+        assert t.neighbors_in(0) == []
+        assert t.neighbors_out(1) == [2]
+
+    def test_not_strongly_connected(self):
+        assert not PipelineTopology(3).is_connected()
+
+
+class TestGridTorus:
+    def test_grid_corner_degree_two(self):
+        t = GridTopology(3, 3)
+        assert t.degree(0) == 2
+
+    def test_grid_center_degree_four(self):
+        t = GridTopology(3, 3)
+        assert t.degree(4) == 4
+
+    def test_torus_uniform_degree(self):
+        t = TorusTopology(3, 3)
+        assert all(t.degree(i) == 4 for i in range(9))
+
+    def test_torus_2x2_no_duplicate_neighbors(self):
+        t = TorusTopology(2, 2)
+        for i in range(4):
+            out = t.neighbors_out(i)
+            assert len(out) == len(set(out))
+
+
+class TestHypercube:
+    def test_neighbors_differ_by_one_bit(self):
+        t = HypercubeTopology(3)
+        for i in range(8):
+            for j in t.neighbors_out(i):
+                assert bin(i ^ j).count("1") == 1
+
+    def test_degree_is_dimension(self):
+        assert all(HypercubeTopology(4).degree(i) == 4 for i in range(16))
+
+
+class TestRandomRegular:
+    def test_deterministic_by_seed(self):
+        a = RandomRegularTopology(10, k=2, seed=3)
+        b = RandomRegularTopology(10, k=2, seed=3)
+        assert a.edges() == b.edges()
+
+    def test_out_degree_exactly_k(self):
+        t = RandomRegularTopology(10, k=3, seed=4)
+        assert all(t.degree(i) == 3 for i in range(10))
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,size",
+        [
+            ("ring", 6),
+            ("biring", 6),
+            ("complete", 6),
+            ("star", 6),
+            ("pipeline", 6),
+            ("isolated", 6),
+            ("grid", 6),
+            ("torus", 6),
+            ("hypercube", 8),
+            ("random", 6),
+        ],
+    )
+    def test_factory_builds_right_size(self, name, size):
+        assert topology_by_name(name, size).size == size
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            topology_by_name("moebius", 4)
+
+    def test_hypercube_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            topology_by_name("hypercube", 6)
+
+    def test_grid_requires_factorable_size(self):
+        with pytest.raises(ValueError):
+            topology_by_name("grid", 7)
