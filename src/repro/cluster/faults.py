@@ -20,9 +20,22 @@ __all__ = ["FaultPlan", "sample_fault_plan"]
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """Per-node downtime intervals over a simulation horizon."""
+    """Per-node downtime intervals (plus network latency spikes) over a
+    simulation horizon.
+
+    ``latency_spikes`` are cluster-wide ``(start, end, factor)`` windows
+    during which every message's transit time is multiplied by ``factor``
+    — the soft-failure companion to hard node downtime (congestion,
+    transient routing trouble on the "conventional LAN").
+    """
 
     intervals: tuple[tuple[tuple[float, float], ...], ...]  # [node][k] = (start, end)
+    latency_spikes: tuple[tuple[float, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for a, b, factor in self.latency_spikes:
+            if b < a or factor < 1.0:
+                raise ValueError(f"invalid latency spike ({a}, {b}, x{factor})")
 
     @property
     def n_nodes(self) -> int:
@@ -31,6 +44,14 @@ class FaultPlan:
     def for_node(self, node_id: int) -> list[tuple[float, float]]:
         return list(self.intervals[node_id])
 
+    def latency_factor(self, t: float) -> float:
+        """Transit-time multiplier in effect at simulated time ``t``."""
+        factor = 1.0
+        for a, b, f in self.latency_spikes:
+            if a <= t < b:
+                factor = max(factor, f)
+        return factor
+
     def total_downtime(self, node_id: int, horizon: float) -> float:
         return sum(
             max(0.0, min(b, horizon) - min(a, horizon))
@@ -38,7 +59,7 @@ class FaultPlan:
         )
 
     def any_failures(self) -> bool:
-        return any(len(iv) > 0 for iv in self.intervals)
+        return any(len(iv) > 0 for iv in self.intervals) or len(self.latency_spikes) > 0
 
 
 def sample_fault_plan(
@@ -49,6 +70,9 @@ def sample_fault_plan(
     repair_time: float | None = None,
     seed: int | np.random.Generator | None = 0,
     spare_node_zero: bool = True,
+    spike_mtbs: float | None = None,
+    spike_duration: float = 0.0,
+    spike_factor: float = 10.0,
 ) -> FaultPlan:
     """Draw exponential failures for each node over ``[0, horizon]``.
 
@@ -61,6 +85,10 @@ def sample_fault_plan(
     spare_node_zero:
         Keep node 0 (the master in master-slave farms) failure-free, as
         Gagné's model assumes a reliable master host.
+    spike_mtbs:
+        Mean time between cluster-wide latency spikes; ``None`` disables
+        them.  Each spike lasts ``spike_duration`` seconds and multiplies
+        message transit times by ``spike_factor``.
     """
     if n_nodes < 1:
         raise ValueError(f"need at least one node, got {n_nodes}")
@@ -82,4 +110,10 @@ def sample_fault_plan(
             spans.append((t, end))
             t = end + float(rng.exponential(mtbf))
         plans.append(tuple(spans))
-    return FaultPlan(intervals=tuple(plans))
+    spikes: list[tuple[float, float, float]] = []
+    if spike_mtbs is not None and spike_duration > 0:
+        t = float(rng.exponential(spike_mtbs))
+        while t < horizon:
+            spikes.append((t, t + spike_duration, spike_factor))
+            t = t + spike_duration + float(rng.exponential(spike_mtbs))
+    return FaultPlan(intervals=tuple(plans), latency_spikes=tuple(spikes))

@@ -10,6 +10,7 @@ communication-to-computation trade-offs rather than host hardware.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Sequence
 
 import numpy as np
@@ -18,7 +19,7 @@ from ..topology.static import Topology
 from .faults import FaultPlan
 from .network import Network
 from .node import Node
-from .sim import Inbox, Simulator
+from .sim import Inbox, JitterSource, Simulator
 from .trace import Trace
 
 __all__ = ["SimulatedCluster"]
@@ -48,6 +49,7 @@ class SimulatedCluster:
         network: Network | None = None,
         fault_plan: FaultPlan | None = None,
         physical: Topology | None = None,
+        tiebreak_jitter: JitterSource | None = None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError(f"cluster needs >= 1 node, got {n_nodes}")
@@ -69,8 +71,10 @@ class SimulatedCluster:
             raise ValueError(
                 f"network models {self.network.n} nodes, cluster has {n_nodes}"
             )
-        self.sim = Simulator()
+        self.fault_plan = fault_plan
+        self.sim = Simulator(tiebreak_jitter=tiebreak_jitter)
         self.trace = Trace()
+        self._msg_ids = itertools.count()
 
     # -- convenience -----------------------------------------------------------
     @property
@@ -87,6 +91,14 @@ class SimulatedCluster:
         self.trace.record(self.sim.now, kind, **fields)
 
     # -- messaging ----------------------------------------------------------------
+    def transit_time(self, src: int, dst: int, size: float = 1.0) -> float:
+        """Current transit time from ``src`` to ``dst``, including any
+        latency spike the fault plan has in effect right now."""
+        transit = self.network.transit_time(src, dst, size)
+        if self.fault_plan is not None:
+            transit *= self.fault_plan.latency_factor(self.sim.now)
+        return transit
+
     def send(
         self,
         src: int,
@@ -100,13 +112,26 @@ class SimulatedCluster:
         """Queue delivery of ``payload`` into ``inbox`` after network transit.
 
         Returns the transit time.  The caller (a process on node ``src``)
-        is responsible for only sending while its node is alive; the network
-        itself never loses messages.
+        is responsible for only sending while its node is alive.  The
+        network itself never loses messages, but a message arriving at a
+        *dead* destination node is dropped.  Every send is paired with a
+        ``{kind}-recv`` or ``{kind}-drop`` trace record carrying the same
+        ``mid`` — the receipt the message-conservation invariant audits.
         """
-        transit = self.network.transit_time(src, dst, size)
-        self.sim.put_later(transit, inbox, payload)
-        self.record(kind, src=src, dst=dst, size=size, transit=transit)
+        transit = self.transit_time(src, dst, size)
+        mid = next(self._msg_ids)
+        self.record(kind, mid=mid, src=src, dst=dst, size=size, transit=transit)
+        self.sim.call_later(transit, self._deliver, mid, src, dst, inbox, payload, kind)
         return transit
+
+    def _deliver(
+        self, mid: int, src: int, dst: int, inbox: Inbox, payload: Any, kind: str
+    ) -> None:
+        if self.nodes[dst].is_up(self.sim.now):
+            inbox.put(payload)
+            self.record(f"{kind}-recv", mid=mid, src=src, dst=dst)
+        else:
+            self.record(f"{kind}-drop", mid=mid, src=src, dst=dst)
 
     # -- compute ------------------------------------------------------------------
     def compute_time(self, node_id: int, work: float) -> float:

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections import deque
-from typing import Any, Callable, Generator, Iterable
+from typing import Any, Callable, Generator, Iterable, Protocol
 
 __all__ = ["Simulator", "Timeout", "Inbox", "Process", "SimulationError"]
 
@@ -29,9 +30,12 @@ class Timeout:
     __slots__ = ("duration",)
 
     def __init__(self, duration: float) -> None:
-        if duration < 0:
-            raise SimulationError(f"negative timeout {duration}")
-        self.duration = float(duration)
+        duration = float(duration)
+        # NaN compares False against everything, so `duration < 0` alone
+        # would let NaN through and poison the event-heap ordering
+        if not math.isfinite(duration) or duration < 0:
+            raise SimulationError(f"timeout must be finite and >= 0, got {duration}")
+        self.duration = duration
 
 
 class Inbox:
@@ -68,14 +72,18 @@ ProcessGen = Generator[Any, Any, Any]
 
 
 class Process:
-    """One running coroutine inside the simulator."""
+    """One running coroutine inside the simulator.
 
-    _ids = itertools.count()
+    Pids are allocated by the owning :class:`Simulator` (not a module-wide
+    counter), so the pids — and hence trace contents and digests — of one
+    simulation never depend on how many simulators ran earlier in the
+    process.
+    """
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str | None = None) -> None:
         self._sim = sim
         self._gen = gen
-        self.pid = next(Process._ids)
+        self.pid = next(sim._pids)
         self.name = name or f"proc-{self.pid}"
         self.finished = False
         self.value: Any = None
@@ -116,20 +124,43 @@ class Process:
             inbox._waiters.append(self)
 
 
-class Simulator:
-    """Deterministic event loop over simulated time."""
+class JitterSource(Protocol):
+    """Anything with ``random() -> float`` (a seeded RNG works)."""
 
-    def __init__(self) -> None:
+    def random(self) -> float: ...
+
+
+class Simulator:
+    """Deterministic event loop over simulated time.
+
+    Parameters
+    ----------
+    tiebreak_jitter:
+        Optional seeded randomness source used to perturb the ordering of
+        *same-timestamp* events.  ``None`` (the default) keeps strict FIFO
+        tie-breaking.  With a seeded source the run is still exactly
+        reproducible, but the tie-breaking order is shuffled — the seam the
+        verification fuzzer uses to flush out hidden ordering assumptions.
+        Events at different timestamps are never reordered.
+    """
+
+    def __init__(self, *, tiebreak_jitter: JitterSource | None = None) -> None:
         self.now = 0.0
-        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._heap: list[tuple[float, float, int, Callable, tuple]] = []
         self._seq = itertools.count()
+        self._pids = itertools.count()
+        self._jitter = tiebreak_jitter
         self._processes: list[Process] = []
 
     # -- scheduling ------------------------------------------------------------
     def _schedule(self, delay: float, fn: Callable, *args: Any) -> None:
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay}")
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+        delay = float(delay)
+        # guard NaN explicitly: NaN < 0 is False, and a NaN key breaks the
+        # heap invariant silently (events then pop in arbitrary order)
+        if not math.isfinite(delay) or delay < 0:
+            raise SimulationError(f"delay must be finite and >= 0, got {delay}")
+        jitter = self._jitter.random() if self._jitter is not None else 0.0
+        heapq.heappush(self._heap, (self.now + delay, jitter, next(self._seq), fn, args))
 
     def call_at(self, time: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at absolute simulated ``time`` (>= now)."""
@@ -164,7 +195,7 @@ class Simulator:
         """
         events = 0
         while self._heap:
-            t, _, fn, args = self._heap[0]
+            t, _, _, fn, args = self._heap[0]
             if until is not None and t > until:
                 self.now = until
                 return self.now

@@ -8,7 +8,7 @@ flat list of timestamped records with free-form fields.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 __all__ = ["TraceEvent", "Trace"]
 
@@ -26,13 +26,31 @@ class TraceEvent:
 
 
 class Trace:
-    """Append-only event log."""
+    """Append-only event log.
+
+    Listeners registered with :meth:`attach` observe every event as it is
+    recorded — the seam in-line invariant checkers
+    (:class:`repro.verify.invariants.TraceChecker`) hook into, so a
+    violation can surface at the moment it happens instead of post-hoc.
+    """
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
+        self._listeners: list[Callable[[TraceEvent], None]] = []
+
+    def attach(self, listener: Callable[[TraceEvent], None]) -> Callable[[TraceEvent], None]:
+        """Register a callable invoked with each newly recorded event."""
+        self._listeners.append(listener)
+        return listener
+
+    def detach(self, listener: Callable[[TraceEvent], None]) -> None:
+        self._listeners.remove(listener)
 
     def record(self, time: float, kind: str, **fields: Any) -> None:
-        self.events.append(TraceEvent(time=time, kind=kind, fields=fields))
+        event = TraceEvent(time=time, kind=kind, fields=fields)
+        self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == kind]

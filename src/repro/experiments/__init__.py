@@ -52,17 +52,39 @@ REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
 }
 
 
-def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentReport:
-    """Run one experiment by id ('E1' … 'E12')."""
+def run_experiment(
+    experiment_id: str, quick: bool = False, *, audit: bool = False
+) -> ExperimentReport:
+    """Run one experiment by id ('E1' … 'E12').
+
+    With ``audit=True`` the runner executes *twice* and a
+    ``determinism-audit`` expectation is appended comparing the two
+    reports' canonical fingerprints — every experiment is seeded, so two
+    fresh runs must be behaviourally identical (same tables, same series,
+    same expectation outcomes).
+    """
     key = experiment_id.upper()
     if key not in REGISTRY:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; choose from {sorted(REGISTRY)}"
         )
-    return REGISTRY[key](quick=quick)
+    report = REGISTRY[key](quick=quick)
+    if audit:
+        from ..verify.digest import result_fingerprint
+
+        first = result_fingerprint(report)
+        second = result_fingerprint(REGISTRY[key](quick=quick))
+        report.expect(
+            "determinism-audit",
+            first == second,
+            f"run fingerprints {first[:16]}… vs {second[:16]}…",
+        )
+    return report
 
 
-def run_all(quick: bool = False, ids: list[str] | None = None) -> list[ExperimentReport]:
+def run_all(
+    quick: bool = False, ids: list[str] | None = None, *, audit: bool = False
+) -> list[ExperimentReport]:
     """Run every experiment (or a subset) and return the reports in order."""
     keys = [k.upper() for k in ids] if ids else list(REGISTRY)
-    return [run_experiment(k, quick=quick) for k in keys]
+    return [run_experiment(k, quick=quick, audit=audit) for k in keys]

@@ -29,11 +29,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="small seeds/budgets (seconds per experiment instead of minutes)",
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run each experiment twice and check the runs are identical "
+        "(appends a determinism-audit expectation)",
+    )
     args = parser.parse_args(argv)
     ids = [i.upper() for i in args.ids] or list(REGISTRY)
     any_failed = False
     for key in ids:
-        report = run_experiment(key, quick=args.quick)
+        report = run_experiment(key, quick=args.quick, audit=args.audit)
         print(report.render())
         print()
         if not report.all_passed:

@@ -164,6 +164,12 @@ class SimulatedAsyncMasterSlave:
             self.evaluations += 1
             completions[s] += 1
             self._insert(child)
+            # the loop advances its own clock (no coroutines), so trace
+            # records carry `now` explicitly rather than sim.now
+            self.cluster.trace.record(
+                now, "generation", deme=0, generation=self.evaluations,
+                best=float(self.global_best().require_fitness()),
+            )
             if self.problem.is_solved(self.global_best().require_fitness()):
                 solved = True
                 break

@@ -26,6 +26,7 @@ from typing import Literal, Sequence
 
 import numpy as np
 
+from ..cluster.trace import Trace
 from ..core.config import GAConfig
 from ..core.individual import Individual, best_of
 from ..core.problem import Problem
@@ -114,6 +115,7 @@ class CellularGA:
         update: str = "synchronous",
         replace_if_better: bool = True,
         seed: int | np.random.Generator | None = None,
+        trace: Trace | None = None,
     ) -> None:
         if rows < 2 or cols < 2:
             raise ValueError(f"grid must be at least 2x2, got {rows}x{cols}")
@@ -129,6 +131,7 @@ class CellularGA:
         self.update = update
         self.replace_if_better = replace_if_better
         self.rng = ensure_rng(seed)
+        self.trace = trace
         self.grid: list[Individual] = []
         self.evaluations = 0
         self.sweeps = 0
@@ -227,6 +230,14 @@ class CellularGA:
         f = np.asarray([ind.require_fitness() for ind in self.grid])
         self.best_curve.append(self._best_so_far.require_fitness())
         self.mean_curve.append(float(f.mean()))
+        if self.trace is not None:
+            self.trace.record(
+                float(self.sweeps),
+                "generation",
+                deme=0,
+                generation=self.sweeps,
+                best=float(self._best_so_far.require_fitness()),
+            )
 
     @property
     def best_so_far(self) -> Individual:

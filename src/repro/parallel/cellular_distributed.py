@@ -151,12 +151,22 @@ class DistributedCellularGA:
         self.cga.initialize()
         init_cost, _ = self._sweep_cost()  # initial evaluation wave
         yield Timeout(init_cost)
+        self._record_sweep()
         for _ in range(max_sweeps):
             self.cga.step()
             barrier, exchange = self._sweep_cost()
             yield Timeout(barrier + exchange)
+            self._record_sweep()
             if self.cga._solved():
                 break
+
+    def _record_sweep(self) -> None:
+        self.cluster.record(
+            "generation",
+            deme=0,
+            generation=self.cga.sweeps,
+            best=float(self.cga.best_so_far.require_fitness()),
+        )
 
     def run(self, max_sweeps: int = 100) -> DistributedCellularReport:
         proc = self.cluster.sim.process(self._driver(max_sweeps), "cellular-driver")

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..cluster.trace import Trace
 from ..core.config import GAConfig
 from ..core.engine import GenerationalEngine
 from ..core.individual import Individual
@@ -91,6 +92,7 @@ class HierarchicalGA:
         up_count: int = 2,
         down_count: int = 1,
         seed: int | None = None,
+        trace: Trace | None = None,
     ) -> None:
         if layers < 1:
             raise ValueError(f"need >= 1 layer, got {layers}")
@@ -123,6 +125,7 @@ class HierarchicalGA:
                 k += 1
             self.demes.append(layer_demes)
         self.epoch = 0
+        self.trace = trace
         self.best_curve: list[float] = []
         self.work_curve: list[float] = []
 
@@ -212,6 +215,19 @@ class HierarchicalGA:
     def _track(self) -> None:
         self.best_curve.append(self.top_best().require_fitness())
         self.work_curve.append(self.work_units())
+        if self.trace is not None:
+            # one record per deme, flattened breadth-first (top deme = 0)
+            k = 0
+            for layer in self.demes:
+                for deme in layer:
+                    self.trace.record(
+                        float(self.epoch),
+                        "generation",
+                        deme=k,
+                        generation=deme.state.generation,
+                        best=float(deme.best_so_far.require_fitness()),
+                    )
+                    k += 1
 
     def _solved(self) -> bool:
         top_view = self.demes[0][0].problem

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..cluster.trace import Trace
 from ..core.config import GAConfig
 from ..core.engine import FitnessEvaluator
 from ..core.individual import Individual, best_of
@@ -86,10 +87,12 @@ class CellularIslandModel:
         schedule: MigrationSchedule | None = None,
         update: str = "synchronous",
         seed: int | None = None,
+        trace: Trace | None = None,
     ) -> None:
         if n_islands < 1:
             raise ValueError(f"need >= 1 island, got {n_islands}")
         self.problem = problem
+        self.trace = trace
         self.topology = topology or RingTopology(n_islands)
         if self.topology.size != n_islands:
             raise ValueError("topology size must equal n_islands")
@@ -120,6 +123,15 @@ class CellularIslandModel:
         self.epoch += 1
         for deme in self.demes:
             deme.step()
+        if self.trace is not None:
+            for i, deme in enumerate(self.demes):
+                self.trace.record(
+                    float(self.epoch),
+                    "generation",
+                    deme=i,
+                    generation=deme.sweeps,
+                    best=float(deme.best_so_far.require_fitness()),
+                )
         for i, deme in enumerate(self.demes):
             if self.schedule.should_migrate(i, self.epoch, self.rng):
                 ranked = sorted(

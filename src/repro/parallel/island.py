@@ -30,6 +30,7 @@ import numpy as np
 
 from ..cluster.machine import SimulatedCluster
 from ..cluster.sim import Timeout
+from ..cluster.trace import Trace
 from ..core.config import GAConfig
 from ..core.engine import (
     EvolutionEngine,
@@ -126,10 +127,12 @@ class _IslandBase:
         synchrony: Synchrony | None = None,
         engine: str | Type[EvolutionEngine] = "generational",
         seed: int | None = None,
+        trace: Trace | None = None,
     ) -> None:
         if n_islands < 1:
             raise ValueError(f"need >= 1 island, got {n_islands}")
         self.problem = problem
+        self.trace = trace
         self.n_islands = n_islands
         self.config = (config or GAConfig()).resolved_for(problem.spec)
         self.topology = topology or RingTopology(n_islands)
@@ -237,16 +240,26 @@ class _IslandBase:
             return False
 
     def _record_epoch(self, sent_before: int, accepted_before: int) -> None:
+        deme_bests = self.deme_bests()
         self.records.append(
             EpochRecord(
                 epoch=self.epoch,
                 evaluations=self.total_evaluations(),
                 global_best=self.global_best().require_fitness(),
-                deme_bests=self.deme_bests(),
+                deme_bests=deme_bests,
                 migrants_sent=self.migrants_sent - sent_before,
                 migrants_accepted=self.migrants_accepted - accepted_before,
             )
         )
+        if self.trace is not None:
+            for i, best in enumerate(deme_bests):
+                self.trace.record(
+                    float(self.epoch),
+                    "generation",
+                    deme=i,
+                    generation=self.demes[i].state.generation,
+                    best=float(best),
+                )
 
     def _advance_topology(self) -> None:
         if isinstance(self.topology, DynamicTopology):
@@ -377,6 +390,16 @@ class SimulatedIslandModel(_IslandBase):
         self.max_epochs = max_epochs
         self._stop = False
 
+    def _record_deme_generation(self, i: int) -> None:
+        deme = self.demes[i]
+        assert deme.population is not None
+        self.cluster.record(
+            "generation",
+            deme=i,
+            generation=deme.state.generation,
+            best=float(deme.population.best().require_fitness()),
+        )
+
     def _deme_process(self, i: int):
         deme = self.demes[i]
         node = self.cluster.node(i)
@@ -385,6 +408,7 @@ class SimulatedIslandModel(_IslandBase):
         before = deme.state.evaluations
         deme.initialize()
         yield Timeout(node.compute_time((deme.state.evaluations - before) * self.eval_cost))
+        self._record_deme_generation(i)
         for epoch in range(1, self.max_epochs + 1):
             if self._stop:
                 break
@@ -398,6 +422,7 @@ class SimulatedIslandModel(_IslandBase):
                 self.migrants_accepted += integrate_immigrants(
                     self.rng, deme.population, migrants, self.policy, source=source
                 )
+            self._record_deme_generation(i)
             if self.schedule.should_migrate(
                 i, epoch, self.rng,
                 stagnant_generations=deme.state.stagnant_generations,

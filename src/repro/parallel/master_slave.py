@@ -182,6 +182,13 @@ class SimulatedMasterSlave:
     def _farm_generation(self, n_evals: int):
         """Coroutine: simulate farming ``n_evals`` evaluations to slaves.
 
+        The master consults its failure detector before every dispatch —
+        work is only ever handed to a node that is up *right now* (the
+        trace-invariant the verification subsystem enforces); a slave that
+        dies mid-computation is caught by the watchdog instead.  When no
+        slave is alive and nothing is in flight, the master computes the
+        remaining chunks itself (Gagné's reliable-master last resort).
+
         Returns (via StopIteration value) the makespan of the generation.
         """
         sim = self.cluster.sim
@@ -198,11 +205,11 @@ class SimulatedMasterSlave:
         def dispatch(chunk: int, node_id: int) -> None:
             node = self.cluster.node(node_id)
             work = chunk_sizes[chunk] * self.eval_cost
-            send_t = self.cluster.network.transit_time(
+            send_t = self.cluster.transit_time(
                 0, node_id, self.genome_payload * chunk_sizes[chunk]
             )
             compute = node.compute_time(work)
-            reply_t = self.cluster.network.transit_time(node_id, 0, 8.0 * chunk_sizes[chunk])
+            reply_t = self.cluster.transit_time(node_id, 0, 8.0 * chunk_sizes[chunk])
             finish = sim.now + send_t + compute + reply_t
             alive = not node.fails_during(sim.now, finish)
             if alive:
@@ -217,22 +224,37 @@ class SimulatedMasterSlave:
                 alive=alive,
             )
 
-        # initial dispatch: one chunk per idle slave
-        while unassigned and idle_slaves:
-            dispatch(unassigned.pop(0), idle_slaves.pop(0))
+        def assign_pending() -> None:
+            """Pair unassigned chunks with currently-live idle slaves."""
+            while unassigned:
+                live = [n for n in idle_slaves if self.cluster.node(n).is_up(sim.now)]
+                if not live:
+                    return
+                target = live[0]
+                idle_slaves.remove(target)
+                dispatch(unassigned.pop(0), target)
 
+        assign_pending()
         while len(done) < len(spans):
+            if unassigned and not outstanding:
+                # nothing in flight and no live slave took the work: the
+                # (reliable) master grinds through a chunk itself
+                chunk = unassigned.pop(0)
+                work = chunk_sizes[chunk] * self.eval_cost
+                self.cluster.record("master-compute", chunk=chunk, size=chunk_sizes[chunk])
+                yield Timeout(self.cluster.node(0).compute_time(work))
+                done.add(chunk)
+                assign_pending()
+                continue
             msg = yield master_inbox
             kind, chunk, node_id = msg
             if kind == "done":
-                if chunk in done:
+                if chunk in done or chunk not in outstanding:
                     continue
                 done.add(chunk)
                 outstanding.pop(chunk, None)
-                if unassigned:
-                    dispatch(unassigned.pop(0), node_id)
-                else:
-                    idle_slaves.append(node_id)
+                idle_slaves.append(node_id)
+                assign_pending()
             elif kind == "watchdog":
                 if chunk in done or chunk not in outstanding:
                     continue
@@ -241,27 +263,24 @@ class SimulatedMasterSlave:
                     continue  # stale watchdog from a previous dispatch
                 # chunk is lost
                 outstanding.pop(chunk)
+                self.cluster.record("chunk-lost", chunk=chunk, node=node_id)
                 if self.fault_tolerant:
                     self.redispatches += 1
-                    # choose a live node (prefer idle ones)
-                    candidates = idle_slaves or [
-                        n for n in range(1, self.cluster.n_nodes)
-                        if self.cluster.node(n).is_up(sim.now)
-                    ]
-                    if candidates:
-                        target = candidates[0]
-                        if target in idle_slaves:
-                            idle_slaves.remove(target)
-                        dispatch(chunk, target)
-                    else:
-                        # no one alive: master computes it itself
-                        work = chunk_sizes[chunk] * self.eval_cost
-                        yield Timeout(self.cluster.node(0).compute_time(work))
-                        done.add(chunk)
+                    unassigned.append(chunk)
+                    assign_pending()
                 else:
                     self.lost_chunks += 1
                     done.add(chunk)  # give up on these evaluations
         return sim.now - start
+
+    def _record_generation(self) -> None:
+        state = self.engine.state
+        self.cluster.record(
+            "generation",
+            deme=0,
+            generation=state.generation,
+            best=float(state.best_fitness) if state.best_fitness is not None else None,
+        )
 
     def _master_process(self, termination: Termination):
         """Master coroutine: run generations until termination."""
@@ -273,6 +292,7 @@ class SimulatedMasterSlave:
         self._pending_batch = None
         makespan = yield from self._farm_generation(n0)
         self.generation_makespans.append(makespan)
+        self._record_generation()
         while not termination.should_stop(engine.state) and not engine._solved():
             self._pending_batch = []
             engine.step()
@@ -280,6 +300,7 @@ class SimulatedMasterSlave:
             self._pending_batch = None
             makespan = yield from self._farm_generation(n)
             self.generation_makespans.append(makespan)
+            self._record_generation()
         self._stop_reason = "solved" if engine._solved() else termination.reason()
         # trailing watchdog timers keep the event queue warm after the last
         # generation; the farm's wall time is when the master finished

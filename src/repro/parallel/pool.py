@@ -141,6 +141,7 @@ class PooledEvolution:
         node_id = agent_id + 1
         rng = self._agent_rngs[agent_id]
         node = self.cluster.node(node_id)
+        transactions = 0
         while not self._stop and self._remaining > 0:
             self._remaining -= 1
             # round trip to the pool: request + parcel back
@@ -173,6 +174,13 @@ class PooledEvolution:
             )
             yield Timeout(push)
             self._pool_push(offspring)
+            transactions += 1
+            self.cluster.record(
+                "generation",
+                deme=agent_id,
+                generation=transactions,
+                best=float(self.global_best().require_fitness()),
+            )
             if self.problem.is_solved(self.global_best().require_fitness()):
                 self._stop = True
 

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..cluster.trace import Trace
 from ..core.config import GAConfig
 from ..core.engine import GenerationalEngine
 from ..core.individual import Individual
@@ -144,6 +145,7 @@ class SpecializedIslandModel:
         hv_reference: Sequence[float] | None = None,
         archive_capacity: int = 200,
         seed: int | None = None,
+        trace: Trace | None = None,
     ) -> None:
         self.problem = problem
         self.scenario = scenario
@@ -163,6 +165,7 @@ class SpecializedIslandModel:
             sub_cfg = cfg.resolved_for(sub_problem.spec)
             self.subeas.append(GenerationalEngine(sub_problem, sub_cfg, seed=rngs[i]))
         self.epoch = 0
+        self.trace = trace
         self._archive: list[tuple[np.ndarray, np.ndarray]] = []  # (genome, objectives)
 
     # -- archive ---------------------------------------------------------------------
@@ -197,6 +200,15 @@ class SpecializedIslandModel:
         for sub in self.subeas:
             sub.step()
             self._archive_population(sub.population.individuals)
+        if self.trace is not None:
+            for i, sub in enumerate(self.subeas):
+                self.trace.record(
+                    float(self.epoch),
+                    "generation",
+                    deme=i,
+                    generation=sub.state.generation,
+                    best=float(sub.best_so_far.require_fitness()),
+                )
         if self.epoch % self.scenario.migration_interval == 0:
             self._migrate()
 

@@ -1,0 +1,114 @@
+"""CLI for the verification subsystem.
+
+::
+
+    python -m repro.verify fuzz --seed 0 --runs 25
+    python -m repro.verify replay 'ReplaySpec {"scenario":...}'
+    python -m repro.verify audit --quick E2 E3
+
+Exit status 1 on any failure, so all three subcommands are CI-ready.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .fuzzer import fuzz
+from .harness import run_replay
+from .replay import ReplaySpec
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    report = fuzz(
+        seed=args.seed,
+        runs=args.runs,
+        shrink=not args.no_shrink,
+        verbose=True,
+        audit=not args.no_audit,
+    )
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        spec = ReplaySpec.from_line(args.line)
+    except (ValueError, TypeError, KeyError) as err:
+        # json.JSONDecodeError is a ValueError; TypeError covers unknown keys
+        print(f"error: not a valid ReplaySpec line: {err}", file=sys.stderr)
+        return 2
+    outcome = run_replay(spec, audit=not args.no_audit)
+    print(f"replaying: {spec.to_line()}")
+    print(f"trace digest: {outcome.digest}")
+    if outcome.ok:
+        print("ok — all invariants and properties hold")
+        return 0
+    print(f"FAILED ({outcome.signature}): {outcome.describe()}")
+    return 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    # imported lazily: the experiments package pulls in every runner
+    from ..experiments import REGISTRY, run_experiment
+
+    ids = [i.upper() for i in args.ids] or list(REGISTRY)
+    unknown = [k for k in ids if k not in REGISTRY]
+    if unknown:
+        print(
+            f"error: unknown experiment id(s) {unknown}; choose from {sorted(REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for key in ids:
+        report = run_experiment(key, quick=args.quick, audit=True)
+        verdict = report.expectations[-1]  # the appended determinism-audit
+        print(f"{key}: {verdict}")
+        if not verdict.passed:
+            failed = True
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Deterministic-simulation verification: fuzz, replay, audit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fuzz = sub.add_parser("fuzz", help="randomised scenario fuzzing")
+    p_fuzz.add_argument("--seed", type=int, default=0, help="master fuzz seed")
+    p_fuzz.add_argument("--runs", type=int, default=25, help="scenarios to run")
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true", help="print failures unshrunk"
+    )
+    p_fuzz.add_argument(
+        "--no-audit", action="store_true",
+        help="skip the per-run same-seed determinism audit (halves runtime)",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_replay = sub.add_parser("replay", help="re-run a printed ReplaySpec line")
+    p_replay.add_argument("line", help="the 'ReplaySpec {...}' line to reproduce")
+    p_replay.add_argument(
+        "--no-audit", action="store_true", help="run once instead of twice"
+    )
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_audit = sub.add_parser(
+        "audit", help="same-seed determinism audit of the experiment suite"
+    )
+    p_audit.add_argument(
+        "ids", nargs="*", default=[], help="experiment ids (default: all E1–E12)"
+    )
+    p_audit.add_argument(
+        "--quick", action="store_true", help="quick-mode experiment budgets"
+    )
+    p_audit.set_defaults(func=_cmd_audit)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Canonical trace digests and result fingerprints for determinism audits.
+
+FoundationDB-style simulation testing only works if "same seed ⇒ same
+run" is itself machine-checkable.  :func:`trace_digest` reduces a
+:class:`~repro.cluster.trace.Trace` to a stable sha256 by serialising
+every event into a canonical line — floats via ``repr`` (shortest
+round-trip form), mapping fields sorted by key.  Two runs of the same
+seeded scenario must produce byte-identical digests; any hidden global
+state (wall clock, id counters leaking into payloads, dict-order
+dependence) shows up as a digest mismatch.
+
+:func:`result_fingerprint` does the same for arbitrary result objects
+(experiment reports, engine results) by walking dataclasses and plain
+attributes into a canonical string.  ``Individual.uid`` is deliberately
+excluded: uids come from a process-global counter, so they differ between
+back-to-back runs even when the runs are behaviourally identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.individual import Individual
+from ..cluster.trace import Trace
+
+__all__ = ["trace_digest", "result_fingerprint", "audit_determinism", "AuditResult"]
+
+_MAX_DEPTH = 12
+
+
+def _norm(value: Any, depth: int = 0, seen: set[int] | None = None) -> str:
+    """Canonical string form of ``value`` (stable across processes)."""
+    if depth > _MAX_DEPTH:
+        return "<depth>"
+    if value is None or isinstance(value, bool):
+        return repr(value)
+    if isinstance(value, (np.floating, float)):
+        return repr(float(value))
+    if isinstance(value, (np.integer, int)):
+        return repr(int(value))
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, np.ndarray):
+        return _norm(value.tolist(), depth + 1, seen)
+    if isinstance(value, Individual):
+        # uid is a process-global counter: behaviourally meaningless, so
+        # it must never enter a fingerprint
+        return (
+            f"Individual(genome={_norm(value.genome, depth + 1, seen)},"
+            f"fitness={_norm(value.fitness, depth + 1, seen)})"
+        )
+    if seen is None:
+        seen = set()
+    oid = id(value)
+    if oid in seen:
+        return "<cycle>"
+    if isinstance(value, dict):
+        seen.add(oid)
+        items = ",".join(
+            f"{_norm(k, depth + 1, seen)}:{_norm(v, depth + 1, seen)}"
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        )
+        seen.discard(oid)
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple, set, frozenset)):
+        seen.add(oid)
+        elems = list(value)
+        if isinstance(value, (set, frozenset)):
+            elems = sorted(elems, key=str)
+        body = ",".join(_norm(v, depth + 1, seen) for v in elems)
+        seen.discard(oid)
+        return "[" + body + "]"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        seen.add(oid)
+        fields = ",".join(
+            f"{f.name}={_norm(getattr(value, f.name), depth + 1, seen)}"
+            for f in dataclasses.fields(value)
+            if f.name != "uid"
+        )
+        seen.discard(oid)
+        return f"{type(value).__name__}({fields})"
+    attrs = getattr(value, "__dict__", None)
+    if isinstance(attrs, dict) and attrs:
+        seen.add(oid)
+        body = _norm({k: v for k, v in attrs.items() if not k.startswith("_")}, depth + 1, seen)
+        seen.discard(oid)
+        return f"{type(value).__name__}{body}"
+    # opaque object: only its type is stable across processes
+    return f"<{type(value).__name__}>"
+
+
+def trace_digest(trace: Trace) -> str:
+    """Stable sha256 hex digest over the canonicalised event stream."""
+    h = hashlib.sha256()
+    for event in trace:
+        fields = ",".join(
+            f"{name}={_norm(value)}" for name, value in sorted(event.fields.items())
+        )
+        h.update(f"{_norm(event.time)}|{event.kind}|{fields}\n".encode())
+    return h.hexdigest()
+
+
+def result_fingerprint(obj: Any) -> str:
+    """Stable sha256 hex digest of an arbitrary result object."""
+    return hashlib.sha256(_norm(obj).encode()).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditResult:
+    """Outcome of a same-seed determinism audit."""
+
+    digests: tuple[str, ...]
+    fingerprints: tuple[str, ...] = ()
+
+    @property
+    def deterministic(self) -> bool:
+        return len(set(self.digests)) <= 1 and len(set(self.fingerprints)) <= 1
+
+    def describe(self) -> str:
+        if self.deterministic:
+            return f"deterministic (digest {self.digests[0][:16]}…)" if self.digests else "deterministic"
+        return (
+            "NONDETERMINISTIC: digests "
+            + ", ".join(d[:16] for d in self.digests)
+            + (
+                "; fingerprints " + ", ".join(f[:16] for f in self.fingerprints)
+                if self.fingerprints
+                else ""
+            )
+        )
+
+
+def audit_determinism(
+    factory: Callable[[], tuple[Trace, Any]],
+    runs: int = 2,
+) -> AuditResult:
+    """Run ``factory`` (a fresh, fully seeded scenario) ``runs`` times.
+
+    ``factory`` must build *everything* from scratch — cluster, engines,
+    rngs — and return ``(trace, result)``.  Same seed must give the same
+    trace digest and the same result fingerprint.
+    """
+    if runs < 2:
+        raise ValueError(f"audit needs >= 2 runs, got {runs}")
+    digests: list[str] = []
+    fingerprints: list[str] = []
+    for _ in range(runs):
+        trace, result = factory()
+        digests.append(trace_digest(trace))
+        fingerprints.append(result_fingerprint(result))
+    return AuditResult(digests=tuple(digests), fingerprints=tuple(fingerprints))

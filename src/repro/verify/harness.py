@@ -1,0 +1,196 @@
+"""Scenario harness: reconstruct and check a run from a :class:`ReplaySpec`.
+
+The harness is the single place that knows how to turn a spec into a real
+run.  The fuzzer calls it with random specs; ``replay`` calls it with a
+spec pasted from a failure line; the shrinker calls it with progressively
+smaller fault plans.  All three therefore exercise *exactly* the same
+code path — the property FoundationDB-style testing depends on.
+
+Three scenarios are wired (see :data:`~repro.verify.replay.SCENARIOS`):
+
+``master-slave``
+    :class:`~repro.parallel.master_slave.SimulatedMasterSlave` on a
+    failing cluster, plus the engine-level property that its genetic
+    trajectory equals the sequential GA's with the same seed (the global
+    model's defining property — survey §1.2).
+``sim-island``
+    :class:`~repro.parallel.island.SimulatedIslandModel` with migration
+    over the failing network; elitist demes make per-deme best fitness
+    monotone, so the ``best-monotone`` rule is enabled.
+``island``
+    The untimed :class:`~repro.parallel.island.IslandModel`; checks the
+    logical-trace invariants without a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.machine import SimulatedCluster
+from ..cluster.network import Network
+from ..cluster.trace import Trace
+from ..core.config import GAConfig
+from ..core.engine import GenerationalEngine
+from ..core.termination import MaxGenerations
+from ..migration.policy import MigrationPolicy
+from ..parallel.island import IslandModel, SimulatedIslandModel
+from ..parallel.master_slave import SimulatedMasterSlave
+from ..problems.binary import OneMax
+from .digest import trace_digest
+from .invariants import CheckContext, Violation, check_trace
+from .replay import ReplaySpec
+
+__all__ = ["RunOutcome", "execute", "run_replay"]
+
+#: every scenario uses elitism >= 1 so the best-monotone rule is sound
+_RULES = (
+    "time-monotone",
+    "no-dispatch-to-dead-node",
+    "message-conservation",
+    "generation-monotone",
+    "best-monotone",
+)
+
+
+@dataclass
+class RunOutcome:
+    """Everything one harness execution produced."""
+
+    spec: ReplaySpec
+    trace: Trace
+    digest: str
+    violations: list[Violation] = field(default_factory=list)
+    property_failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.property_failures
+
+    @property
+    def signature(self) -> str:
+        """Coarse failure identity the shrinker must preserve."""
+        if self.violations:
+            return f"invariant:{self.violations[0].rule}"
+        if self.property_failures:
+            return "property:" + self.property_failures[0].split(":", 1)[0]
+        return "ok"
+
+    def describe(self) -> str:
+        if self.ok:
+            return "ok"
+        lines = [str(v) for v in self.violations] + self.property_failures
+        return "; ".join(lines)
+
+
+def _jitter(spec: ReplaySpec):
+    """Seeded tie-break jitter source (None = stable FIFO order)."""
+    return None if spec.jitter_seed is None else np.random.default_rng(spec.jitter_seed)
+
+
+def _cluster(spec: ReplaySpec) -> SimulatedCluster:
+    return SimulatedCluster(
+        spec.n_nodes,
+        network=Network(spec.n_nodes, latency=1e-3, bandwidth=1e6),
+        fault_plan=spec.fault_plan(),
+        tiebreak_jitter=_jitter(spec),
+    )
+
+
+def _config(spec: ReplaySpec) -> GAConfig:
+    return GAConfig(population_size=spec.pop, elitism=1)
+
+
+def execute(spec: ReplaySpec) -> RunOutcome:
+    """Run ``spec`` once and check every applicable invariant/property."""
+    problem = OneMax(spec.genome_len)
+    config = _config(spec)
+    failures: list[str] = []
+
+    if spec.scenario == "master-slave":
+        cluster = _cluster(spec)
+        farm = SimulatedMasterSlave(
+            problem,
+            config,
+            cluster=cluster,
+            eval_cost=spec.eval_cost,
+            fault_tolerant=spec.fault_tolerant,
+            seed=spec.seed,
+        )
+        report = farm.run(MaxGenerations(spec.generations))
+        # the global model is genetically the sequential GA: same seed,
+        # same trajectory, regardless of farm faults or message order
+        seq = GenerationalEngine(problem, config, seed=spec.seed).run(
+            MaxGenerations(spec.generations)
+        )
+        got, want = report.result, seq
+        if got.best_fitness != want.best_fitness:
+            failures.append(
+                "sequential-equality: best fitness "
+                f"{got.best_fitness} != sequential {want.best_fitness}"
+            )
+        if got.generations != want.generations:
+            failures.append(
+                "sequential-equality: generations "
+                f"{got.generations} != sequential {want.generations}"
+            )
+        if got.evaluations != want.evaluations:
+            failures.append(
+                "sequential-equality: evaluations "
+                f"{got.evaluations} != sequential {want.evaluations}"
+            )
+        trace = cluster.trace
+        ctx = CheckContext.from_cluster(cluster)
+    elif spec.scenario == "sim-island":
+        cluster = _cluster(spec)
+        model = SimulatedIslandModel(
+            problem,
+            spec.n_nodes,
+            config,
+            cluster=cluster,
+            eval_cost=spec.eval_cost,
+            max_epochs=spec.generations,
+            policy=MigrationPolicy(rate=1, replacement="worst-if-better"),
+            seed=spec.seed,
+        )
+        model.run()
+        trace = cluster.trace
+        ctx = CheckContext.from_cluster(cluster)
+    elif spec.scenario == "island":
+        trace = Trace()
+        model = IslandModel(
+            problem,
+            spec.n_nodes,
+            config,
+            policy=MigrationPolicy(rate=1, replacement="worst-if-better"),
+            seed=spec.seed,
+            trace=trace,
+        )
+        model.run(spec.generations)
+        ctx = CheckContext()
+    else:  # pragma: no cover - ReplaySpec validates scenarios
+        raise ValueError(f"unknown scenario {spec.scenario!r}")
+
+    violations = check_trace(trace, ctx, _RULES)
+    return RunOutcome(
+        spec=spec,
+        trace=trace,
+        digest=trace_digest(trace),
+        violations=violations,
+        property_failures=failures,
+    )
+
+
+def run_replay(spec: ReplaySpec, *, audit: bool = True) -> RunOutcome:
+    """Execute ``spec``; with ``audit``, run it twice and require identical
+    trace digests (the same-seed determinism contract)."""
+    outcome = execute(spec)
+    if audit:
+        second = execute(spec)
+        if second.digest != outcome.digest:
+            outcome.property_failures.append(
+                "determinism: same spec produced digests "
+                f"{outcome.digest[:16]}… and {second.digest[:16]}…"
+            )
+    return outcome

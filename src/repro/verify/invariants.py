@@ -1,0 +1,348 @@
+"""Trace invariants: a small rule engine over :class:`~repro.cluster.trace.Trace`.
+
+Every quantitative claim the repository reproduces rides on the simulated
+cluster behaving like an event-driven machine should.  The rules here are
+the machine-checkable core of that contract:
+
+``time-monotone``
+    Events are recorded in nondecreasing timestamp order — the event heap
+    never runs backwards.
+``no-dispatch-to-dead-node``
+    A ``dispatch`` event never targets a node inside one of its downtime
+    intervals; the master must consult its failure detector first.
+``message-conservation``
+    Every conserved-kind send (``migration`` by default) is answered by
+    exactly one matching ``<kind>-recv`` or ``<kind>-drop`` receipt with
+    the same ``mid`` — no silently lost migrants.
+``generation-monotone``
+    Per-deme generation counters never regress.
+``best-monotone``
+    Per-deme recorded best fitness never worsens.  Only meaningful for
+    elitist engines, so it is *not* part of the default rule set; the
+    fuzzer enables it when the scenario guarantees elitism.
+
+Rules are stateful streaming objects: feed events with
+:meth:`Rule.observe`, collect end-of-stream violations with
+:meth:`Rule.finish`.  :class:`TraceChecker` drives them either post-hoc
+(:meth:`TraceChecker.check`) or in-line while a simulation runs
+(:meth:`TraceChecker.attach` on a live trace).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..cluster.machine import SimulatedCluster
+from ..cluster.trace import Trace, TraceEvent
+
+__all__ = [
+    "Violation",
+    "InvariantViolation",
+    "CheckContext",
+    "Rule",
+    "TimeMonotoneRule",
+    "NoDispatchToDeadNodeRule",
+    "MessageConservationRule",
+    "GenerationMonotoneRule",
+    "BestMonotoneRule",
+    "INVARIANTS",
+    "default_rules",
+    "TraceChecker",
+    "check_trace",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, pinned to the event that exposed it."""
+
+    rule: str
+    time: float
+    message: str
+    index: int = -1  # event index in the trace (-1 = end-of-stream check)
+
+    def __str__(self) -> str:
+        where = f"event #{self.index}" if self.index >= 0 else "end of trace"
+        return f"[{self.rule}] t={self.time:.6g} ({where}): {self.message}"
+
+
+class InvariantViolation(AssertionError):
+    """Raised by in-line checking the moment a rule is breached."""
+
+    def __init__(self, violations: list[Violation]) -> None:
+        self.violations = violations
+        super().__init__("; ".join(str(v) for v in violations))
+
+
+@dataclass(frozen=True)
+class CheckContext:
+    """Static facts the rules need beyond the event stream itself.
+
+    Parameters
+    ----------
+    down_intervals:
+        ``[node][k] = (start, end)`` downtime spans, exactly as a
+        :class:`~repro.cluster.faults.FaultPlan` stores them.
+    conserved_kinds:
+        Message kinds whose sends must be matched by receipts.
+    maximize:
+        Fitness direction for the ``best-monotone`` rule.
+    """
+
+    down_intervals: tuple[tuple[tuple[float, float], ...], ...] = ()
+    conserved_kinds: tuple[str, ...] = ("migration",)
+    maximize: bool = True
+
+    @classmethod
+    def from_cluster(cls, cluster: SimulatedCluster, **overrides) -> "CheckContext":
+        intervals = tuple(
+            tuple((float(a), float(b)) for a, b in node.down_intervals)
+            for node in cluster.nodes
+        )
+        return cls(down_intervals=intervals, **overrides)
+
+    def node_is_down(self, node: int, t: float) -> bool:
+        if node >= len(self.down_intervals):
+            return False
+        return any(a <= t < b for a, b in self.down_intervals[node])
+
+
+class Rule:
+    """Base streaming rule; subclasses override observe/finish."""
+
+    name = "rule"
+
+    def observe(self, index: int, event: TraceEvent, ctx: CheckContext) -> Violation | None:
+        return None
+
+    def finish(self, ctx: CheckContext) -> list[Violation]:
+        return []
+
+
+class TimeMonotoneRule(Rule):
+    name = "time-monotone"
+
+    def __init__(self) -> None:
+        self._last = -math.inf
+
+    def observe(self, index: int, event: TraceEvent, ctx: CheckContext) -> Violation | None:
+        if event.time < self._last or math.isnan(event.time):
+            return Violation(
+                self.name,
+                event.time,
+                f"timestamp {event.time!r} after {self._last!r}",
+                index,
+            )
+        self._last = event.time
+        return None
+
+
+class NoDispatchToDeadNodeRule(Rule):
+    name = "no-dispatch-to-dead-node"
+
+    def observe(self, index: int, event: TraceEvent, ctx: CheckContext) -> Violation | None:
+        if event.kind != "dispatch" or "node" not in event.fields:
+            return None
+        node = int(event["node"])
+        if ctx.node_is_down(node, event.time):
+            return Violation(
+                self.name,
+                event.time,
+                f"chunk dispatched to node {node} while it is down",
+                index,
+            )
+        return None
+
+
+class MessageConservationRule(Rule):
+    """Each conserved send must pair with exactly one recv-or-drop receipt."""
+
+    name = "message-conservation"
+
+    def __init__(self) -> None:
+        self._open: dict[tuple[str, int], tuple[int, float]] = {}  # (kind, mid) -> send
+        self._seen: set[tuple[str, int]] = set()
+
+    def observe(self, index: int, event: TraceEvent, ctx: CheckContext) -> Violation | None:
+        for kind in ctx.conserved_kinds:
+            if event.kind == kind:
+                if "mid" not in event.fields:
+                    return Violation(
+                        self.name, event.time,
+                        f"{kind} send without a message id (mid)", index,
+                    )
+                key = (kind, int(event["mid"]))
+                if key in self._seen:
+                    return Violation(
+                        self.name, event.time,
+                        f"duplicate {kind} send mid={key[1]}", index,
+                    )
+                self._seen.add(key)
+                self._open[key] = (index, event.time)
+                return None
+            if event.kind in (f"{kind}-recv", f"{kind}-drop"):
+                key = (kind, int(event["mid"]))
+                if key not in self._open:
+                    return Violation(
+                        self.name, event.time,
+                        f"{event.kind} mid={key[1]} without a matching open send",
+                        index,
+                    )
+                del self._open[key]
+                return None
+        return None
+
+    def finish(self, ctx: CheckContext) -> list[Violation]:
+        return [
+            Violation(
+                self.name, sent_at,
+                f"{kind} send mid={mid} has no receive and no recorded drop",
+                index,
+            )
+            for (kind, mid), (index, sent_at) in sorted(self._open.items())
+        ]
+
+
+class GenerationMonotoneRule(Rule):
+    name = "generation-monotone"
+
+    def __init__(self) -> None:
+        self._last: dict[int, int] = {}
+
+    def observe(self, index: int, event: TraceEvent, ctx: CheckContext) -> Violation | None:
+        if event.kind != "generation":
+            return None
+        deme = int(event["deme"])
+        gen = int(event["generation"])
+        last = self._last.get(deme)
+        if last is not None and gen < last:
+            return Violation(
+                self.name, event.time,
+                f"deme {deme} generation regressed {last} -> {gen}", index,
+            )
+        self._last[deme] = gen
+        return None
+
+
+class BestMonotoneRule(Rule):
+    """Recorded per-deme best never worsens (elitist engines only)."""
+
+    name = "best-monotone"
+
+    def __init__(self) -> None:
+        self._best: dict[int, float] = {}
+
+    def observe(self, index: int, event: TraceEvent, ctx: CheckContext) -> Violation | None:
+        if event.kind != "generation" or event.fields.get("best") is None:
+            return None
+        deme = int(event["deme"])
+        best = float(event["best"])
+        last = self._best.get(deme)
+        worsened = last is not None and (best < last if ctx.maximize else best > last)
+        if worsened:
+            return Violation(
+                self.name, event.time,
+                f"deme {deme} best worsened {last!r} -> {best!r}", index,
+            )
+        if last is None or (best > last if ctx.maximize else best < last):
+            self._best[deme] = best
+        return None
+
+
+#: rule registry: name -> zero-argument factory of a fresh (stateful) rule
+INVARIANTS: dict[str, Callable[[], Rule]] = {
+    TimeMonotoneRule.name: TimeMonotoneRule,
+    NoDispatchToDeadNodeRule.name: NoDispatchToDeadNodeRule,
+    MessageConservationRule.name: MessageConservationRule,
+    GenerationMonotoneRule.name: GenerationMonotoneRule,
+    BestMonotoneRule.name: BestMonotoneRule,
+}
+
+#: rules safe for any engine (best-monotone needs an elitism guarantee)
+DEFAULT_RULE_NAMES: tuple[str, ...] = (
+    TimeMonotoneRule.name,
+    NoDispatchToDeadNodeRule.name,
+    MessageConservationRule.name,
+    GenerationMonotoneRule.name,
+)
+
+
+def default_rules(names: Iterable[str] | None = None) -> list[Rule]:
+    """Fresh rule instances for ``names`` (default: the always-safe set)."""
+    chosen = tuple(names) if names is not None else DEFAULT_RULE_NAMES
+    unknown = [n for n in chosen if n not in INVARIANTS]
+    if unknown:
+        raise KeyError(f"unknown invariant(s) {unknown}; choose from {sorted(INVARIANTS)}")
+    return [INVARIANTS[n]() for n in chosen]
+
+
+@dataclass
+class TraceChecker:
+    """Drives a rule set over a trace, post-hoc or in-line.
+
+    Post-hoc::
+
+        violations = TraceChecker(context=ctx).check(cluster.trace)
+
+    In-line (raises :class:`InvariantViolation` at the offending event)::
+
+        checker = TraceChecker(context=ctx).attach(cluster.trace)
+        ...  # run the simulation
+        checker.close()   # end-of-stream rules (conservation)
+    """
+
+    rules: list[Rule] = field(default_factory=default_rules)
+    context: CheckContext = field(default_factory=CheckContext)
+    raise_inline: bool = True
+    violations: list[Violation] = field(default_factory=list)
+    _index: int = 0
+
+    def check(self, trace: Trace) -> list[Violation]:
+        """Run all rules over a finished trace; returns every violation."""
+        for index, event in enumerate(trace):
+            self._observe(index, event)
+        return self.close()
+
+    # -- in-line mode -------------------------------------------------------------
+    def attach(self, trace: Trace) -> "TraceChecker":
+        self._trace = trace
+        trace.attach(self._on_event)
+        return self
+
+    def _on_event(self, event: TraceEvent) -> None:
+        index = self._index
+        self._index += 1
+        before = len(self.violations)
+        self._observe(index, event)
+        if self.raise_inline and len(self.violations) > before:
+            raise InvariantViolation(self.violations[before:])
+
+    def close(self) -> list[Violation]:
+        """Flush end-of-stream rules and (if attached) detach from the trace."""
+        trace = getattr(self, "_trace", None)
+        if trace is not None:
+            trace.detach(self._on_event)
+            self._trace = None
+        for rule in self.rules:
+            self.violations.extend(rule.finish(self.context))
+        return self.violations
+
+    def _observe(self, index: int, event: TraceEvent) -> None:
+        for rule in self.rules:
+            v = rule.observe(index, event, self.context)
+            if v is not None:
+                self.violations.append(v)
+
+
+def check_trace(
+    trace: Trace,
+    context: CheckContext | None = None,
+    rule_names: Iterable[str] | None = None,
+) -> list[Violation]:
+    """One-shot post-hoc check with fresh rules."""
+    return TraceChecker(
+        rules=default_rules(rule_names),
+        context=context or CheckContext(),
+    ).check(trace)

@@ -1,0 +1,111 @@
+"""One-line replay specifications for fuzz failures.
+
+When the fuzzer trips an invariant it prints a single line::
+
+    ReplaySpec {"scenario":"master-slave","seed":17,...}
+
+Pasting that line back — ``python -m repro.verify replay '<line>'`` or
+:func:`ReplaySpec.from_line` — reconstructs the *exact* run: same seeded
+rngs, same topology, same fault plan, same tie-break jitter.  Everything
+that makes a run what it is lives in this record; nothing is ambient.
+
+Note the JSON uses ``Infinity`` for permanent-crash interval ends, which
+Python's ``json`` emits and parses natively.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from ..cluster.faults import FaultPlan
+
+__all__ = ["ReplaySpec", "SCENARIOS"]
+
+#: scenario name -> short description (the harness knows how to run each)
+SCENARIOS = {
+    "master-slave": "SimulatedMasterSlave vs sequential GenerationalEngine",
+    "sim-island": "SimulatedIslandModel on a failing cluster",
+    "island": "untimed IslandModel (logical rounds)",
+}
+
+_PREFIX = "ReplaySpec "
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """Everything needed to reconstruct one fuzzed run, exactly.
+
+    ``fault_intervals`` is ``[node][k] = [start, end]`` downtime;
+    ``latency_spikes`` is ``[(start, end, factor), ...]``;
+    ``jitter_seed`` (optional) seeds the scheduler tie-break jitter that
+    perturbs same-timestamp event ordering.
+    """
+
+    scenario: str
+    seed: int
+    n_nodes: int
+    pop: int
+    generations: int
+    genome_len: int
+    eval_cost: float = 1e-3
+    fault_intervals: tuple[tuple[tuple[float, float], ...], ...] = ()
+    latency_spikes: tuple[tuple[float, float, float], ...] = ()
+    jitter_seed: int | None = None
+    fault_tolerant: bool = True
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; choose from {sorted(SCENARIOS)}"
+            )
+        if self.n_nodes < 2:
+            raise ValueError(f"need >= 2 nodes, got {self.n_nodes}")
+        # normalise nested lists (e.g. straight from json) to tuples so
+        # specs hash/compare cleanly
+        object.__setattr__(
+            self,
+            "fault_intervals",
+            tuple(tuple((float(a), float(b)) for a, b in node) for node in self.fault_intervals),
+        )
+        object.__setattr__(
+            self,
+            "latency_spikes",
+            tuple((float(a), float(b), float(f)) for a, b, f in self.latency_spikes),
+        )
+
+    # -- reconstruction -------------------------------------------------------------
+    def fault_plan(self) -> FaultPlan | None:
+        """The spec's :class:`FaultPlan`, or ``None`` if fault-free."""
+        if not any(self.fault_intervals) and not self.latency_spikes:
+            return None
+        intervals = self.fault_intervals
+        if len(intervals) < self.n_nodes:  # pad fault-free nodes
+            intervals = intervals + ((),) * (self.n_nodes - len(intervals))
+        return FaultPlan(intervals=intervals, latency_spikes=self.latency_spikes)
+
+    def with_faults(
+        self,
+        fault_intervals: tuple[tuple[tuple[float, float], ...], ...],
+        latency_spikes: tuple[tuple[float, float, float], ...],
+    ) -> "ReplaySpec":
+        """Copy with a different fault plan (the shrinker's edit operation)."""
+        return replace(
+            self, fault_intervals=fault_intervals, latency_spikes=latency_spikes
+        )
+
+    # -- one-line serialisation ---------------------------------------------------------
+    def to_line(self) -> str:
+        payload = asdict(self)
+        if not payload["meta"]:
+            del payload["meta"]
+        return _PREFIX + json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_line(cls, line: str) -> "ReplaySpec":
+        line = line.strip()
+        if line.startswith(_PREFIX):
+            line = line[len(_PREFIX):]
+        data = json.loads(line)
+        return cls(**data)

@@ -1,0 +1,122 @@
+"""Greedy fault-plan shrinking for failing fuzz cases.
+
+A randomly sampled failure usually carries far more chaos than the bug
+needs — six downtime intervals and three latency spikes when one dead
+node would do.  :func:`shrink_spec` is a delta-debugging pass over the
+*fault plan only* (the genetics are already minimal: the fuzzer samples
+small populations): repeatedly try removing
+
+1. a whole node's interval list,
+2. a single downtime interval,
+3. a single latency spike,
+
+keeping each removal iff the run still fails with the *same signature*
+(same first violated rule / same failed property), until a fixpoint.
+Greedy single-element removal is quadratic in plan size but plans are
+tiny, and it cannot loop: every accepted edit strictly shrinks the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .harness import RunOutcome, execute
+from .replay import ReplaySpec
+
+__all__ = ["ShrinkResult", "shrink_spec"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of a shrink session."""
+
+    spec: ReplaySpec          # minimal failing spec
+    outcome: RunOutcome       # its (still-failing) run outcome
+    executions: int           # harness runs spent shrinking
+    removed: int              # fault-plan elements removed
+
+
+def _fault_size(spec: ReplaySpec) -> int:
+    return sum(len(node) for node in spec.fault_intervals) + len(spec.latency_spikes)
+
+
+def shrink_spec(
+    spec: ReplaySpec,
+    *,
+    signature: str | None = None,
+    run: Callable[[ReplaySpec], RunOutcome] = execute,
+    max_executions: int = 200,
+) -> ShrinkResult:
+    """Minimise ``spec``'s fault plan while it keeps failing the same way.
+
+    ``signature`` defaults to the failure signature of running ``spec``
+    itself (one extra execution).  ``run`` is injectable so mutation tests
+    can shrink under a patched harness.
+    """
+    executions = 0
+    outcome = run(spec)
+    executions += 1
+    if signature is None:
+        signature = outcome.signature
+    if signature == "ok":
+        raise ValueError("cannot shrink a passing spec")
+
+    def still_fails(candidate: ReplaySpec) -> RunOutcome | None:
+        nonlocal executions
+        if executions >= max_executions:
+            return None
+        result = run(candidate)
+        executions += 1
+        return result if result.signature == signature else None
+
+    original_size = _fault_size(spec)
+    changed = True
+    while changed and executions < max_executions:
+        changed = False
+        # pass 1: drop a whole node's downtime list
+        for node in range(len(spec.fault_intervals)):
+            if not spec.fault_intervals[node]:
+                continue
+            candidate_intervals = tuple(
+                () if i == node else iv for i, iv in enumerate(spec.fault_intervals)
+            )
+            candidate = spec.with_faults(candidate_intervals, spec.latency_spikes)
+            result = still_fails(candidate)
+            if result is not None:
+                spec, outcome, changed = candidate, result, True
+                break
+        if changed:
+            continue
+        # pass 2: drop one interval
+        for node in range(len(spec.fault_intervals)):
+            for k in range(len(spec.fault_intervals[node])):
+                candidate_intervals = tuple(
+                    iv[:k] + iv[k + 1:] if i == node else iv
+                    for i, iv in enumerate(spec.fault_intervals)
+                )
+                candidate = spec.with_faults(candidate_intervals, spec.latency_spikes)
+                result = still_fails(candidate)
+                if result is not None:
+                    spec, outcome, changed = candidate, result, True
+                    break
+            if changed:
+                break
+        if changed:
+            continue
+        # pass 3: drop one latency spike
+        for k in range(len(spec.latency_spikes)):
+            candidate = spec.with_faults(
+                spec.fault_intervals,
+                spec.latency_spikes[:k] + spec.latency_spikes[k + 1:],
+            )
+            result = still_fails(candidate)
+            if result is not None:
+                spec, outcome, changed = candidate, result, True
+                break
+    return ShrinkResult(
+        spec=spec,
+        outcome=outcome,
+        executions=executions,
+        removed=original_size - _fault_size(spec),
+    )

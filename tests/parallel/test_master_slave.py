@@ -77,9 +77,12 @@ class TestSimulatedMasterSlave:
         assert time_with(4) < time_with(1)
 
     def test_fault_tolerant_redispatches(self):
+        # slave 1 dies mid-computation: the initial dispatch (made while it
+        # was still up) is lost and must be caught by the watchdog.  The
+        # master never knowingly dispatches to an already-dead node.
         plan = FaultPlan(
-            intervals=((), ((0.0, float("inf")),), (), (), ())
-        )  # slave 1 dead from the start
+            intervals=((), ((1e-4, float("inf")),), (), (), ())
+        )
         ms = SimulatedMasterSlave(
             OneMax(24), GAConfig(population_size=32),
             cluster=_cluster(fault_plan=plan), eval_cost=1e-3,
@@ -92,7 +95,7 @@ class TestSimulatedMasterSlave:
 
     def test_non_fault_tolerant_loses_chunks(self):
         plan = FaultPlan(
-            intervals=((), ((0.0, float("inf")),), (), (), ())
+            intervals=((), ((1e-4, float("inf")),), (), (), ())
         )
         ms = SimulatedMasterSlave(
             OneMax(24), GAConfig(population_size=32),

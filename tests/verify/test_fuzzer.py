@@ -1,0 +1,102 @@
+"""Tests for the simulation fuzzer, spec round-trips and the shrinker."""
+
+import numpy as np
+import pytest
+
+from repro.verify.fuzzer import fuzz, sample_spec
+from repro.verify.harness import RunOutcome
+from repro.verify.invariants import Violation
+from repro.verify.replay import ReplaySpec
+from repro.verify.shrink import shrink_spec
+
+
+class TestSampleSpec:
+    def test_specs_are_valid_and_varied(self):
+        rng = np.random.default_rng(0)
+        specs = [sample_spec(rng) for _ in range(40)]
+        assert {s.scenario for s in specs} == {"master-slave", "sim-island", "island"}
+        assert any(s.fault_plan() is not None for s in specs)
+        assert any(s.jitter_seed is not None for s in specs)
+
+    def test_round_trip_through_line(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            spec = sample_spec(rng)
+            assert ReplaySpec.from_line(spec.to_line()) == spec
+
+    def test_infinity_survives_round_trip(self):
+        spec = ReplaySpec(
+            scenario="sim-island", seed=0, n_nodes=3, pop=12, generations=3,
+            genome_len=16, fault_intervals=((), ((0.1, float("inf")),), ()),
+        )
+        again = ReplaySpec.from_line(spec.to_line())
+        assert again.fault_intervals[1][0][1] == float("inf")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            ReplaySpec(scenario="nope", seed=0, n_nodes=3, pop=10,
+                       generations=3, genome_len=16)
+
+
+class TestFuzz:
+    def test_small_fixed_seed_session_is_green(self):
+        report = fuzz(seed=0, runs=5)
+        assert report.ok, report.summary()
+        assert report.runs == 5
+        assert sum(report.scenarios.values()) == 5
+
+    def test_summary_mentions_chaos_mix(self):
+        report = fuzz(seed=1, runs=4)
+        assert "faults" in report.summary()
+        assert "jitter" in report.summary()
+
+
+class TestShrinker:
+    @staticmethod
+    def _spec_with_chaos():
+        return ReplaySpec(
+            scenario="sim-island", seed=0, n_nodes=4, pop=12, generations=3,
+            genome_len=16,
+            fault_intervals=(
+                (),
+                ((0.1, 0.2), (0.5, float("inf"))),
+                ((0.3, 0.4),),
+                ((0.2, 0.6),),
+            ),
+            latency_spikes=((0.0, 0.1, 5.0), (0.2, 0.3, 2.0)),
+        )
+
+    def test_shrinks_to_single_culprit_interval(self):
+        # fake harness: fails iff node 1's permanent crash is in the plan
+        def run(spec):
+            crashed = any(b == float("inf") for a, b in spec.fault_intervals[1])
+            violations = (
+                [Violation("message-conservation", 0.5, "synthetic")] if crashed else []
+            )
+            return RunOutcome(spec=spec, trace=None, digest="", violations=violations)
+
+        result = shrink_spec(self._spec_with_chaos(), run=run)
+        assert result.spec.fault_intervals == ((), ((0.5, float("inf")),), (), ())
+        assert result.spec.latency_spikes == ()
+        assert result.removed == 5  # 3 intervals + 2 spikes stripped
+        assert result.outcome.signature == "invariant:message-conservation"
+
+    def test_refuses_passing_spec(self):
+        def run(spec):
+            return RunOutcome(spec=spec, trace=None, digest="")
+
+        with pytest.raises(ValueError):
+            shrink_spec(self._spec_with_chaos(), run=run)
+
+    def test_respects_execution_budget(self):
+        calls = []
+
+        def run(spec):
+            calls.append(spec)
+            return RunOutcome(
+                spec=spec, trace=None, digest="",
+                violations=[Violation("time-monotone", 0.0, "always fails")],
+            )
+
+        shrink_spec(self._spec_with_chaos(), run=run, max_executions=4)
+        assert len(calls) <= 4

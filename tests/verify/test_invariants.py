@@ -1,0 +1,178 @@
+"""Unit tests for the trace-invariant rule engine (synthetic traces)."""
+
+import pytest
+
+from repro.cluster.trace import Trace
+from repro.verify.invariants import (
+    CheckContext,
+    InvariantViolation,
+    TraceChecker,
+    check_trace,
+    default_rules,
+)
+
+
+def _rules_hit(violations):
+    return {v.rule for v in violations}
+
+
+class TestTimeMonotone:
+    def test_ordered_trace_passes(self):
+        trace = Trace()
+        for t in (0.0, 0.5, 0.5, 1.0):
+            trace.record(t, "tick")
+        assert check_trace(trace) == []
+
+    def test_regressing_time_flagged(self):
+        trace = Trace()
+        trace.record(1.0, "tick")
+        trace.record(0.5, "tick")
+        violations = check_trace(trace)
+        assert _rules_hit(violations) == {"time-monotone"}
+        assert violations[0].index == 1
+
+    def test_nan_time_flagged(self):
+        trace = Trace()
+        trace.record(float("nan"), "tick")
+        assert _rules_hit(check_trace(trace)) == {"time-monotone"}
+
+
+class TestNoDispatchToDeadNode:
+    def test_dispatch_to_live_node_passes(self):
+        ctx = CheckContext(down_intervals=((), ((2.0, 3.0),)))
+        trace = Trace()
+        trace.record(1.0, "dispatch", chunk=0, node=1)
+        trace.record(3.0, "dispatch", chunk=1, node=1)  # after repair
+        assert check_trace(trace, ctx) == []
+
+    def test_dispatch_during_downtime_flagged(self):
+        ctx = CheckContext(down_intervals=((), ((2.0, 3.0),)))
+        trace = Trace()
+        trace.record(2.5, "dispatch", chunk=0, node=1)
+        violations = check_trace(trace, ctx)
+        assert _rules_hit(violations) == {"no-dispatch-to-dead-node"}
+
+    def test_unknown_node_not_flagged(self):
+        # context may cover fewer nodes than the trace mentions
+        ctx = CheckContext(down_intervals=())
+        trace = Trace()
+        trace.record(1.0, "dispatch", chunk=0, node=5)
+        assert check_trace(trace, ctx) == []
+
+
+class TestMessageConservation:
+    def test_send_recv_pair_passes(self):
+        trace = Trace()
+        trace.record(0.0, "migration", mid=0, src=0, dst=1)
+        trace.record(0.1, "migration-recv", mid=0, src=0, dst=1)
+        assert check_trace(trace) == []
+
+    def test_send_drop_pair_passes(self):
+        trace = Trace()
+        trace.record(0.0, "migration", mid=0, src=0, dst=1)
+        trace.record(0.1, "migration-drop", mid=0, src=0, dst=1)
+        assert check_trace(trace) == []
+
+    def test_lost_send_flagged_at_end(self):
+        trace = Trace()
+        trace.record(0.0, "migration", mid=0, src=0, dst=1)
+        violations = check_trace(trace)
+        assert _rules_hit(violations) == {"message-conservation"}
+        assert violations[0].index == 0  # points at the orphaned send
+
+    def test_receipt_without_send_flagged(self):
+        trace = Trace()
+        trace.record(0.1, "migration-recv", mid=7, src=0, dst=1)
+        assert _rules_hit(check_trace(trace)) == {"message-conservation"}
+
+    def test_duplicate_mid_flagged(self):
+        trace = Trace()
+        trace.record(0.0, "migration", mid=0, src=0, dst=1)
+        trace.record(0.1, "migration", mid=0, src=1, dst=2)
+        assert _rules_hit(check_trace(trace)) == {"message-conservation"}
+
+    def test_unconserved_kinds_ignored(self):
+        trace = Trace()
+        trace.record(0.0, "msg", mid=0, src=0, dst=1)  # plain msg: no receipt needed
+        assert check_trace(trace) == []
+
+
+class TestGenerationMonotone:
+    def test_per_deme_counters_independent(self):
+        trace = Trace()
+        trace.record(0.0, "generation", deme=0, generation=3)
+        trace.record(0.1, "generation", deme=1, generation=1)
+        trace.record(0.2, "generation", deme=0, generation=3)
+        trace.record(0.3, "generation", deme=1, generation=2)
+        assert check_trace(trace) == []
+
+    def test_regression_flagged(self):
+        trace = Trace()
+        trace.record(0.0, "generation", deme=0, generation=2)
+        trace.record(0.1, "generation", deme=0, generation=1)
+        assert _rules_hit(check_trace(trace)) == {"generation-monotone"}
+
+
+class TestBestMonotone:
+    RULES = ("best-monotone",)
+
+    def test_improving_best_passes(self):
+        trace = Trace()
+        trace.record(0.0, "generation", deme=0, generation=0, best=1.0)
+        trace.record(0.1, "generation", deme=0, generation=1, best=3.0)
+        assert check_trace(trace, rule_names=self.RULES) == []
+
+    def test_worsening_best_flagged(self):
+        trace = Trace()
+        trace.record(0.0, "generation", deme=0, generation=0, best=3.0)
+        trace.record(0.1, "generation", deme=0, generation=1, best=1.0)
+        violations = check_trace(trace, rule_names=self.RULES)
+        assert _rules_hit(violations) == {"best-monotone"}
+
+    def test_minimisation_direction(self):
+        ctx = CheckContext(maximize=False)
+        trace = Trace()
+        trace.record(0.0, "generation", deme=0, generation=0, best=3.0)
+        trace.record(0.1, "generation", deme=0, generation=1, best=1.0)
+        assert check_trace(trace, ctx, self.RULES) == []
+        trace.record(0.2, "generation", deme=0, generation=2, best=2.0)
+        assert _rules_hit(check_trace(trace, ctx, self.RULES)) == {"best-monotone"}
+
+    def test_missing_best_skipped(self):
+        trace = Trace()
+        trace.record(0.0, "generation", deme=0, generation=0, best=None)
+        trace.record(0.1, "generation", deme=0, generation=1, best=2.0)
+        assert check_trace(trace, rule_names=self.RULES) == []
+
+
+class TestChecker:
+    def test_inline_raises_at_offending_event(self):
+        trace = Trace()
+        checker = TraceChecker().attach(trace)
+        trace.record(1.0, "tick")
+        with pytest.raises(InvariantViolation) as err:
+            trace.record(0.5, "tick")
+        assert "time-monotone" in str(err.value)
+        checker.close()
+
+    def test_inline_close_flushes_conservation(self):
+        trace = Trace()
+        checker = TraceChecker().attach(trace)
+        trace.record(0.0, "migration", mid=0, src=0, dst=1)
+        violations = checker.close()
+        assert _rules_hit(violations) == {"message-conservation"}
+        # detached: further records no longer reach the checker
+        trace.record(-1.0, "tick")
+        assert len(checker.violations) == 1
+
+    def test_inline_collect_mode(self):
+        trace = Trace()
+        checker = TraceChecker(raise_inline=False).attach(trace)
+        trace.record(1.0, "tick")
+        trace.record(0.5, "tick")
+        trace.record(0.2, "tick")
+        assert len(checker.close()) == 2
+
+    def test_unknown_rule_name_rejected(self):
+        with pytest.raises(KeyError):
+            default_rules(["not-a-rule"])

@@ -1,0 +1,75 @@
+"""Mutation test: a deliberately injected lost-migrant bug must be caught.
+
+This is the subsystem's acceptance check.  We patch
+:meth:`SimulatedCluster._deliver` so migration messages silently vanish —
+no inbox delivery, no ``migration-recv``, no ``migration-drop`` — which is
+exactly the failure mode of a buggy transport that loses messages without
+telling anyone.  The verification stack must:
+
+1. catch it via the ``message-conservation`` invariant,
+2. print a one-line ReplaySpec that reproduces the failure,
+3. shrink the fault plan away (the bug needs no faults to manifest).
+
+The safety net is only as good as its ability to catch a real planted
+bug; if this test ever starts passing *without* the patch doing anything,
+the invariant has rotted.
+"""
+
+from unittest import mock
+
+from repro.cluster.machine import SimulatedCluster
+from repro.verify.harness import execute
+from repro.verify.replay import ReplaySpec
+from repro.verify.shrink import shrink_spec
+
+SPEC = ReplaySpec(
+    scenario="sim-island",
+    seed=42,
+    n_nodes=4,
+    pop=16,
+    generations=5,
+    genome_len=24,
+    eval_cost=2e-3,
+    fault_intervals=((), ((0.05, float("inf")),), (), ((0.1, 0.2),)),
+)
+
+
+def _lossy_deliver():
+    """Patch context: migrations vanish silently; other kinds untouched."""
+    original = SimulatedCluster._deliver
+
+    def deliver(self, mid, src, dst, inbox, payload, kind):
+        if kind == "migration":
+            return  # the injected bug: message lost without a trace record
+        original(self, mid, src, dst, inbox, payload, kind)
+
+    return mock.patch.object(SimulatedCluster, "_deliver", deliver)
+
+
+class TestLostMigrantMutation:
+    def test_unpatched_run_is_clean(self):
+        outcome = execute(SPEC)
+        assert outcome.ok, outcome.describe()
+
+    def test_invariant_catches_the_injected_bug(self):
+        with _lossy_deliver():
+            outcome = execute(SPEC)
+        assert not outcome.ok
+        assert outcome.signature == "invariant:message-conservation"
+        assert any("no receive and no recorded drop" in str(v) for v in outcome.violations)
+
+    def test_replay_line_reproduces_the_failure(self):
+        line = SPEC.to_line()
+        assert line.startswith("ReplaySpec ")
+        with _lossy_deliver():
+            replayed = execute(ReplaySpec.from_line(line))
+        assert replayed.signature == "invariant:message-conservation"
+
+    def test_shrinker_strips_irrelevant_faults(self):
+        # the bug is in the transport, not the fault plan: shrinking under
+        # the patch must remove every downtime interval
+        with _lossy_deliver():
+            result = shrink_spec(SPEC, run=execute)
+        assert result.spec.fault_intervals == ((), (), (), ())
+        assert result.removed == 2
+        assert result.outcome.signature == "invariant:message-conservation"
