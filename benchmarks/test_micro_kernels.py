@@ -7,6 +7,8 @@ the bottlenecks are variation, selection, fitness and the event loop).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -16,7 +18,7 @@ from repro.core.operators.crossover import TwoPointCrossover, UniformCrossover
 from repro.core.operators.mutation import BitFlipMutation, GaussianMutation
 from repro.core.operators.selection import TournamentSelection
 from repro.parallel import CellularGA, IslandModel
-from repro.problems import OneMax, Rastrigin
+from repro.problems import OneMax, Rastrigin, Sphere
 
 
 @pytest.fixture
@@ -79,6 +81,58 @@ class TestEngineThroughput:
         model = IslandModel(OneMax(64), 8, GAConfig(population_size=16), seed=1)
         model.initialize()
         benchmark(model.step_epoch)
+
+
+def _best_rate(fn, *, repeats: int = 9, inner: int = 30) -> float:
+    """Calls per second, best of ``repeats`` timed bursts (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return 1.0 / best
+
+
+class TestBatchEvaluationThroughput:
+    """The vectorized fast path must beat the scalar loop by a wide margin
+    (acceptance floor: 5x on a population of 256) while returning
+    bit-identical fitnesses."""
+
+    POP = 256
+
+    def _compare(self, problem):
+        rng = np.random.default_rng(0)
+        batch = np.stack([problem.spec.sample(rng) for _ in range(self.POP)])
+        genomes = list(batch)
+        scalar_rate = _best_rate(lambda: [problem.evaluate(g) for g in genomes])
+        batch_rate = _best_rate(lambda: problem.evaluate_batch(batch))
+        assert np.array_equal(
+            problem.evaluate_batch(batch),
+            np.asarray([problem.evaluate(g) for g in genomes], dtype=float),
+        )
+        ratio = batch_rate / scalar_rate
+        assert ratio >= 5.0, (
+            f"{problem.name}: batched evaluation only {ratio:.1f}x the scalar "
+            f"loop (need >= 5x)"
+        )
+        return ratio
+
+    def test_onemax_batch_vs_scalar(self):
+        print(f"OneMax batch speedup: {self._compare(OneMax(256)):.0f}x")
+
+    def test_sphere_batch_vs_scalar(self):
+        print(f"Sphere batch speedup: {self._compare(Sphere(dims=64)):.0f}x")
+
+    def test_onemax_batch_kernel(self, benchmark, rng):
+        p = OneMax(256)
+        batch = np.stack([p.spec.sample(rng) for _ in range(self.POP)])
+        benchmark(p.evaluate_batch, batch)
+
+    def test_sphere_batch_kernel(self, benchmark, rng):
+        p = Sphere(dims=64)
+        batch = np.stack([p.spec.sample(rng) for _ in range(self.POP)])
+        benchmark(p.evaluate_batch, batch)
 
 
 class TestSimulatorThroughput:

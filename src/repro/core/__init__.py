@@ -32,7 +32,15 @@ from .genome import (
 from .individual import Individual, best_of, better, sort_by_fitness, worst_of
 from .niching import SharedFitnessProblem, distinct_peaks, niche_counts
 from .population import Population, PopulationStats
-from .problem import CountingProblem, FitnessBudgetExceeded, Problem
+from .problem import (
+    CountingProblem,
+    FitnessBudgetExceeded,
+    Problem,
+    batch_evaluation,
+    batch_evaluation_enabled,
+    stack_genomes,
+    use_batch_evaluation,
+)
 from .rng import derive_rng, ensure_rng, spawn_rngs, spawn_seeds
 from .variation import make_offspring, offspring_pair
 from .termination import (
@@ -76,6 +84,10 @@ __all__ = [
     "distinct_peaks",
     "Problem",
     "CountingProblem",
+    "stack_genomes",
+    "batch_evaluation",
+    "batch_evaluation_enabled",
+    "use_batch_evaluation",
     "FitnessBudgetExceeded",
     "ensure_rng",
     "spawn_rngs",

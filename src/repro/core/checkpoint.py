@@ -11,19 +11,22 @@ than of whole engine objects (which would drag problem closures along).
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from .callbacks import GenerationRecord
 from .engine import EvolutionEngine
 from .individual import Individual
 from .population import Population
 
 __all__ = ["EngineSnapshot", "snapshot_engine", "restore_engine", "save_checkpoint", "load_checkpoint"]
 
-_FORMAT_VERSION = 1
+# v2: adds best-individual provenance (birth_generation, origin) and the
+# History records, so resumed runs report the same trajectory they lived
+_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -40,6 +43,9 @@ class EngineSnapshot:
     best_genome: np.ndarray
     best_fitness: float
     rng_state: dict[str, Any]
+    best_birth_generation: int = 0
+    best_origin: str = "init"
+    history_records: list[GenerationRecord] = field(default_factory=list)
 
 
 def snapshot_engine(engine: EvolutionEngine) -> EngineSnapshot:
@@ -58,6 +64,9 @@ def snapshot_engine(engine: EvolutionEngine) -> EngineSnapshot:
         best_genome=best.genome.copy(),
         best_fitness=best.require_fitness(),
         rng_state=engine.rng.bit_generator.state,
+        best_birth_generation=best.birth_generation,
+        best_origin=best.origin,
+        history_records=list(engine.history.records),
     )
 
 
@@ -65,7 +74,9 @@ def restore_engine(engine: EvolutionEngine, snapshot: EngineSnapshot) -> None:
     """Load ``snapshot`` into a freshly constructed engine.
 
     The engine must wrap the same problem/config; resuming then continues
-    the exact trajectory the snapshotted run would have taken.
+    the exact trajectory the snapshotted run would have taken, and the
+    engine's :class:`~repro.core.callbacks.History` picks up exactly where
+    the snapshotted run's left off (pre-restore records are discarded).
     """
     if snapshot.version != _FORMAT_VERSION:
         raise ValueError(
@@ -84,9 +95,14 @@ def restore_engine(engine: EvolutionEngine, snapshot: EngineSnapshot) -> None:
     engine.state.stagnant_generations = snapshot.stagnant_generations
     engine.state.best_fitness = snapshot.best_fitness
     engine.state.maximize = engine.problem.maximize
-    best = Individual(genome=snapshot.best_genome.copy())
+    best = Individual(
+        genome=snapshot.best_genome.copy(),
+        birth_generation=snapshot.best_birth_generation,
+        origin=snapshot.best_origin,
+    )
     best.fitness = snapshot.best_fitness
     engine._best_so_far = best
+    engine.history.records[:] = list(snapshot.history_records)
     engine.rng.bit_generator.state = snapshot.rng_state
 
 

@@ -21,7 +21,7 @@ from .callbacks import Callback, CallbackList, History
 from .config import GAConfig
 from .individual import Individual
 from .population import Population
-from .problem import Problem
+from .problem import Problem, stack_genomes
 from .rng import ensure_rng
 from .termination import EvolutionState, MaxGenerations, Termination
 from .variation import offspring_pair
@@ -183,7 +183,13 @@ class EvolutionEngine:
     def _evaluate(self, individuals: list[Individual]) -> None:
         if not individuals:
             return
-        genomes = [ind.genome for ind in individuals]
+        genomes: Sequence[np.ndarray] | np.ndarray = [ind.genome for ind in individuals]
+        # ship the generation as one contiguous (n, L) array so evaluators
+        # (and the executors behind them) get the vectorized fast path and
+        # zero-copy chunk transport for free
+        batch = stack_genomes(genomes)
+        if batch is not None:
+            genomes = batch
         fitnesses = self.evaluator.evaluate(self.problem, genomes)
         if len(fitnesses) != len(individuals):
             raise RuntimeError(

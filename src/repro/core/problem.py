@@ -11,13 +11,72 @@ finding a solution).
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from .genome import GenomeSpec
 
-__all__ = ["Problem", "CountingProblem", "FitnessBudgetExceeded"]
+__all__ = [
+    "Problem",
+    "CountingProblem",
+    "FitnessBudgetExceeded",
+    "stack_genomes",
+    "batch_evaluation_enabled",
+    "use_batch_evaluation",
+    "batch_evaluation",
+]
+
+
+# The vectorized fast path is on by default; tests and determinism audits
+# flip it off to prove the scalar loop produces bit-identical results.
+_BATCH_ENABLED = True
+
+
+def batch_evaluation_enabled() -> bool:
+    """Whether ``evaluate_many`` routes through ``evaluate_batch``."""
+    return _BATCH_ENABLED
+
+
+def use_batch_evaluation(enabled: bool) -> None:
+    """Globally enable/disable the vectorized evaluation fast path."""
+    global _BATCH_ENABLED
+    _BATCH_ENABLED = bool(enabled)
+
+
+@contextmanager
+def batch_evaluation(enabled: bool) -> Iterator[None]:
+    """Temporarily force the fast path on or off (scalar-vs-batch audits)."""
+    global _BATCH_ENABLED
+    prev = _BATCH_ENABLED
+    _BATCH_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _BATCH_ENABLED = prev
+
+
+def stack_genomes(genomes: Sequence[np.ndarray] | np.ndarray) -> np.ndarray | None:
+    """Stack a homogeneous batch of 1-D genomes into one ``(n, L)`` array.
+
+    Returns ``None`` when the batch cannot be stacked (empty, ragged shapes
+    or mixed dtypes), in which case callers fall back to the scalar loop.
+    A 2-D array passes through unchanged (already stacked).
+    """
+    if isinstance(genomes, np.ndarray):
+        return genomes if genomes.ndim == 2 else None
+    if not len(genomes):
+        return None
+    first = genomes[0]
+    if not isinstance(first, np.ndarray) or first.ndim != 1:
+        return None
+    shape, dtype = first.shape, first.dtype
+    for g in genomes:
+        if not isinstance(g, np.ndarray) or g.shape != shape or g.dtype != dtype:
+            return None
+    return np.stack(genomes)
 
 
 class Problem(abc.ABC):
@@ -41,8 +100,24 @@ class Problem(abc.ABC):
         """Fitness of one genome (pure; no side effects)."""
 
     # -- bulk evaluation -------------------------------------------------------
-    def evaluate_many(self, genomes: Sequence[np.ndarray]) -> list[float]:
-        """Evaluate a batch; override for vectorised problems."""
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        """Fitnesses of a stacked ``(n, L)`` batch as a float array.
+
+        The contract (see ``docs/batch_evaluation.md``): results must be
+        **bit-identical** to calling :meth:`evaluate` row by row — the
+        deterministic-simulation digests depend on it.  The default
+        implementation is exactly that scalar loop; benchmark problems
+        override it with NumPy-vectorized kernels.
+        """
+        return np.asarray([self.evaluate(g) for g in genomes], dtype=float)
+
+    def evaluate_many(self, genomes: Sequence[np.ndarray] | np.ndarray) -> list[float]:
+        """Evaluate a batch, routing through :meth:`evaluate_batch` when the
+        genomes stack into one homogeneous 2-D array (the fast path)."""
+        if _BATCH_ENABLED:
+            batch = stack_genomes(genomes)
+            if batch is not None:
+                return [float(f) for f in self.evaluate_batch(batch)]
         return [self.evaluate(g) for g in genomes]
 
     # -- success tests ---------------------------------------------------------
@@ -82,6 +157,11 @@ class CountingProblem(Problem):
     the machine-independent cost measure the super-linear-speedup literature
     (Alba 2002) uses — so exact counting lives here rather than scattered
     through engines.
+
+    Counting is thread-safe (unchunked thread executors hit ``evaluate``
+    concurrently) and the budget is only charged for evaluations that
+    actually complete: an inner evaluation that raises refunds its
+    reservation.
     """
 
     def __init__(self, inner: Problem, budget: int | None = None) -> None:
@@ -92,25 +172,67 @@ class CountingProblem(Problem):
         self.target = inner.target
         self.budget = budget
         self.evaluations = 0
+        self._lock = threading.Lock()
+
+    # locks are unpicklable; recreate on the other side of a process hop
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- budget accounting -----------------------------------------------------
+    def reserve(self, n: int) -> None:
+        """Atomically charge ``n`` evaluations against the budget.
+
+        Raises :class:`FitnessBudgetExceeded` (charging nothing) when the
+        budget cannot cover them.  Executors that farm work to processes
+        call this driver-side so worker-side counts cannot be lost.
+        """
+        with self._lock:
+            if self.budget is not None and self.evaluations + n > self.budget:
+                raise FitnessBudgetExceeded(
+                    f"budget of {self.budget} evaluations exhausted"
+                )
+            self.evaluations += n
+
+    def refund(self, n: int) -> None:
+        """Return ``n`` reserved evaluations (the inner evaluation failed)."""
+        with self._lock:
+            self.evaluations -= n
 
     def evaluate(self, genome: np.ndarray) -> float:
-        if self.budget is not None and self.evaluations >= self.budget:
-            raise FitnessBudgetExceeded(
-                f"budget of {self.budget} evaluations exhausted"
-            )
-        self.evaluations += 1
-        return self.inner.evaluate(genome)
+        self.reserve(1)
+        try:
+            return self.inner.evaluate(genome)
+        except BaseException:
+            self.refund(1)
+            raise
 
-    def evaluate_many(self, genomes: Sequence[np.ndarray]) -> list[float]:
-        if self.budget is not None and self.evaluations + len(genomes) > self.budget:
-            raise FitnessBudgetExceeded(
-                f"budget of {self.budget} evaluations exhausted"
-            )
-        self.evaluations += len(genomes)
-        return self.inner.evaluate_many(genomes)
+    def evaluate_many(self, genomes: Sequence[np.ndarray] | np.ndarray) -> list[float]:
+        n = len(genomes)
+        self.reserve(n)
+        try:
+            return self.inner.evaluate_many(genomes)
+        except BaseException:
+            self.refund(n)
+            raise
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        n = len(genomes)
+        self.reserve(n)
+        try:
+            return self.inner.evaluate_batch(genomes)
+        except BaseException:
+            self.refund(n)
+            raise
 
     def reset(self) -> None:
-        self.evaluations = 0
+        with self._lock:
+            self.evaluations = 0
 
     @property
     def name(self) -> str:

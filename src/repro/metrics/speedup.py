@@ -13,6 +13,7 @@ super-linear speedup discussion both hinge on precise definitions:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -64,8 +65,12 @@ def speedup_curve(
 ) -> list[SpeedupPoint]:
     """Build a speedup table from measured times.
 
-    ``baseline`` defaults to the time measured at the smallest worker
-    count (which should be 1 for a true strong-speedup curve).
+    ``baseline`` defaults to the time measured at ``workers == 1`` — the
+    only honest T1 for a strong-speedup curve.  When no 1-worker
+    measurement exists, the curve falls back to extrapolating an ideal
+    ``t * w`` baseline from the smallest measured worker count (which by
+    construction reports exactly-linear speedup at that point) and warns,
+    so fabricated-looking numbers are never silent.
     """
     if len(workers) != len(times):
         raise ValueError("workers and times must have equal length")
@@ -74,7 +79,19 @@ def speedup_curve(
     order = np.argsort(workers)
     w = [workers[i] for i in order]
     t = [times[i] for i in order]
-    base = baseline if baseline is not None else t[0] * w[0]
+    if baseline is not None:
+        base = baseline
+    elif w[0] == 1:
+        base = t[0]
+    else:
+        warnings.warn(
+            f"speedup_curve has no 1-worker measurement (smallest is "
+            f"{w[0]} workers); extrapolating baseline as t*w, which forces "
+            f"speedup == {w[0]} at that point — measure workers=1 or pass "
+            "an explicit baseline",
+            stacklevel=2,
+        )
+        base = t[0] * w[0]
     return [
         SpeedupPoint(
             workers=wi,

@@ -150,11 +150,17 @@ class CellularGA:
                 f"grid needs exactly {self.n_cells} individuals, got {len(individuals)}"
             )
         self.grid = list(individuals)
-        for ind in self.grid:
-            if not ind.evaluated:
-                ind.fitness = self.problem.evaluate(ind.genome)
-                self.evaluations += 1
+        self._evaluate_batch([ind for ind in self.grid if not ind.evaluated])
         self._track()
+
+    def _evaluate_batch(self, individuals: Sequence[Individual]) -> None:
+        """Fill in fitnesses for ``individuals`` with one stacked evaluation."""
+        if not individuals:
+            return
+        fitnesses = self.problem.evaluate_many([ind.genome for ind in individuals])
+        for ind, f in zip(individuals, fitnesses):
+            ind.fitness = float(f)
+        self.evaluations += len(individuals)
 
     # -- stepping ------------------------------------------------------------------
     def _cell_order(self) -> np.ndarray:
@@ -171,9 +177,15 @@ class CellularGA:
         return self.rng.integers(0, n, size=n)
 
     def _offspring_for_cell(
-        self, idx: int, source: list[Individual]
+        self, idx: int, source: list[Individual], *, evaluate: bool = True
     ) -> Individual:
-        """Local selection + variation for one cell."""
+        """Local selection + variation for one cell.
+
+        With ``evaluate=False`` the child is returned unevaluated; the
+        synchronous sweep defers fitness to one stacked batch evaluation
+        (evaluation is pure and consumes no RNG, so the trajectory is
+        unchanged).
+        """
         nbr_idx = self.neighborhood.neighbor_indices(idx, self.rows, self.cols)
         pool = [source[j] for j in nbr_idx] + [source[idx]]
         parents = self.config.selection(
@@ -188,8 +200,9 @@ class CellularGA:
             generation=self.sweeps + 1,
         )
         child = a if self.rng.random() < 0.5 else b
-        child.fitness = self.problem.evaluate(child.genome)
-        self.evaluations += 1
+        if evaluate:
+            child.fitness = self.problem.evaluate(child.genome)
+            self.evaluations += 1
         return child
 
     def _maybe_replace(self, idx: int, child: Individual, target: list[Individual]) -> None:
@@ -209,8 +222,13 @@ class CellularGA:
         if self.update == "synchronous":
             old = list(self.grid)  # offspring all computed against the old grid
             new = list(self.grid)
-            for idx in self._cell_order():
-                child = self._offspring_for_cell(int(idx), old)
+            order = self._cell_order()
+            children = [
+                self._offspring_for_cell(int(idx), old, evaluate=False)
+                for idx in order
+            ]
+            self._evaluate_batch(children)  # one (n_cells, L) stacked evaluation
+            for idx, child in zip(order, children):
                 self._maybe_replace(int(idx), child, new)
             self.grid = new
         else:

@@ -60,6 +60,12 @@ class SubsetSum(Problem):
         total = float(np.dot(self.weights, genome))
         return total if total <= self.capacity else 0.0
 
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        # weights are small integers stored as floats and genomes are 0/1, so
+        # the dot products are exact regardless of summation order
+        totals = genomes.astype(float) @ self.weights
+        return np.where(totals <= self.capacity, totals, 0.0)
+
 
 class MaxSat(Problem):
     """Random 3-SAT as MAXSAT: maximise the number of satisfied clauses.
@@ -103,6 +109,11 @@ class MaxSat(Problem):
         lit_true = vals != self.negated
         return float(np.count_nonzero(lit_true.any(axis=1)))
 
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        vals = genomes[:, self.literals] == 1  # (batch, clauses, 3)
+        lit_true = vals != self.negated
+        return np.count_nonzero(lit_true.any(axis=2), axis=1).astype(float)
+
     @property
     def n_clauses(self) -> int:
         return self.literals.shape[0]
@@ -143,6 +154,15 @@ class Knapsack(Problem):
             return value
         # linear death-penalty proportional to overweight
         return max(0.0, value - 2.0 * (weight - self.capacity) * self._density)
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        g = genomes.astype(float)
+        weight = g @ self.weights  # exact: integer-valued operands
+        value = g @ self.values
+        penalized = np.maximum(
+            0.0, value - 2.0 * (weight - self.capacity) * self._density
+        )
+        return np.where(weight <= self.capacity, value, penalized)
 
     @property
     def _density(self) -> float:
@@ -208,6 +228,11 @@ class TravelingSalesman(Problem):
         nxt = np.roll(tour, -1)
         return float(self.distances[tour, nxt].sum())
 
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        tours = np.asarray(genomes, dtype=np.int64)
+        nxt = np.roll(tours, -1, axis=1)
+        return self.distances[tours, nxt].sum(axis=1)
+
 
 class GraphBipartition(Problem):
     """Balanced graph bipartition: minimise cut edges, penalise imbalance.
@@ -246,6 +271,15 @@ class GraphBipartition(Problem):
         cut = float(np.sum(self.adjacency * (side[:, None] != side[None, :]))) / 2.0
         imbalance = abs(float(side.sum()) - side.size / 2.0)
         return cut + self.balance_weight * imbalance
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        sides = np.asarray(genomes, dtype=np.int8)
+        crossing = sides[:, :, None] != sides[:, None, :]  # (batch, n, n)
+        cuts = np.sum(self.adjacency[None, :, :] * crossing, axis=(1, 2)) / 2.0
+        imbalance = np.abs(
+            sides.sum(axis=1, dtype=np.int64).astype(float) - sides.shape[1] / 2.0
+        )
+        return cuts + self.balance_weight * imbalance
 
 
 class TaskGraphScheduling(Problem):

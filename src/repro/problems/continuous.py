@@ -45,6 +45,9 @@ class Sphere(_ContinuousBenchmark):
     def evaluate(self, genome: np.ndarray) -> float:
         return float(np.sum(genome * genome))
 
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        return np.sum(genomes * genomes, axis=1)
+
 
 class Rastrigin(_ContinuousBenchmark):
     """Highly multimodal with a regular lattice of local minima."""
@@ -55,6 +58,12 @@ class Rastrigin(_ContinuousBenchmark):
     def evaluate(self, genome: np.ndarray) -> float:
         x = genome
         return float(10.0 * x.size + np.sum(x * x - 10.0 * np.cos(2.0 * np.pi * x)))
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        x = genomes
+        return 10.0 * x.shape[1] + np.sum(
+            x * x - 10.0 * np.cos(2.0 * np.pi * x), axis=1
+        )
 
 
 class Ackley(_ContinuousBenchmark):
@@ -70,6 +79,13 @@ class Ackley(_ContinuousBenchmark):
         s2 = np.sum(np.cos(2.0 * np.pi * x)) / n
         return float(20.0 + np.e - 20.0 * np.exp(-0.2 * s1) - np.exp(s2))
 
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        x = genomes
+        n = x.shape[1]
+        s1 = np.sqrt(np.sum(x * x, axis=1) / n)
+        s2 = np.sum(np.cos(2.0 * np.pi * x), axis=1) / n
+        return 20.0 + np.e - 20.0 * np.exp(-0.2 * s1) - np.exp(s2)
+
 
 class Griewank(_ContinuousBenchmark):
     """Product term introduces weak, wide-range epistasis."""
@@ -82,6 +98,15 @@ class Griewank(_ContinuousBenchmark):
         idx = np.arange(1, x.size + 1, dtype=float)
         return float(
             1.0 + np.sum(x * x) / 4000.0 - np.prod(np.cos(x / np.sqrt(idx)))
+        )
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        x = genomes
+        idx = np.arange(1, x.shape[1] + 1, dtype=float)
+        return (
+            1.0
+            + np.sum(x * x, axis=1) / 4000.0
+            - np.prod(np.cos(x / np.sqrt(idx)), axis=1)
         )
 
 
@@ -100,6 +125,12 @@ class Schwefel(_ContinuousBenchmark):
             418.9828872724339 * x.size - np.sum(x * np.sin(np.sqrt(np.abs(x))))
         )
 
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        x = genomes
+        return 418.9828872724339 * x.shape[1] - np.sum(
+            x * np.sin(np.sqrt(np.abs(x))), axis=1
+        )
+
 
 class Rosenbrock(_ContinuousBenchmark):
     """The banana valley: unimodal but ill-conditioned and non-separable."""
@@ -111,6 +142,12 @@ class Rosenbrock(_ContinuousBenchmark):
         x = genome
         return float(
             np.sum(100.0 * (x[1:] - x[:-1] ** 2) ** 2 + (1.0 - x[:-1]) ** 2)
+        )
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        x = genomes
+        return np.sum(
+            100.0 * (x[:, 1:] - x[:, :-1] ** 2) ** 2 + (1.0 - x[:, :-1]) ** 2, axis=1
         )
 
 
@@ -130,3 +167,8 @@ class Weierstrass(_ContinuousBenchmark):
         x = genome[:, None]  # (n, 1) against (kmax+1,) tables
         inner = np.sum(self._ak * np.cos(2.0 * np.pi * self._bk * (x + 0.5)), axis=1)
         return float(np.sum(inner) - x.shape[0] * self._shift)
+
+    def evaluate_batch(self, genomes: np.ndarray) -> np.ndarray:
+        x = genomes[:, :, None]  # (batch, n, 1) against (kmax+1,) tables
+        inner = np.sum(self._ak * np.cos(2.0 * np.pi * self._bk * (x + 0.5)), axis=2)
+        return np.sum(inner, axis=1) - genomes.shape[1] * self._shift

@@ -1,5 +1,6 @@
 """Real-parallelism executors (threads / processes) behind the evaluator seam."""
 
+from .cache import FitnessCache, MemoizingEvaluator
 from .executor import (
     MultiprocessingExecutor,
     SerialExecutor,
@@ -12,4 +13,6 @@ __all__ = [
     "ThreadExecutor",
     "MultiprocessingExecutor",
     "chunk_indices",
+    "FitnessCache",
+    "MemoizingEvaluator",
 ]

@@ -1,0 +1,130 @@
+"""Keyed fitness memo-cache for steady-state and migration-heavy workloads.
+
+Steady-state replacement and migration both re-encounter genomes they have
+already paid for: an elite individual survives many generations, a migrant
+arrives evaluated at home but invalidated in transit, a crossover of two
+converged parents reproduces a parent bit-for-bit.  :class:`FitnessCache`
+memoises fitness by genome *content* so those re-encounters cost a hash
+lookup instead of an objective call.
+
+The cache is **opt-in**: engines use it only when handed a
+:class:`MemoizingEvaluator`, because skipping objective calls changes
+``CountingProblem`` evaluation counts (hits are free) and therefore the
+evaluations-to-solution bookkeeping the determinism audits fingerprint.
+Fitness values themselves are unchanged — problems are pure functions of
+the genome — so trajectories are identical, just cheaper.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from ..core.engine import FitnessEvaluator, SerialEvaluator
+from ..core.problem import Problem
+
+__all__ = ["FitnessCache", "MemoizingEvaluator"]
+
+
+def _genome_key(genome: np.ndarray) -> tuple:
+    """Hashable content key: bytes + dtype + shape (rules out collisions
+    between e.g. int8 and int64 encodings of the same bits)."""
+    return (genome.tobytes(), genome.dtype.str, genome.shape)
+
+
+class FitnessCache:
+    """Bounded LRU map from genome content to fitness.
+
+    Parameters
+    ----------
+    max_size:
+        Entry cap; least-recently-used entries are evicted beyond it.
+        ``None`` means unbounded (fine for short runs, not for servers).
+    """
+
+    def __init__(self, max_size: int | None = 100_000) -> None:
+        if max_size is not None and max_size < 1:
+            raise ValueError(f"max_size must be >= 1 or None, got {max_size}")
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[tuple, float] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, genome: np.ndarray) -> float | None:
+        key = _genome_key(genome)
+        fitness = self._store.get(key)
+        if fitness is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return fitness
+
+    def put(self, genome: np.ndarray, fitness: float) -> None:
+        key = _genome_key(genome)
+        self._store[key] = float(fitness)
+        self._store.move_to_end(key)
+        if self.max_size is not None:
+            while len(self._store) > self.max_size:
+                self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class MemoizingEvaluator:
+    """FitnessEvaluator decorator: answer repeats from the cache, delegate
+    only the genuinely new genomes (as one stacked sub-batch) to ``inner``.
+
+    One evaluator memoises exactly one problem: fitness keyed on genome
+    alone is only sound against a fixed objective, so the first problem
+    seen is pinned and any other problem object is rejected.
+    """
+
+    def __init__(
+        self,
+        inner: FitnessEvaluator | None = None,
+        cache: FitnessCache | None = None,
+    ) -> None:
+        self.inner: FitnessEvaluator = inner if inner is not None else SerialEvaluator()
+        self.cache = cache if cache is not None else FitnessCache()
+        self._problem: Problem | None = None
+
+    def evaluate(
+        self, problem: Problem, genomes: Sequence[np.ndarray] | np.ndarray
+    ) -> list[float]:
+        if self._problem is None:
+            self._problem = problem
+        elif problem is not self._problem:
+            raise ValueError(
+                f"MemoizingEvaluator is pinned to {self._problem.name}; "
+                f"got {problem.name} — use one evaluator per problem"
+            )
+        n = len(genomes)
+        out: list[float | None] = [None] * n
+        miss_idx: list[int] = []
+        for i in range(n):
+            cached = self.cache.get(genomes[i])
+            if cached is None:
+                miss_idx.append(i)
+            else:
+                out[i] = cached
+        if miss_idx:
+            misses = [genomes[i] for i in miss_idx]
+            fresh = self.inner.evaluate(problem, misses)
+            for i, f in zip(miss_idx, fresh):
+                out[i] = float(f)
+                self.cache.put(genomes[i], float(f))
+        return out  # type: ignore[return-value]

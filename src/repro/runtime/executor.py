@@ -7,11 +7,14 @@ any engine through the ``FitnessEvaluator`` seam.
 
 The process pool uses an initializer so the problem is shipped to each
 worker exactly once — the mpi4py tutorial's broadcast-once idiom — rather
-than pickled per task.
+than pickled per task.  Per-generation traffic is one contiguous ``(n, L)``
+array slice per chunk (genomes out) and one list of floats back per chunk
+(fitnesses in); no per-genome object lists cross the process boundary.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 from concurrent.futures import ThreadPoolExecutor
@@ -20,7 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.problem import Problem
+from ..core.problem import CountingProblem, Problem, stack_genomes
 
 __all__ = [
     "SerialExecutor",
@@ -44,7 +47,9 @@ def chunk_indices(n: int, chunks: int) -> list[tuple[int, int]]:
 class SerialExecutor:
     """Evaluate in the calling thread (the baseline / 1-processor case)."""
 
-    def evaluate(self, problem: Problem, genomes: Sequence[np.ndarray]) -> list[float]:
+    def evaluate(
+        self, problem: Problem, genomes: Sequence[np.ndarray] | np.ndarray
+    ) -> list[float]:
         return problem.evaluate_many(genomes)
 
     def shutdown(self) -> None:  # symmetry with pooled executors
@@ -72,13 +77,15 @@ class ThreadExecutor:
         self.chunked = chunked
         self._pool = ThreadPoolExecutor(max_workers=self.workers)
 
-    def evaluate(self, problem: Problem, genomes: Sequence[np.ndarray]) -> list[float]:
-        if not genomes:
+    def evaluate(
+        self, problem: Problem, genomes: Sequence[np.ndarray] | np.ndarray
+    ) -> list[float]:
+        if len(genomes) == 0:
             return []
         if self.chunked:
             spans = chunk_indices(len(genomes), self.workers)
             futures = [
-                self._pool.submit(problem.evaluate_many, list(genomes[a:b]))
+                self._pool.submit(problem.evaluate_many, genomes[a:b])
                 for a, b in spans
             ]
             out: list[float] = []
@@ -106,25 +113,40 @@ def _init_worker(problem_bytes: bytes) -> None:
     _WORKER_PROBLEM = pickle.loads(problem_bytes)
 
 
-def _eval_chunk(genomes: list[np.ndarray]) -> list[float]:
+def _eval_chunk(genomes: np.ndarray | list[np.ndarray]) -> list[float]:
     if _WORKER_PROBLEM is None:
         raise RuntimeError("worker process was not initialised with a problem")
     return _WORKER_PROBLEM.evaluate_many(genomes)
 
 
+def _objective_payload(problem: Problem) -> tuple[Problem, bytes]:
+    """The problem actually shipped to workers, and its pickled bytes.
+
+    A :class:`CountingProblem` is unwrapped: workers evaluate the inner
+    objective only, and all counting/budget enforcement happens driver-side
+    (worker-side counters live in forked copies and never reach the driver).
+    """
+    target = problem.inner if isinstance(problem, CountingProblem) else problem
+    return target, pickle.dumps(target, protocol=pickle.HIGHEST_PROTOCOL)
+
+
 class MultiprocessingExecutor:
     """Process-pool evaluation — real distributed-memory data parallelism.
 
-    The problem instance is broadcast to each worker once at pool start-up
-    (like an MPI ``bcast`` of the objective), so per-generation traffic is
-    genomes out / fitnesses back only.
+    The objective is broadcast to each worker once at pool start-up (like an
+    MPI ``bcast``), so per-generation traffic is genome arrays out /
+    fitnesses back only.
 
     Parameters
     ----------
     problem:
-        The problem to broadcast; :meth:`evaluate` only accepts this
-        problem (same type) to prevent silently evaluating a different
-        objective than the workers hold.
+        The problem to broadcast.  :meth:`evaluate` verifies — via a digest
+        of the pickled objective recorded here — that it is handed the same
+        objective the workers hold, so a different instance of the same
+        class (or a reconfigured wrapper) cannot silently evaluate against
+        a stale objective.  :class:`CountingProblem` wrappers are unwrapped
+        before broadcast; their counting and budget enforcement run
+        driver-side.
     workers:
         Pool size; defaults to the CPU count.
     """
@@ -133,25 +155,45 @@ class MultiprocessingExecutor:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
-        self._problem_type = type(problem)
+        _, payload = _objective_payload(problem)
+        self._objective_digest = hashlib.sha256(payload).hexdigest()
         ctx = get_context("fork" if os.name == "posix" else "spawn")
         self._pool = ctx.Pool(
             processes=self.workers,
             initializer=_init_worker,
-            initargs=(pickle.dumps(problem),),
+            initargs=(payload,),
         )
 
-    def evaluate(self, problem: Problem, genomes: Sequence[np.ndarray]) -> list[float]:
-        if type(problem) is not self._problem_type:
+    def evaluate(
+        self, problem: Problem, genomes: Sequence[np.ndarray] | np.ndarray
+    ) -> list[float]:
+        target, payload = _objective_payload(problem)
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != self._objective_digest:
             raise ValueError(
-                f"executor was initialised for {self._problem_type.__name__}, "
-                f"got {type(problem).__name__}"
+                f"executor was initialised for a different objective than "
+                f"{target.name}: workers would evaluate a stale problem"
             )
-        if not genomes:
+        n = len(genomes)
+        if n == 0:
             return []
-        spans = chunk_indices(len(genomes), self.workers)
-        chunks = [list(genomes[a:b]) for a, b in spans]
-        results = self._pool.map(_eval_chunk, chunks)
+        counting = problem if isinstance(problem, CountingProblem) else None
+        if counting is not None:
+            counting.reserve(n)  # driver-side budget check + count
+        try:
+            batch = stack_genomes(genomes)
+            spans = chunk_indices(n, self.workers)
+            if batch is not None:
+                # one contiguous array per chunk: a single pickle buffer
+                # instead of a list of per-genome objects
+                chunks = [np.ascontiguousarray(batch[a:b]) for a, b in spans]
+            else:
+                chunks = [list(genomes[a:b]) for a, b in spans]
+            results = self._pool.map(_eval_chunk, chunks)
+        except BaseException:
+            if counting is not None:
+                counting.refund(n)
+            raise
         out: list[float] = []
         for r in results:
             out.extend(r)

@@ -109,3 +109,47 @@ class TestFileRoundTrip:
         snap.version = 999
         with pytest.raises(ValueError):
             restore_engine(fresh_engine(), snap)
+
+
+class TestProvenanceAndHistory:
+    def test_best_birth_generation_survives_restore(self):
+        eng = fresh_engine(seed=6)
+        eng.run(8)
+        best = eng.best_so_far
+        snap = snapshot_engine(eng)
+        resumed = fresh_engine(seed=6)
+        restore_engine(resumed, snap)
+        assert resumed.best_so_far.birth_generation == best.birth_generation
+        assert resumed.best_so_far.origin == best.origin
+
+    def test_history_records_survive_restore(self):
+        eng = fresh_engine(seed=6)
+        eng.run(8)
+        snap = snapshot_engine(eng)
+        resumed = fresh_engine(seed=6)
+        resumed.run(3)  # pre-restore history must be discarded
+        restore_engine(resumed, snap)
+        assert len(resumed.history.records) == len(eng.history.records)
+        assert [r.generation for r in resumed.history.records] == [
+            r.generation for r in eng.history.records
+        ]
+
+    def test_resumed_history_is_continuous(self):
+        """After restore+run, History holds one unbroken generation sequence."""
+        eng = fresh_engine(seed=8)
+        eng.run(5)
+        snap = snapshot_engine(eng)
+        resumed = fresh_engine(seed=8)
+        restore_engine(resumed, snap)
+        resumed.run(10)
+        gens = [r.generation for r in resumed.history.records]
+        assert gens == sorted(gens)
+        assert len(gens) == len(set(gens)), "duplicate generations in History"
+
+    def test_old_format_version_rejected_before_field_access(self):
+        eng = fresh_engine()
+        eng.run(2)
+        snap = snapshot_engine(eng)
+        snap.version = 1
+        with pytest.raises(ValueError, match="checkpoint format"):
+            restore_engine(fresh_engine(), snap)

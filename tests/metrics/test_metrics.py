@@ -192,3 +192,26 @@ class TestEfficacy:
             [RunOutcome(True, 1, 1.0, time=2.0), RunOutcome(True, 1, 1.0, time=4.0)]
         )
         assert rep.mean_time == 3.0
+
+
+class TestSpeedupCurveBaseline:
+    def test_one_worker_measurement_is_the_baseline(self):
+        pts = speedup_curve([1, 2, 4], [10.0, 5.5, 3.0])
+        assert pts[0].speedup == 1.0
+        assert pts[1].speedup == pytest.approx(10.0 / 5.5)
+
+    def test_missing_one_worker_measurement_warns(self):
+        with pytest.warns(UserWarning, match="no 1-worker measurement"):
+            pts = speedup_curve([2, 4], [5.0, 3.0])
+        # the extrapolated t*w baseline forces linear speedup at the
+        # smallest measured count — which is why it warns
+        assert pts[0].speedup == pytest.approx(2.0)
+
+    def test_explicit_baseline_never_warns(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            pts = speedup_curve([2, 4], [5.0, 3.0], baseline=10.0)
+        assert pts[0].speedup == pytest.approx(2.0)
+        assert pts[0].efficiency == pytest.approx(1.0)

@@ -1,0 +1,168 @@
+"""Bit-identity of every vectorized ``evaluate_batch`` kernel.
+
+The batch contract (docs/batch_evaluation.md) demands results bit-identical
+to the scalar ``evaluate`` loop — not merely close: the deterministic
+-simulation digests hash fitness ``repr``s, so a single flipped ulp breaks
+replay.  This suite pins that contract for every benchmark problem that
+overrides the default scalar-loop ``evaluate_batch``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import (
+    Problem,
+    batch_evaluation,
+    batch_evaluation_enabled,
+    stack_genomes,
+    use_batch_evaluation,
+)
+from repro.problems import (
+    Ackley,
+    DeceptiveTrap,
+    GraphBipartition,
+    Griewank,
+    Knapsack,
+    LeadingOnes,
+    MaxSat,
+    NKLandscape,
+    OneMax,
+    PPeaks,
+    Rastrigin,
+    Rosenbrock,
+    RoyalRoad,
+    Schwefel,
+    Sphere,
+    SubsetSum,
+    TravelingSalesman,
+    Weierstrass,
+    ZeroMax,
+)
+
+VECTORIZED_PROBLEMS = [
+    OneMax(37),
+    ZeroMax(37),
+    LeadingOnes(24),
+    DeceptiveTrap(blocks=6, k=4),
+    RoyalRoad(blocks=5, block_size=4),
+    NKLandscape(n=14, k=3, seed=1),
+    PPeaks(p=20, length=32, seed=2),
+    Sphere(dims=11),
+    Rastrigin(dims=11),
+    Ackley(dims=11),
+    Griewank(dims=11),
+    Schwefel(dims=11),
+    Rosenbrock(dims=11),
+    Weierstrass(dims=7),
+    SubsetSum(n=18, seed=3),
+    MaxSat(n_vars=20, n_clauses=60, seed=4),
+    Knapsack(n=18, seed=5),
+    TravelingSalesman.random(n_cities=12, seed=6),
+    GraphBipartition(n=12, seed=7),
+]
+
+
+@pytest.mark.parametrize(
+    "problem", VECTORIZED_PROBLEMS, ids=lambda p: type(p).__name__
+)
+class TestBatchScalarIdentity:
+    def _batch(self, problem, n=33, seed=0):
+        rng = np.random.default_rng(seed)
+        return np.stack([problem.spec.sample(rng) for _ in range(n)])
+
+    def test_batch_matches_scalar_bit_for_bit(self, problem):
+        batch = self._batch(problem)
+        scalar = np.asarray([problem.evaluate(g) for g in batch], dtype=float)
+        out = problem.evaluate_batch(batch)
+        assert out.dtype == np.float64
+        assert out.shape == (len(batch),)
+        assert np.array_equal(out, scalar), (
+            f"{problem.name}: vectorized kernel is not bit-identical"
+        )
+
+    def test_evaluate_many_both_modes_agree(self, problem):
+        genomes = list(self._batch(problem, n=17, seed=1))
+        with batch_evaluation(True):
+            fast = problem.evaluate_many(genomes)
+        with batch_evaluation(False):
+            slow = problem.evaluate_many(genomes)
+        assert fast == slow
+        assert all(isinstance(f, float) for f in fast)
+
+    def test_single_row_batch(self, problem):
+        batch = self._batch(problem, n=1, seed=2)
+        assert problem.evaluate_batch(batch)[0] == problem.evaluate(batch[0])
+
+
+class TestStackGenomes:
+    def test_stacks_homogeneous_lists(self):
+        gs = [np.zeros(4, dtype=np.int8), np.ones(4, dtype=np.int8)]
+        out = stack_genomes(gs)
+        assert out.shape == (2, 4) and out.dtype == np.int8
+
+    def test_passes_2d_arrays_through(self):
+        batch = np.zeros((3, 5))
+        assert stack_genomes(batch) is batch
+
+    def test_rejects_ragged(self):
+        assert stack_genomes([np.zeros(4), np.zeros(5)]) is None
+
+    def test_rejects_mixed_dtype(self):
+        assert stack_genomes([np.zeros(4, dtype=np.int8), np.zeros(4)]) is None
+
+    def test_rejects_empty_and_non_arrays(self):
+        assert stack_genomes([]) is None
+        assert stack_genomes([[0, 1], [1, 0]]) is None
+        assert stack_genomes(np.zeros(4)) is None
+
+
+class _Recording(Problem):
+    """Tracks which evaluation path ran."""
+
+    def __init__(self):
+        self.spec = OneMax(4).spec
+        self.maximize = True
+        self.batch_calls = 0
+
+    def evaluate(self, genome):
+        return float(genome.sum())
+
+    def evaluate_batch(self, genomes):
+        self.batch_calls += 1
+        return genomes.sum(axis=1).astype(float)
+
+
+class TestBatchToggle:
+    def test_enabled_by_default(self):
+        assert batch_evaluation_enabled()
+
+    def test_context_manager_restores_state(self):
+        with batch_evaluation(False):
+            assert not batch_evaluation_enabled()
+            with batch_evaluation(True):
+                assert batch_evaluation_enabled()
+            assert not batch_evaluation_enabled()
+        assert batch_evaluation_enabled()
+
+    def test_toggle_controls_routing(self):
+        p = _Recording()
+        genomes = [np.ones(4, dtype=np.int8)] * 3
+        with batch_evaluation(False):
+            p.evaluate_many(genomes)
+        assert p.batch_calls == 0
+        with batch_evaluation(True):
+            p.evaluate_many(genomes)
+        assert p.batch_calls == 1
+
+    def test_use_batch_evaluation_function(self):
+        try:
+            use_batch_evaluation(False)
+            assert not batch_evaluation_enabled()
+        finally:
+            use_batch_evaluation(True)
+
+    def test_ragged_batch_falls_back_to_scalar(self):
+        p = _Recording()
+        ragged = [np.ones(4, dtype=np.int8), np.ones(5, dtype=np.int8)]
+        assert p.evaluate_many(ragged) == [4.0, 5.0]
+        assert p.batch_calls == 0

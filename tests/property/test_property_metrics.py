@@ -1,6 +1,9 @@
 """Property-based tests for metrics and niching utilities."""
 
+import warnings
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -47,7 +50,14 @@ def test_niche_counts_bounds(seed, n, d, sigma):
 def test_speedup_curve_first_point_normalised(seed, workers):
     rng = np.random.default_rng(seed)
     times = (1.0 / np.asarray(sorted(workers)) + rng.random(len(workers)) * 0.01).tolist()
-    pts = speedup_curve(sorted(workers), times)
+    # without a 1-worker measurement the baseline is extrapolated and warns
+    if min(workers) == 1:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            pts = speedup_curve(sorted(workers), times)
+    else:
+        with pytest.warns(UserWarning, match="no 1-worker measurement"):
+            pts = speedup_curve(sorted(workers), times)
     # monotone worker ordering and consistent S = E * p
     assert [p.workers for p in pts] == sorted(workers)
     for p in pts:

@@ -1,0 +1,102 @@
+"""Tests for the keyed fitness memo-cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import GAConfig, SteadyStateEngine
+from repro.core.problem import CountingProblem
+from repro.problems import OneMax, Sphere
+from repro.runtime import FitnessCache, MemoizingEvaluator
+
+
+def _genomes(problem, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [problem.spec.sample(rng) for _ in range(n)]
+
+
+class TestFitnessCache:
+    def test_round_trip(self):
+        cache = FitnessCache()
+        g = np.array([1, 0, 1], dtype=np.int8)
+        assert cache.get(g) is None
+        cache.put(g, 2.0)
+        assert cache.get(g) == 2.0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_content_keyed_not_identity_keyed(self):
+        cache = FitnessCache()
+        cache.put(np.array([1, 0, 1], dtype=np.int8), 2.0)
+        assert cache.get(np.array([1, 0, 1], dtype=np.int8)) == 2.0
+
+    def test_dtype_distinguishes_entries(self):
+        # int8 and int64 encodings of "the same" bits are different genomes
+        cache = FitnessCache()
+        cache.put(np.array([1, 0], dtype=np.int8), 1.0)
+        assert cache.get(np.array([1, 0], dtype=np.int64)) is None
+
+    def test_lru_eviction(self):
+        cache = FitnessCache(max_size=2)
+        a, b, c = (np.array([i], dtype=np.int8) for i in range(3))
+        cache.put(a, 0.0)
+        cache.put(b, 1.0)
+        cache.get(a)  # refresh a; b becomes least-recent
+        cache.put(c, 2.0)
+        assert cache.get(a) == 0.0
+        assert cache.get(b) is None
+        assert len(cache) == 2
+
+    def test_clear_resets_stats(self):
+        cache = FitnessCache()
+        cache.put(np.array([1], dtype=np.int8), 1.0)
+        cache.get(np.array([1], dtype=np.int8))
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            FitnessCache(max_size=0)
+
+
+class TestMemoizingEvaluator:
+    def test_hits_skip_objective_calls(self):
+        counting = CountingProblem(OneMax(16))
+        ev = MemoizingEvaluator()
+        genomes = _genomes(counting, 8)
+        first = ev.evaluate(counting, genomes)
+        assert counting.evaluations == 8
+        second = ev.evaluate(counting, genomes)
+        assert counting.evaluations == 8  # all hits: objective untouched
+        assert second == first
+
+    def test_partial_hit_evaluates_only_misses(self):
+        counting = CountingProblem(OneMax(16))
+        ev = MemoizingEvaluator()
+        genomes = _genomes(counting, 6)
+        ev.evaluate(counting, genomes[:4])
+        out = ev.evaluate(counting, genomes)
+        assert counting.evaluations == 6
+        assert out == [counting.inner.evaluate(g) for g in genomes]
+
+    def test_values_match_uncached(self):
+        p = Sphere(dims=8)
+        ev = MemoizingEvaluator()
+        genomes = _genomes(p, 10)
+        assert ev.evaluate(p, genomes) == [p.evaluate(g) for g in genomes]
+        assert ev.evaluate(p, genomes) == [p.evaluate(g) for g in genomes]
+
+    def test_problem_pinning(self):
+        ev = MemoizingEvaluator()
+        a, b = OneMax(8), OneMax(8)  # same class, different objects
+        ev.evaluate(a, _genomes(a, 2))
+        with pytest.raises(ValueError):
+            ev.evaluate(b, _genomes(b, 2))
+
+    def test_steady_state_engine_integration(self):
+        """Cache hits change the cost, never the trajectory."""
+        problem = OneMax(24)
+        cfg = GAConfig(population_size=12)
+        plain = SteadyStateEngine(problem, cfg, seed=2).run(15)
+        ev = MemoizingEvaluator()
+        cached = SteadyStateEngine(problem, cfg, seed=2, evaluator=ev).run(15)
+        assert cached.best_fitness == plain.best_fitness
+        assert ev.cache.hits + ev.cache.misses > 0
