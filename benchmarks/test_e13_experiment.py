@@ -1,0 +1,10 @@
+"""Benchmark E13 — island resilience under loss, partitions and crashes.
+
+Regenerates the experiment's tables in quick mode and asserts the
+protection-arm expectations: every trace invariant-clean, unprotected
+control degrades in the showcase chaos cell, reliable + supervised
+islands still solve, recovery machinery actually exercised.
+"""
+
+def test_e13(experiment_runner):
+    experiment_runner("E13")

@@ -1,6 +1,6 @@
 """Simulated parallel machine: event kernel, nodes, network, faults, traces."""
 
-from .faults import FaultPlan, sample_fault_plan
+from .faults import FaultPlan, Partition, sample_fault_plan
 from .heterogeneous import HeterogeneousNetwork, two_site_cluster_network
 from .machine import SimulatedCluster
 from .network import Network, NetworkPreset, lan_ethernet, myrinet, wan_internet
@@ -23,6 +23,7 @@ __all__ = [
     "myrinet",
     "wan_internet",
     "FaultPlan",
+    "Partition",
     "sample_fault_plan",
     "SimulatedCluster",
     "Trace",

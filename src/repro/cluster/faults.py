@@ -1,10 +1,16 @@
-"""Hard-failure injection.
+"""Hard- and soft-failure injection.
 
 Gagné et al. (2003): "As far as *hard failures* caused by the network
 problems are concerned, they adjusted and extended the master-slave
 model … to considerate the possibility of those failures."  We model
 failures as exponential inter-arrival (MTBF) downtime intervals per node,
 either permanent crashes or repairable outages.
+
+The coarse-grained chapter's "conventional LAN" also misbehaves softly:
+messages are delayed (latency spikes), lost or duplicated in flight, and
+the network occasionally *partitions* into halves that cannot reach each
+other.  All of that lives here too, so one :class:`FaultPlan` fully
+describes the chaos a run was subjected to and the run stays replayable.
 """
 
 from __future__ import annotations
@@ -15,27 +21,84 @@ import numpy as np
 
 from ..core.rng import ensure_rng
 
-__all__ = ["FaultPlan", "sample_fault_plan"]
+__all__ = ["FaultPlan", "Partition", "sample_fault_plan"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One timed network bisection.
+
+    During ``[start, end)`` every message between a node in ``group`` and
+    a node outside it is blocked (a ``{kind}-lost`` receipt is recorded);
+    traffic within either side flows normally.
+    """
+
+    start: float
+    end: float
+    group: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"invalid partition window ({self.start}, {self.end})")
+        if not self.group:
+            raise ValueError("partition group must name at least one node")
+        object.__setattr__(self, "group", tuple(sorted(int(n) for n in self.group)))
+
+    def separates(self, src: int, dst: int, t: float) -> bool:
+        """Whether this partition blocks ``src -> dst`` traffic at ``t``."""
+        if not (self.start <= t < self.end):
+            return False
+        return (src in self.group) != (dst in self.group)
 
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """Per-node downtime intervals (plus network latency spikes) over a
+    """Per-node downtime intervals plus network misbehaviour over a
     simulation horizon.
 
     ``latency_spikes`` are cluster-wide ``(start, end, factor)`` windows
     during which every message's transit time is multiplied by ``factor``
     — the soft-failure companion to hard node downtime (congestion,
     transient routing trouble on the "conventional LAN").
+
+    ``loss_rate`` / ``dup_rate`` are per-message probabilities that an
+    inter-node message is lost in flight or delivered twice; ``link_faults``
+    overrides them per directed link as ``(src, dst, loss, dup)``.  The
+    draws are made from a generator seeded with ``link_seed`` in
+    deterministic event order, so same plan + same simulation = same
+    losses.  ``partitions`` are timed node-set bisections (see
+    :class:`Partition`).
     """
 
     intervals: tuple[tuple[tuple[float, float], ...], ...]  # [node][k] = (start, end)
     latency_spikes: tuple[tuple[float, float, float], ...] = ()
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    link_faults: tuple[tuple[int, int, float, float], ...] = ()
+    partitions: tuple[Partition, ...] = ()
+    link_seed: int = 0
 
     def __post_init__(self) -> None:
         for a, b, factor in self.latency_spikes:
             if b < a or factor < 1.0:
                 raise ValueError(f"invalid latency spike ({a}, {b}, x{factor})")
+        for rate, name in ((self.loss_rate, "loss_rate"), (self.dup_rate, "dup_rate")):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for src, dst, loss, dup in self.link_faults:
+            if not (0.0 <= loss <= 1.0 and 0.0 <= dup <= 1.0):
+                raise ValueError(
+                    f"link ({src}->{dst}) loss/dup must be in [0, 1], got ({loss}, {dup})"
+                )
+        # accept plain (start, end, group) tuples straight from replay specs
+        object.__setattr__(
+            self,
+            "partitions",
+            tuple(
+                p if isinstance(p, Partition) else Partition(*p)
+                for p in self.partitions
+            ),
+        )
 
     @property
     def n_nodes(self) -> int:
@@ -52,6 +115,25 @@ class FaultPlan:
                 factor = max(factor, f)
         return factor
 
+    def link_rates(self, src: int, dst: int) -> tuple[float, float]:
+        """(loss, dup) probabilities for the directed link ``src -> dst``."""
+        for s, d, loss, dup in self.link_faults:
+            if s == src and d == dst:
+                return loss, dup
+        return self.loss_rate, self.dup_rate
+
+    def partitioned(self, src: int, dst: int, t: float) -> bool:
+        """Whether any active partition separates ``src`` from ``dst`` at ``t``."""
+        return any(p.separates(src, dst, t) for p in self.partitions)
+
+    def has_link_faults(self) -> bool:
+        """Whether any message can be lost or duplicated probabilistically."""
+        return (
+            self.loss_rate > 0
+            or self.dup_rate > 0
+            or any(loss > 0 or dup > 0 for _, _, loss, dup in self.link_faults)
+        )
+
     def total_downtime(self, node_id: int, horizon: float) -> float:
         return sum(
             max(0.0, min(b, horizon) - min(a, horizon))
@@ -59,7 +141,12 @@ class FaultPlan:
         )
 
     def any_failures(self) -> bool:
-        return any(len(iv) > 0 for iv in self.intervals) or len(self.latency_spikes) > 0
+        return (
+            any(len(iv) > 0 for iv in self.intervals)
+            or len(self.latency_spikes) > 0
+            or self.has_link_faults()
+            or len(self.partitions) > 0
+        )
 
 
 def sample_fault_plan(
@@ -70,9 +157,15 @@ def sample_fault_plan(
     repair_time: float | None = None,
     seed: int | np.random.Generator | None = 0,
     spare_node_zero: bool = True,
+    spare_nodes: tuple[int, ...] = (),
     spike_mtbs: float | None = None,
     spike_duration: float = 0.0,
     spike_factor: float = 10.0,
+    loss_rate: float = 0.0,
+    dup_rate: float = 0.0,
+    partition_mtbs: float | None = None,
+    partition_duration: float = 0.0,
+    link_seed: int | None = None,
 ) -> FaultPlan:
     """Draw exponential failures for each node over ``[0, horizon]``.
 
@@ -85,19 +178,32 @@ def sample_fault_plan(
     spare_node_zero:
         Keep node 0 (the master in master-slave farms) failure-free, as
         Gagné's model assumes a reliable master host.
+    spare_nodes:
+        Additional node ids kept failure-free (e.g. a supervisor node and
+        its recovery spares, which must outlive the demes they restore).
     spike_mtbs:
         Mean time between cluster-wide latency spikes; ``None`` disables
         them.  Each spike lasts ``spike_duration`` seconds and multiplies
         message transit times by ``spike_factor``.
+    loss_rate, dup_rate:
+        Per-message loss/duplication probabilities on every link.
+    partition_mtbs:
+        Mean time between network partitions; ``None`` disables them.
+        Each partition lasts ``partition_duration`` seconds and splits a
+        random non-trivial subset of nodes from the rest.
+    link_seed:
+        Seed for the in-simulation link-fault draws; defaults to the
+        integer ``seed`` (or 0) so a plan is one self-contained record.
     """
     if n_nodes < 1:
         raise ValueError(f"need at least one node, got {n_nodes}")
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
     rng = ensure_rng(seed)
+    spared = set(spare_nodes) | ({0} if spare_node_zero else set())
     plans: list[tuple[tuple[float, float], ...]] = []
     for node in range(n_nodes):
-        if mtbf is None or (spare_node_zero and node == 0):
+        if mtbf is None or node in spared:
             plans.append(())
             continue
         spans: list[tuple[float, float]] = []
@@ -116,4 +222,21 @@ def sample_fault_plan(
         while t < horizon:
             spikes.append((t, t + spike_duration, spike_factor))
             t = t + spike_duration + float(rng.exponential(spike_mtbs))
-    return FaultPlan(intervals=tuple(plans), latency_spikes=tuple(spikes))
+    partitions: list[Partition] = []
+    if partition_mtbs is not None and partition_duration > 0 and n_nodes >= 2:
+        t = float(rng.exponential(partition_mtbs))
+        while t < horizon:
+            side = int(rng.integers(1, n_nodes))
+            group = tuple(int(n) for n in rng.choice(n_nodes, size=side, replace=False))
+            partitions.append(Partition(t, t + partition_duration, group))
+            t = t + partition_duration + float(rng.exponential(partition_mtbs))
+    if link_seed is None:
+        link_seed = seed if isinstance(seed, (int, np.integer)) else 0
+    return FaultPlan(
+        intervals=tuple(plans),
+        latency_spikes=tuple(spikes),
+        loss_rate=loss_rate,
+        dup_rate=dup_rate,
+        partitions=tuple(partitions),
+        link_seed=int(link_seed),
+    )

@@ -75,6 +75,14 @@ class SimulatedCluster:
         self.sim = Simulator(tiebreak_jitter=tiebreak_jitter)
         self.trace = Trace()
         self._msg_ids = itertools.count()
+        # seeded link-fault generator, consumed in deterministic event order;
+        # None when the plan cannot lose/duplicate (keeps fault-free runs
+        # byte-identical to before the lossy-network model existed)
+        self._link_rng = (
+            np.random.default_rng(fault_plan.link_seed)
+            if fault_plan is not None and fault_plan.has_link_faults()
+            else None
+        )
 
     # -- convenience -----------------------------------------------------------
     @property
@@ -111,16 +119,39 @@ class SimulatedCluster:
     ) -> float:
         """Queue delivery of ``payload`` into ``inbox`` after network transit.
 
-        Returns the transit time.  The caller (a process on node ``src``)
-        is responsible for only sending while its node is alive.  The
-        network itself never loses messages, but a message arriving at a
-        *dead* destination node is dropped.  Every send is paired with a
-        ``{kind}-recv`` or ``{kind}-drop`` trace record carrying the same
-        ``mid`` — the receipt the message-conservation invariant audits.
+        Returns the transit time.  A dead node cannot send: if ``src`` is
+        down right now the message never enters the network and a
+        ``{kind}-send-while-dead`` trace event is recorded instead (the
+        ``no-send-while-dead`` invariant flags it — well-behaved drivers
+        suspend while their node is down).  In flight, the fault plan may
+        lose the message (``{kind}-lost``, reason ``"loss"``), block it at
+        an active partition cut (``{kind}-lost``, reason ``"partition"``)
+        or deliver it twice (the extra copy receipted as ``{kind}-dup``);
+        a message arriving at a *dead* destination node is dropped.  Every
+        send is therefore paired with exactly one ``{kind}-recv``,
+        ``{kind}-drop`` or ``{kind}-lost`` receipt carrying the same
+        ``mid`` — the ledger the message-conservation invariant audits.
         """
         transit = self.transit_time(src, dst, size)
         mid = next(self._msg_ids)
+        if not self.nodes[src].is_up(self.sim.now):
+            self.record(f"{kind}-send-while-dead", mid=mid, src=src, dst=dst)
+            return transit
         self.record(kind, mid=mid, src=src, dst=dst, size=size, transit=transit)
+        plan = self.fault_plan
+        if plan is not None and src != dst:
+            if plan.partitioned(src, dst, self.sim.now):
+                self.record(f"{kind}-lost", mid=mid, src=src, dst=dst, reason="partition")
+                return transit
+            if self._link_rng is not None:
+                loss, dup = plan.link_rates(src, dst)
+                if loss > 0 and self._link_rng.random() < loss:
+                    self.record(f"{kind}-lost", mid=mid, src=src, dst=dst, reason="loss")
+                    return transit
+                if dup > 0 and self._link_rng.random() < dup:
+                    self.sim.call_later(
+                        transit, self._deliver_dup, mid, src, dst, inbox, payload, kind
+                    )
         self.sim.call_later(transit, self._deliver, mid, src, dst, inbox, payload, kind)
         return transit
 
@@ -132,6 +163,15 @@ class SimulatedCluster:
             self.record(f"{kind}-recv", mid=mid, src=src, dst=dst)
         else:
             self.record(f"{kind}-drop", mid=mid, src=src, dst=dst)
+
+    def _deliver_dup(
+        self, mid: int, src: int, dst: int, inbox: Inbox, payload: Any, kind: str
+    ) -> None:
+        """Deliver the duplicated copy of an already-receipted message."""
+        delivered = self.nodes[dst].is_up(self.sim.now)
+        if delivered:
+            inbox.put(payload)
+        self.record(f"{kind}-dup", mid=mid, src=src, dst=dst, delivered=delivered)
 
     # -- compute ------------------------------------------------------------------
     def compute_time(self, node_id: int, work: float) -> float:

@@ -37,6 +37,21 @@ class Node:
         for a, b in self.down_intervals:
             if b < a:
                 raise ValueError(f"invalid down interval ({a}, {b})")
+        # is_up/next_up_time/finish_time walk the intervals assuming they
+        # are sorted and disjoint; normalise (sort, merge touching) and
+        # reject genuinely overlapping spans instead of silently trusting
+        spans = sorted((float(a), float(b)) for a, b in self.down_intervals)
+        merged: list[tuple[float, float]] = []
+        for a, b in spans:
+            if merged and a < merged[-1][1]:
+                raise ValueError(
+                    f"overlapping down intervals ({merged[-1]}) and ({a}, {b})"
+                )
+            if merged and a == merged[-1][1]:
+                merged[-1] = (merged[-1][0], b)
+            else:
+                merged.append((a, b))
+        self.down_intervals[:] = merged
 
     def compute_time(self, work: float) -> float:
         """Seconds to perform ``work`` units of computation."""
@@ -58,3 +73,24 @@ class Node:
             if a <= t < b:
                 return b
         return t
+
+    def finish_time(self, start: float, duration: float) -> float:
+        """Completion time of ``duration`` seconds of *up-time* work begun
+        at ``start``, suspending (not losing) progress across downtime.
+
+        Returns ``inf`` if a permanent crash swallows the remaining work.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        t = self.next_up_time(start)
+        for a, b in self.down_intervals:
+            if b <= t:
+                continue
+            # strict <: work completing exactly at a downtime start counts
+            # as interrupted, because is_up is half-open (down at t == a)
+            if t + duration < a:
+                break
+            # work runs [t, a), then suspends until b
+            duration -= a - t
+            t = b
+        return t + duration

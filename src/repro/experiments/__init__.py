@@ -1,4 +1,4 @@
-"""Experiment harness: one runner per table/figure-shaped claim (E1–E12).
+"""Experiment harness: one runner per table/figure-shaped claim (E1–E13).
 
 ``REGISTRY`` maps experiment ids to their runners; each runner has the
 signature ``run(quick: bool = False) -> ExperimentReport``.  Quick mode
@@ -22,6 +22,7 @@ from . import (
     e10_punctuated,
     e11_applications,
     e12_stock_reactor,
+    e13_island_resilience,
     table1,
 )
 from .report import Expectation, ExperimentReport, SeriesSpec, TableSpec
@@ -49,13 +50,14 @@ REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
     "E10": e10_punctuated.run,
     "E11": e11_applications.run,
     "E12": e12_stock_reactor.run,
+    "E13": e13_island_resilience.run,
 }
 
 
 def run_experiment(
     experiment_id: str, quick: bool = False, *, audit: bool = False
 ) -> ExperimentReport:
-    """Run one experiment by id ('E1' … 'E12').
+    """Run one experiment by id ('E1' … 'E13').
 
     With ``audit=True`` the runner executes *twice* and a
     ``determinism-audit`` expectation is appended comparing the two

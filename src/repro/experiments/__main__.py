@@ -16,7 +16,7 @@ from . import REGISTRY, run_experiment
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the survey's tables/figures (E1–E12).",
+        description="Regenerate the survey's tables/figures (E1–E13).",
     )
     parser.add_argument(
         "ids",

@@ -34,7 +34,9 @@ from .report import ExperimentReport, TableSpec
 __all__ = ["run"]
 
 EVAL_COST = 5e-3
-N_NODES = 9  # master + 8 slaves / 8 island nodes (+1 spare)
+N_NODES = 9  # master + 8 slaves; the island arm is costed analytically
+# on the same 8 worker nodes (no spare is modelled here — supervised
+# spare-node recovery is E13's subject)
 
 
 def _hetero_speeds(seed: int) -> np.ndarray:

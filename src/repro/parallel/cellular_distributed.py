@@ -17,11 +17,12 @@ measures (E5's scalability companion; ablation bench asserts the shape).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
 from ..cluster.machine import SimulatedCluster
-from ..cluster.sim import Timeout
+from ..cluster.sim import SimulationError, Timeout
 from ..core.config import GAConfig
 from ..core.problem import Problem
 from .cellular import CellularGA
@@ -119,12 +120,28 @@ class DistributedCellularGA:
         self.comm_time = 0.0
 
     def _sweep_cost(self) -> tuple[float, float]:
-        """(barrier compute time, per-sweep aggregate comm time)."""
+        """(barrier compute time, per-sweep aggregate comm time).
+
+        The sweep is barrier-synchronised, so node downtime extends the
+        barrier: a strip on a down node suspends until the node repairs.
+        A *permanent* crash halts the whole machine — the synchronous
+        SIMD regime has no strip redundancy — and raises rather than
+        silently computing on a dead node.
+        """
         cols = self.cga.cols
-        per_node_compute = [
-            self.cluster.node(i).compute_time(self.strip_rows[i] * cols * self.eval_cost)
-            for i in range(self.cluster.n_nodes)
-        ]
+        now = self.cluster.sim.now
+        per_node_compute = []
+        for i in range(self.cluster.n_nodes):
+            node = self.cluster.node(i)
+            finish = node.finish_time(
+                now, node.compute_time(self.strip_rows[i] * cols * self.eval_cost)
+            )
+            if math.isinf(finish):
+                raise SimulationError(
+                    f"node {i} crashed permanently mid-sweep; the synchronous "
+                    "cellular barrier cannot complete"
+                )
+            per_node_compute.append(finish - now)
         barrier = max(per_node_compute)
         comm = 0.0
         n = self.cluster.n_nodes

@@ -23,6 +23,7 @@ Two drivers are provided:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence, Type
 
@@ -46,6 +47,8 @@ from ..migration.schedule import MigrationSchedule, PeriodicSchedule
 from ..migration.synchrony import MigrationBuffer, Synchrony
 from ..topology.dynamic import DynamicTopology
 from ..topology.static import RingTopology, Topology
+from .reliable import ReliableChannel
+from .supervisor import IslandSupervisor
 from .classification import (
     GrainModel,
     ModelClassification,
@@ -99,6 +102,14 @@ class IslandResult:
     migrants_accepted: int = 0
     #: only set by the simulated driver
     sim_time: float | None = None
+    #: reliable-migration channel counters (simulated driver, opt-in)
+    retransmits: int = 0
+    dup_discards: int = 0
+    #: supervision counters (simulated driver, opt-in)
+    recoveries: int = 0
+    abandoned_demes: int = 0
+    #: per-deme completion times (simulated driver); 0.0 = never finished
+    finish_times: list[float] = field(default_factory=list)
 
     @property
     def best_fitness(self) -> float:
@@ -357,12 +368,35 @@ class SimulatedIslandModel(_IslandBase):
     ----------
     cluster:
         The simulated machine; must have >= ``n_islands`` nodes.  Deme *i*
-        runs on node *i*; its generation time is
-        ``evaluations_in_step * eval_cost / node.speed``.
+        starts on node *i*; its generation time is
+        ``evaluations_in_step * eval_cost / node.speed``, and downtime on
+        the node *suspends* the computation until the node repairs (a
+        permanent crash silences the deme for good).
     eval_cost:
         Simulated seconds of work per fitness evaluation on a speed-1 node.
     migration_payload:
         Simulated message size per migrant (drives bandwidth cost).
+    stop_when_any_solves:
+        Default True: the whole ensemble stops once any deme reaches the
+        optimum (time-to-first-solution studies).  False: each deme runs
+        until *it* solves or epochs exhaust (ensemble-resilience studies,
+        where the question is how many demes deliver).
+    reliable_migration:
+        Opt-in :class:`~repro.parallel.reliable.ReliableChannel` transport
+        for migrants: sequence numbers, acks, backoff retransmission and
+        receiver dedup — at-least-once delivery, exactly-once application.
+        Off by default; the default wire behaviour (and trace) is exactly
+        the fire-and-forget driver's.
+    supervised:
+        Opt-in heartbeat supervision and checkpoint recovery (see
+        :class:`~repro.parallel.supervisor.IslandSupervisor`).  Requires a
+        cluster with at least ``n_islands + 1`` nodes: node ``n_islands``
+        hosts the supervisor and any nodes beyond it are recovery spares.
+    checkpoint_every:
+        Generations between checkpoint shipments when supervised.
+    heartbeat_grace:
+        Silence threshold before the supervisor intervenes; default is
+        ten expected generation times.
     """
 
     def __init__(
@@ -375,6 +409,13 @@ class SimulatedIslandModel(_IslandBase):
         eval_cost: float = 1e-3,
         migration_payload: float = 100.0,
         max_epochs: int = 100,
+        stop_when_any_solves: bool = True,
+        reliable_migration: bool = False,
+        rto_factor: float = 3.0,
+        max_retransmits: int = 8,
+        supervised: bool = False,
+        checkpoint_every: int = 5,
+        heartbeat_grace: float | None = None,
         **kwargs,
     ) -> None:
         super().__init__(problem, n_islands, config, **kwargs)
@@ -385,76 +426,232 @@ class SimulatedIslandModel(_IslandBase):
             )
         if eval_cost <= 0:
             raise ValueError(f"eval_cost must be positive, got {eval_cost}")
+        if supervised and self.cluster.n_nodes < n_islands + 1:
+            raise ValueError(
+                "supervision needs a dedicated supervisor node: cluster has "
+                f"{self.cluster.n_nodes} nodes for {n_islands} islands + supervisor"
+            )
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         self.eval_cost = eval_cost
         self.migration_payload = migration_payload
         self.max_epochs = max_epochs
+        self.stop_when_any_solves = stop_when_any_solves
+        self.reliable_migration = reliable_migration
+        self.rto_factor = rto_factor
+        self.max_retransmits = max_retransmits
+        self.supervised = supervised
+        self.checkpoint_every = checkpoint_every
+        if heartbeat_grace is None:
+            heartbeat_grace = 10.0 * self.config.population_size * eval_cost
+        self.heartbeat_grace = heartbeat_grace
         self._stop = False
+        self._channel: ReliableChannel | None = None
+        self._supervisor: IslandSupervisor | None = None
+        # deme placement / liveness bookkeeping (rebuilt by run())
+        self._deme_node = list(range(n_islands))
+        self._incarnation = [0] * n_islands
+        self._deme_done = [False] * n_islands
+        self._deme_crashed = [False] * n_islands
+        self._routes: list[list[int]] = [
+            list(self.topology.neighbors_out(i)) for i in range(n_islands)
+        ]
 
-    def _record_deme_generation(self, i: int) -> None:
+    # -- routing -----------------------------------------------------------------
+    def _route_targets(self, i: int) -> list[int]:
+        """Current outgoing migration targets of deme ``i``.
+
+        Unsupervised runs read the topology directly (exact legacy
+        behaviour); supervised runs read the supervisor-maintained route
+        overlay, which splices around abandoned demes.
+        """
+        if self.supervised:
+            return self._routes[i]
+        return list(self.topology.neighbors_out(i))
+
+    def _rebuild_routes(self, abandoned: set[int]) -> None:
+        """Rewire the migration overlay around ``abandoned`` demes: each
+        deme's dead out-neighbours are transitively replaced by *their*
+        out-neighbours, so a severed ring contracts to a smaller ring."""
+        for j in range(self.n_islands):
+            if j in abandoned:
+                self._routes[j] = []
+                continue
+            targets: list[int] = []
+            seen = {j}
+            frontier = list(self.topology.neighbors_out(j))
+            while frontier:
+                d = frontier.pop(0)
+                if d in seen:
+                    continue
+                seen.add(d)
+                if d in abandoned:
+                    frontier.extend(self.topology.neighbors_out(d))
+                else:
+                    targets.append(d)
+            self._routes[j] = targets
+
+    # -- deme lifecycle -----------------------------------------------------------
+    def _record_deme_generation(self, i: int, incarnation: int = 0) -> None:
         deme = self.demes[i]
         assert deme.population is not None
+        extra = {"incarnation": incarnation} if self.supervised else {}
         self.cluster.record(
             "generation",
             deme=i,
             generation=deme.state.generation,
             best=float(deme.population.best().require_fitness()),
+            **extra,
         )
 
-    def _deme_process(self, i: int):
+    def _busy(self, i: int, incarnation: int, work: float):
+        """Charge ``work`` units of compute on deme ``i``'s current node,
+        suspending (not losing) progress across repairable downtime.
+
+        Returns True if the deme may carry on; False if the node crashed
+        permanently mid-computation or a supervisor recovery fenced this
+        incarnation off while it was suspended.
+        """
+        node = self.cluster.node(self._deme_node[i])
+        now = self.cluster.sim.now
+        finish = node.finish_time(now, node.compute_time(work))
+        if math.isinf(finish):
+            self._deme_crashed[i] = True
+            return False
+        yield Timeout(finish - now)
+        return self._incarnation[i] == incarnation
+
+    def _after_generation(self, i: int, incarnation: int) -> None:
+        self._record_deme_generation(i, incarnation)
+        if self._supervisor is not None:
+            self._supervisor.heartbeat(i, incarnation)
+            if self.demes[i].state.generation % self.checkpoint_every == 0:
+                self._supervisor.checkpoint(i, incarnation)
+
+    def _apply_parcel(self, i: int, item) -> None:
         deme = self.demes[i]
-        node = self.cluster.node(i)
+        if self._channel is not None:
+            _, src, seq, _ = item
+            migrants = self._channel.on_parcel(i, item)
+            if migrants is None:
+                return  # duplicate, discarded
+            self.cluster.record(
+                "migrant-apply", src=src, dst=i, seq=seq, count=len(migrants)
+            )
+        else:
+            src, migrants = item
+        self.migrants_accepted += integrate_immigrants(
+            self.rng, deme.population, migrants, self.policy, source=src
+        )
+
+    def _send_migrants(self, i: int) -> None:
+        deme = self.demes[i]
+        for dst in self._route_targets(i):
+            migrants = select_migrants(self.rng, deme.population, self.policy)
+            if not migrants:
+                continue
+            size = self.migration_payload * len(migrants)
+            if self._channel is not None:
+                self._channel.send(i, dst, migrants, size)
+            else:
+                self.cluster.send(
+                    self._deme_node[i],
+                    self._deme_node[dst],
+                    self._inboxes[dst],
+                    (i, migrants),
+                    size=size,
+                    kind="migration",
+                )
+            self.migrants_sent += len(migrants)
+
+    def _deme_process(self, i: int, incarnation: int = 0, resume: bool = False):
+        deme = self.demes[i]
         inbox = self._inboxes[i]
-        # initialisation costs one population evaluation
-        before = deme.state.evaluations
-        deme.initialize()
-        yield Timeout(node.compute_time((deme.state.evaluations - before) * self.eval_cost))
-        self._record_deme_generation(i)
-        for epoch in range(1, self.max_epochs + 1):
-            if self._stop:
-                break
+        if resume:
+            # restored from a checkpoint on a spare: announce liveness,
+            # then pick the evolution up where the snapshot left it
+            self._after_generation(i, incarnation)
+        else:
+            # initialisation costs one population evaluation
+            before = deme.state.evaluations
+            deme.initialize()
+            alive = yield from self._busy(
+                i, incarnation, (deme.state.evaluations - before) * self.eval_cost
+            )
+            if not alive:
+                return
+            self._after_generation(i, incarnation)
+        while deme.state.generation < self.max_epochs and not self._stop:
             before = deme.state.evaluations
             deme.step()
-            spent = deme.state.evaluations - before
-            yield Timeout(node.compute_time(spent * self.eval_cost))
+            epoch = deme.state.generation
+            alive = yield from self._busy(
+                i, incarnation, (deme.state.evaluations - before) * self.eval_cost
+            )
+            if not alive:
+                return
             # drain any migrants that arrived while computing
             while len(inbox):
-                source, migrants = (yield inbox)
-                self.migrants_accepted += integrate_immigrants(
-                    self.rng, deme.population, migrants, self.policy, source=source
-                )
-            self._record_deme_generation(i)
+                item = (yield inbox)
+                if self._incarnation[i] != incarnation:
+                    return
+                self._apply_parcel(i, item)
+            self._after_generation(i, incarnation)
             if self.schedule.should_migrate(
                 i, epoch, self.rng,
                 stagnant_generations=deme.state.stagnant_generations,
             ):
-                for dst in self.topology.neighbors_out(i):
-                    migrants = select_migrants(self.rng, deme.population, self.policy)
-                    if migrants:
-                        self.cluster.send(
-                            i,
-                            dst,
-                            self._inboxes[dst],
-                            (i, migrants),
-                            size=self.migration_payload * len(migrants),
-                            kind="migration",
-                        )
-                        self.migrants_sent += len(migrants)
+                self._send_migrants(i)
             if self.problem.is_solved(deme.population.best().require_fitness()):
-                self._stop = True
+                if self.stop_when_any_solves:
+                    self._stop = True
                 break
-        self._finish_times[i] = self.cluster.sim.now
+        if self._incarnation[i] == incarnation:
+            self._deme_done[i] = True
+            self._finish_times[i] = self.cluster.sim.now
 
     def run(self) -> IslandResult:
         """Simulate until some deme solves the problem or epochs exhaust."""
-        self._inboxes = [self.cluster.inbox(f"deme-{i}") for i in range(self.n_islands)]
-        self._finish_times = [0.0] * self.n_islands
+        n = self.n_islands
+        self._inboxes = [self.cluster.inbox(f"deme-{i}") for i in range(n)]
+        self._finish_times = [0.0] * n
+        self._deme_node = list(range(n))
+        self._incarnation = [0] * n
+        self._deme_done = [False] * n
+        self._deme_crashed = [False] * n
+        self._routes = [list(self.topology.neighbors_out(i)) for i in range(n)]
+        if self.reliable_migration:
+            self._channel = ReliableChannel(
+                self.cluster,
+                node_of=lambda d: self._deme_node[d],
+                inbox_of=lambda d: self._inboxes[d],
+                is_stopped=lambda: self._stop,
+                is_done=lambda d: self._deme_done[d],
+                rto_factor=self.rto_factor,
+                # a receiver only drains its inbox between generations, so
+                # the timeout must cover that application delay too
+                min_rto=2.0 * self.config.population_size * self.eval_cost,
+                max_retransmits=self.max_retransmits,
+            )
+        if self.supervised:
+            self._supervisor = IslandSupervisor(
+                self,
+                node_id=n,
+                spares=list(range(n + 1, self.cluster.n_nodes)),
+                grace=self.heartbeat_grace,
+                check_interval=self.heartbeat_grace / 4.0,
+                snapshot_payload=self.migration_payload
+                * self.config.population_size,
+            )
+            self.cluster.sim.process(self._supervisor.process(), name="supervisor")
         procs = [
             self.cluster.sim.process(self._deme_process(i), name=f"deme-{i}")
-            for i in range(self.n_islands)
+            for i in range(n)
         ]
         self.cluster.run()
         solved = self._solved()
         best = self.global_best()
+        plain = self._channel is None and self._supervisor is None
         return IslandResult(
             best=best.copy(),
             evaluations=self.total_evaluations(),
@@ -465,5 +662,12 @@ class SimulatedIslandModel(_IslandBase):
             records=self.records,
             migrants_sent=self.migrants_sent,
             migrants_accepted=self.migrants_accepted,
-            sim_time=self.cluster.sim.now,
+            # trailing retransmit/sweep timers outlive the work itself, so
+            # protected runs report the last deme completion as wall time
+            sim_time=self.cluster.sim.now if plain else max(self._finish_times),
+            retransmits=self._channel.stats.retransmits if self._channel else 0,
+            dup_discards=self._channel.stats.dup_discards if self._channel else 0,
+            recoveries=self._supervisor.recoveries if self._supervisor else 0,
+            abandoned_demes=len(self._supervisor.abandoned) if self._supervisor else 0,
+            finish_times=list(self._finish_times),
         )

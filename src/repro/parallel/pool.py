@@ -16,6 +16,7 @@ canonical workload (see tests/E-suite usage).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..cluster.machine import SimulatedCluster
@@ -143,6 +144,15 @@ class PooledEvolution:
         node = self.cluster.node(node_id)
         transactions = 0
         while not self._stop and self._remaining > 0:
+            # liveness guard: a dead agent neither pulls nor pushes — it
+            # sits out a repairable outage and retires on a permanent crash
+            now = self.cluster.sim.now
+            if not node.is_up(now):
+                wake = node.next_up_time(now)
+                if math.isinf(wake):
+                    return
+                yield Timeout(wake - now)
+                continue
             self._remaining -= 1
             # round trip to the pool: request + parcel back
             transit = self.cluster.network.transit_time(node_id, 0, 64.0)
@@ -167,7 +177,15 @@ class PooledEvolution:
                 child.fitness = self.problem.evaluate(child.genome)
             self.evaluations += len(offspring)
             self.agent_evaluations[agent_id] += len(offspring)
-            yield Timeout(node.compute_time(len(offspring) * self.eval_cost))
+            # breeding suspends across downtime; a permanent crash loses
+            # the in-flight offspring (never pushed back to the pool)
+            now = self.cluster.sim.now
+            finish = node.finish_time(
+                now, node.compute_time(len(offspring) * self.eval_cost)
+            )
+            if math.isinf(finish):
+                return
+            yield Timeout(finish - now)
             # push back
             push = self.cluster.network.transit_time(
                 node_id, 0, self.payload * len(offspring)

@@ -92,10 +92,33 @@ def sample_spec(rng: np.random.Generator) -> ReplaySpec:
 
     fault_intervals: tuple[tuple[tuple[float, float], ...], ...] = ()
     latency_spikes: tuple[tuple[float, float, float], ...] = ()
+    loss_rate = dup_rate = 0.0
+    partitions: tuple[tuple[float, float, tuple[int, ...]], ...] = ()
+    link_seed = 0
+    reliable = False
+    if scenario == "sim-island":
+        # the lossy-network seam: loss/duplication probabilities, timed
+        # bisections and (sometimes) the reliable migration channel that
+        # must mask them while keeping application exactly-once
+        reliable = bool(rng.random() < 0.5)
+        if rng.random() < 0.5:
+            loss_rate = float(rng.uniform(0.05, 0.4))
+        if rng.random() < 0.4:
+            dup_rate = float(rng.uniform(0.05, 0.3))
+        if loss_rate or dup_rate:
+            link_seed = int(rng.integers(0, 2**31))
     if scenario != "island":
         # rough wall-clock of the run: every generation evaluates ~pop
         # individuals at eval_cost each (plus messaging, ignored here)
         horizon = (generations + 1) * pop * eval_cost
+        if scenario == "sim-island" and n_nodes >= 2 and rng.random() < 0.3:
+            start = float(rng.uniform(0, horizon * 0.8))
+            duration = float(rng.uniform(horizon * 0.05, horizon * 0.4))
+            side = int(rng.integers(1, n_nodes))
+            group = tuple(
+                int(n) for n in rng.choice(n_nodes, size=side, replace=False)
+            )
+            partitions = ((start, start + duration, group),)
         if rng.random() < 0.6:
             per_node = []
             for node in range(n_nodes):
@@ -135,6 +158,11 @@ def sample_spec(rng: np.random.Generator) -> ReplaySpec:
         latency_spikes=latency_spikes,
         jitter_seed=jitter_seed,
         fault_tolerant=fault_tolerant,
+        loss_rate=loss_rate,
+        dup_rate=dup_rate,
+        partitions=partitions,
+        link_seed=link_seed,
+        reliable=reliable,
     )
 
 

@@ -49,6 +49,8 @@ _RULES = (
     "time-monotone",
     "no-dispatch-to-dead-node",
     "message-conservation",
+    "no-send-while-dead",
+    "exactly-once-application",
     "generation-monotone",
     "best-monotone",
 )
@@ -153,10 +155,12 @@ def execute(spec: ReplaySpec) -> RunOutcome:
             max_epochs=spec.generations,
             policy=MigrationPolicy(rate=1, replacement="worst-if-better"),
             seed=spec.seed,
+            reliable_migration=spec.reliable,
         )
         model.run()
         trace = cluster.trace
-        ctx = CheckContext.from_cluster(cluster)
+        conserved = ("migration", "migration-ack") if spec.reliable else ("migration",)
+        ctx = CheckContext.from_cluster(cluster, conserved_kinds=conserved)
     elif spec.scenario == "island":
         trace = Trace()
         model = IslandModel(

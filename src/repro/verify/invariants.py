@@ -12,14 +12,26 @@ the machine-checkable core of that contract:
     intervals; the master must consult its failure detector first.
 ``message-conservation``
     Every conserved-kind send (``migration`` by default) is answered by
-    exactly one matching ``<kind>-recv`` or ``<kind>-drop`` receipt with
-    the same ``mid`` — no silently lost migrants.
+    exactly one matching ``<kind>-recv``, ``<kind>-drop`` or
+    ``<kind>-lost`` receipt with the same ``mid`` — no silently lost
+    migrants, even on a lossy network.  ``<kind>-dup`` receipts (the
+    second copy of a duplicated message) must cite a previously sent mid.
+``no-send-while-dead``
+    A process never sends from a node inside one of its downtime
+    intervals: no ``*-send-while-dead`` receipt appears, and no conserved
+    send originates from a down node.
+``exactly-once-application``
+    A reliable-migration parcel (identified by its ``(src, dst, seq)``
+    triple) is applied to the destination deme at most once, whatever the
+    network loses, duplicates or the channel retransmits.
 ``generation-monotone``
-    Per-deme generation counters never regress.
+    Per-deme generation counters never regress (within one incarnation —
+    a supervisor-recovered deme restarts from its checkpointed, older
+    generation under a new ``incarnation`` field).
 ``best-monotone``
-    Per-deme recorded best fitness never worsens.  Only meaningful for
-    elitist engines, so it is *not* part of the default rule set; the
-    fuzzer enables it when the scenario guarantees elitism.
+    Per-deme recorded best fitness never worsens (per incarnation).  Only
+    meaningful for elitist engines, so it is *not* part of the default
+    rule set; the fuzzer enables it when the scenario guarantees elitism.
 
 Rules are stateful streaming objects: feed events with
 :meth:`Rule.observe`, collect end-of-stream violations with
@@ -45,6 +57,8 @@ __all__ = [
     "TimeMonotoneRule",
     "NoDispatchToDeadNodeRule",
     "MessageConservationRule",
+    "NoSendWhileDeadRule",
+    "ExactlyOnceApplicationRule",
     "GenerationMonotoneRule",
     "BestMonotoneRule",
     "INVARIANTS",
@@ -157,7 +171,14 @@ class NoDispatchToDeadNodeRule(Rule):
 
 
 class MessageConservationRule(Rule):
-    """Each conserved send must pair with exactly one recv-or-drop receipt."""
+    """Each conserved send must pair with exactly one receipt.
+
+    Receipts are ``<kind>-recv`` (delivered), ``<kind>-drop`` (dead
+    destination) or ``<kind>-lost`` (lost in flight / blocked at a
+    partition cut).  A ``<kind>-dup`` receipt marks the *extra* copy of a
+    duplicated message: it does not close the send, but must cite a mid
+    that was actually sent.
+    """
 
     name = "message-conservation"
 
@@ -182,7 +203,7 @@ class MessageConservationRule(Rule):
                 self._seen.add(key)
                 self._open[key] = (index, event.time)
                 return None
-            if event.kind in (f"{kind}-recv", f"{kind}-drop"):
+            if event.kind in (f"{kind}-recv", f"{kind}-drop", f"{kind}-lost"):
                 key = (kind, int(event["mid"]))
                 if key not in self._open:
                     return Violation(
@@ -192,37 +213,105 @@ class MessageConservationRule(Rule):
                     )
                 del self._open[key]
                 return None
+            if event.kind == f"{kind}-dup":
+                key = (kind, int(event["mid"]))
+                if key not in self._seen:
+                    return Violation(
+                        self.name, event.time,
+                        f"{event.kind} mid={key[1]} duplicates a message that "
+                        "was never sent",
+                        index,
+                    )
+                return None
         return None
 
     def finish(self, ctx: CheckContext) -> list[Violation]:
         return [
             Violation(
                 self.name, sent_at,
-                f"{kind} send mid={mid} has no receive and no recorded drop",
+                f"{kind} send mid={mid} has no receive, drop or loss receipt",
                 index,
             )
             for (kind, mid), (index, sent_at) in sorted(self._open.items())
         ]
 
 
+class NoSendWhileDeadRule(Rule):
+    """No process sends from a node that is down at send time."""
+
+    name = "no-send-while-dead"
+
+    def observe(self, index: int, event: TraceEvent, ctx: CheckContext) -> Violation | None:
+        if event.kind.endswith("-send-while-dead"):
+            return Violation(
+                self.name, event.time,
+                f"{event.kind}: node {event.fields.get('src')} sent "
+                f"{event.kind.removesuffix('-send-while-dead')!r} while down",
+                index,
+            )
+        if event.kind in ctx.conserved_kinds and "src" in event.fields:
+            src = int(event["src"])
+            if ctx.node_is_down(src, event.time):
+                return Violation(
+                    self.name, event.time,
+                    f"{event.kind} send from node {src} while it is down",
+                    index,
+                )
+        return None
+
+
+class ExactlyOnceApplicationRule(Rule):
+    """A reliable migration parcel is applied to its deme at most once.
+
+    Watches ``migrant-apply`` events carrying a ``seq`` field (the
+    reliable channel's per-edge sequence number); unsequenced applications
+    (plain fire-and-forget migration) are out of scope.
+    """
+
+    name = "exactly-once-application"
+
+    def __init__(self) -> None:
+        self._applied: set[tuple[int, int, int]] = set()
+
+    def observe(self, index: int, event: TraceEvent, ctx: CheckContext) -> Violation | None:
+        if event.kind != "migrant-apply" or event.fields.get("seq") is None:
+            return None
+        key = (int(event["src"]), int(event["dst"]), int(event["seq"]))
+        if key in self._applied:
+            return Violation(
+                self.name, event.time,
+                f"parcel src={key[0]} dst={key[1]} seq={key[2]} applied twice",
+                index,
+            )
+        self._applied.add(key)
+        return None
+
+
+def _deme_key(event: TraceEvent) -> tuple[int, int]:
+    """Monotonicity scope: a supervisor-recovered deme legitimately rewinds
+    to its checkpointed state, so each (deme, incarnation) is its own
+    monotone sequence."""
+    return int(event["deme"]), int(event.fields.get("incarnation", 0))
+
+
 class GenerationMonotoneRule(Rule):
     name = "generation-monotone"
 
     def __init__(self) -> None:
-        self._last: dict[int, int] = {}
+        self._last: dict[tuple[int, int], int] = {}
 
     def observe(self, index: int, event: TraceEvent, ctx: CheckContext) -> Violation | None:
         if event.kind != "generation":
             return None
-        deme = int(event["deme"])
+        key = _deme_key(event)
         gen = int(event["generation"])
-        last = self._last.get(deme)
+        last = self._last.get(key)
         if last is not None and gen < last:
             return Violation(
                 self.name, event.time,
-                f"deme {deme} generation regressed {last} -> {gen}", index,
+                f"deme {key[0]} generation regressed {last} -> {gen}", index,
             )
-        self._last[deme] = gen
+        self._last[key] = gen
         return None
 
 
@@ -232,19 +321,19 @@ class BestMonotoneRule(Rule):
     name = "best-monotone"
 
     def __init__(self) -> None:
-        self._best: dict[int, float] = {}
+        self._best: dict[tuple[int, int], float] = {}
 
     def observe(self, index: int, event: TraceEvent, ctx: CheckContext) -> Violation | None:
         if event.kind != "generation" or event.fields.get("best") is None:
             return None
-        deme = int(event["deme"])
+        deme = _deme_key(event)
         best = float(event["best"])
         last = self._best.get(deme)
         worsened = last is not None and (best < last if ctx.maximize else best > last)
         if worsened:
             return Violation(
                 self.name, event.time,
-                f"deme {deme} best worsened {last!r} -> {best!r}", index,
+                f"deme {deme[0]} best worsened {last!r} -> {best!r}", index,
             )
         if last is None or (best > last if ctx.maximize else best < last):
             self._best[deme] = best
@@ -256,6 +345,8 @@ INVARIANTS: dict[str, Callable[[], Rule]] = {
     TimeMonotoneRule.name: TimeMonotoneRule,
     NoDispatchToDeadNodeRule.name: NoDispatchToDeadNodeRule,
     MessageConservationRule.name: MessageConservationRule,
+    NoSendWhileDeadRule.name: NoSendWhileDeadRule,
+    ExactlyOnceApplicationRule.name: ExactlyOnceApplicationRule,
     GenerationMonotoneRule.name: GenerationMonotoneRule,
     BestMonotoneRule.name: BestMonotoneRule,
 }
@@ -265,6 +356,8 @@ DEFAULT_RULE_NAMES: tuple[str, ...] = (
     TimeMonotoneRule.name,
     NoDispatchToDeadNodeRule.name,
     MessageConservationRule.name,
+    NoSendWhileDeadRule.name,
+    ExactlyOnceApplicationRule.name,
     GenerationMonotoneRule.name,
 )
 

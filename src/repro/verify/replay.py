@@ -53,6 +53,16 @@ class ReplaySpec:
     latency_spikes: tuple[tuple[float, float, float], ...] = ()
     jitter_seed: int | None = None
     fault_tolerant: bool = True
+    #: lossy-network knobs (see FaultPlan): per-message loss/duplication
+    #: probabilities, timed bisections [(start, end, [nodes...]), ...] and
+    #: the seed of the in-simulation link-fault draws
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    partitions: tuple[tuple[float, float, tuple[int, ...]], ...] = ()
+    link_seed: int = 0
+    #: sim-island only: route migrants over the reliable (ack/retransmit)
+    #: channel instead of fire-and-forget
+    reliable: bool = False
     meta: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
@@ -74,16 +84,37 @@ class ReplaySpec:
             "latency_spikes",
             tuple((float(a), float(b), float(f)) for a, b, f in self.latency_spikes),
         )
+        object.__setattr__(
+            self,
+            "partitions",
+            tuple(
+                (float(a), float(b), tuple(int(n) for n in group))
+                for a, b, group in self.partitions
+            ),
+        )
 
     # -- reconstruction -------------------------------------------------------------
     def fault_plan(self) -> FaultPlan | None:
         """The spec's :class:`FaultPlan`, or ``None`` if fault-free."""
-        if not any(self.fault_intervals) and not self.latency_spikes:
+        if (
+            not any(self.fault_intervals)
+            and not self.latency_spikes
+            and not self.partitions
+            and self.loss_rate == 0.0
+            and self.dup_rate == 0.0
+        ):
             return None
         intervals = self.fault_intervals
         if len(intervals) < self.n_nodes:  # pad fault-free nodes
             intervals = intervals + ((),) * (self.n_nodes - len(intervals))
-        return FaultPlan(intervals=intervals, latency_spikes=self.latency_spikes)
+        return FaultPlan(
+            intervals=intervals,
+            latency_spikes=self.latency_spikes,
+            loss_rate=self.loss_rate,
+            dup_rate=self.dup_rate,
+            partitions=self.partitions,
+            link_seed=self.link_seed,
+        )
 
     def with_faults(
         self,

@@ -1,0 +1,226 @@
+"""Tests for the lossy-network fault model: loss, duplication, partitions,
+dead-source sends and the Node downtime arithmetic they rest on."""
+
+import math
+
+import pytest
+
+from repro.cluster import Network, Partition, SimulatedCluster
+from repro.cluster.faults import FaultPlan, sample_fault_plan
+from repro.cluster.node import Node
+
+
+def _events(cluster, kind):
+    return [e for e in cluster.trace if e.kind == kind]
+
+
+def _lossy_cluster(n=2, **plan_kwargs):
+    plan_kwargs.setdefault("intervals", ((),) * n)
+    return SimulatedCluster(
+        n, network=Network(n, latency=1e-3), fault_plan=FaultPlan(**plan_kwargs)
+    )
+
+
+class TestLoss:
+    def test_certain_loss_never_delivers(self):
+        cluster = _lossy_cluster(loss_rate=1.0, link_seed=1)
+        inbox = cluster.inbox("in")
+        for _ in range(10):
+            cluster.send(0, 1, inbox, "x", kind="migration")
+        cluster.run()
+        assert len(_events(cluster, "migration-lost")) == 10
+        assert _events(cluster, "migration-recv") == []
+        assert all(e["reason"] == "loss" for e in _events(cluster, "migration-lost"))
+        assert len(inbox) == 0
+
+    def test_partial_loss_balances_ledger(self):
+        cluster = _lossy_cluster(loss_rate=0.5, link_seed=3)
+        inbox = cluster.inbox("in")
+        for _ in range(40):
+            cluster.send(0, 1, inbox, "x", kind="migration")
+        cluster.run()
+        lost = len(_events(cluster, "migration-lost"))
+        recv = len(_events(cluster, "migration-recv"))
+        assert lost + recv == 40
+        assert 0 < lost < 40  # both outcomes drawn at rate 0.5 over 40 sends
+
+    def test_loss_draws_are_seeded(self):
+        def receipts(seed):
+            cluster = _lossy_cluster(loss_rate=0.3, link_seed=seed)
+            inbox = cluster.inbox("in")
+            for _ in range(30):
+                cluster.send(0, 1, inbox, "x", kind="migration")
+            cluster.run()
+            return [e.kind for e in cluster.trace]
+
+        assert receipts(7) == receipts(7)
+        assert receipts(7) != receipts(8)
+
+    def test_self_send_immune_to_loss(self):
+        cluster = _lossy_cluster(loss_rate=1.0, link_seed=1)
+        inbox = cluster.inbox("in")
+        cluster.send(0, 0, inbox, "x", kind="migration")
+        cluster.run()
+        assert len(_events(cluster, "migration-recv")) == 1
+
+
+class TestDuplication:
+    def test_certain_dup_delivers_twice(self):
+        cluster = _lossy_cluster(dup_rate=1.0, link_seed=1)
+        inbox = cluster.inbox("in")
+        cluster.send(0, 1, inbox, "x", kind="migration")
+        cluster.run()
+        assert len(inbox) == 2
+        assert len(_events(cluster, "migration-recv")) == 1
+        dups = _events(cluster, "migration-dup")
+        assert len(dups) == 1 and dups[0]["delivered"] is True
+        # the dup receipt cites the same mid as the original send
+        assert dups[0]["mid"] == _events(cluster, "migration")[0]["mid"]
+
+    def test_dup_to_dead_destination_not_delivered(self):
+        plan = FaultPlan(intervals=((), ((0.0005, math.inf),)), dup_rate=1.0, link_seed=1)
+        cluster = SimulatedCluster(2, network=Network(2, latency=1e-3), fault_plan=plan)
+        inbox = cluster.inbox("in")
+        cluster.send(0, 1, inbox, "x", kind="migration")
+        cluster.run()
+        assert len(inbox) == 0
+        assert len(_events(cluster, "migration-drop")) == 1
+        dups = _events(cluster, "migration-dup")
+        assert len(dups) == 1 and dups[0]["delivered"] is False
+
+    def test_per_link_override_beats_global_rate(self):
+        plan = FaultPlan(
+            intervals=((), (), ()),
+            loss_rate=0.0,
+            link_faults=((0, 1, 1.0, 0.0),),  # only the 0->1 link loses
+            link_seed=1,
+        )
+        cluster = SimulatedCluster(3, network=Network(3, latency=1e-3), fault_plan=plan)
+        inbox = cluster.inbox("in")
+        cluster.send(0, 1, inbox, "a", kind="migration")
+        cluster.send(0, 2, inbox, "b", kind="migration")
+        cluster.run()
+        assert len(_events(cluster, "migration-lost")) == 1
+        assert len(_events(cluster, "migration-recv")) == 1
+
+
+class TestPartitions:
+    def test_separates_is_time_bounded_and_symmetric(self):
+        p = Partition(1.0, 2.0, (0, 1))
+        assert p.separates(0, 2, 1.5)
+        assert p.separates(2, 0, 1.5)
+        assert not p.separates(0, 1, 1.5)   # same side
+        assert not p.separates(0, 2, 0.5)   # before
+        assert not p.separates(0, 2, 2.0)   # half-open end
+
+    def test_partitioned_send_is_lost_with_reason(self):
+        plan = FaultPlan(intervals=((), ()), partitions=(Partition(0.0, 1.0, (0,)),))
+        cluster = SimulatedCluster(2, network=Network(2, latency=1e-3), fault_plan=plan)
+        inbox = cluster.inbox("in")
+        cluster.send(0, 1, inbox, "x", kind="migration")
+        cluster.run()
+        lost = _events(cluster, "migration-lost")
+        assert len(lost) == 1 and lost[0]["reason"] == "partition"
+
+    def test_delivery_resumes_after_heal(self):
+        plan = FaultPlan(intervals=((), ()), partitions=(Partition(0.0, 1.0, (0,)),))
+        cluster = SimulatedCluster(2, network=Network(2, latency=1e-3), fault_plan=plan)
+        inbox = cluster.inbox("in")
+        cluster.sim.call_later(
+            1.5, lambda: cluster.send(0, 1, inbox, "x", kind="migration")
+        )
+        cluster.run()
+        assert len(_events(cluster, "migration-recv")) == 1
+
+    def test_plain_tuple_partitions_coerced(self):
+        plan = FaultPlan(intervals=((), ()), partitions=((0.0, 1.0, (0,)),))
+        assert plan.partitions[0] == Partition(0.0, 1.0, (0,))
+        assert plan.partitioned(0, 1, 0.5)
+        assert not plan.partitioned(0, 1, 1.5)
+
+
+class TestSendWhileDead:
+    def test_dead_source_send_never_enters_network(self):
+        plan = FaultPlan(intervals=(((0.0, math.inf),), ()))
+        cluster = SimulatedCluster(2, network=Network(2, latency=1e-3), fault_plan=plan)
+        inbox = cluster.inbox("in")
+        cluster.send(0, 1, inbox, "x", kind="migration")
+        cluster.run()
+        assert len(_events(cluster, "migration-send-while-dead")) == 1
+        assert _events(cluster, "migration") == []  # no send event: not in ledger
+        assert len(inbox) == 0
+
+
+class TestNodeNormalization:
+    def test_intervals_sorted(self):
+        node = Node(0, down_intervals=[(5.0, 6.0), (1.0, 2.0)])
+        assert node.down_intervals == [(1.0, 2.0), (5.0, 6.0)]
+
+    def test_touching_intervals_merged(self):
+        node = Node(0, down_intervals=[(1.0, 2.0), (2.0, 3.0)])
+        assert node.down_intervals == [(1.0, 3.0)]
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            Node(0, down_intervals=[(1.0, 3.0), (2.0, 4.0)])
+
+
+class TestFinishTime:
+    def test_uninterrupted_work(self):
+        node = Node(0)
+        assert node.finish_time(1.0, 2.0) == 3.0
+
+    def test_work_suspends_across_downtime(self):
+        node = Node(0, down_intervals=[(2.0, 5.0)])
+        # 2s of work from t=1: one second before the outage, one after
+        assert node.finish_time(1.0, 2.0) == 6.0
+
+    def test_start_during_downtime_waits_for_repair(self):
+        node = Node(0, down_intervals=[(2.0, 5.0)])
+        assert node.finish_time(3.0, 1.0) == 6.0
+
+    def test_boundary_finish_counts_as_interrupted(self):
+        # is_up is half-open (down at t == start), so work completing
+        # exactly at the downtime start suspends to the repair
+        node = Node(0, down_intervals=[(2.0, 5.0)])
+        assert node.finish_time(1.0, 1.0) == 5.0
+
+    def test_permanent_crash_swallows_work(self):
+        node = Node(0, down_intervals=[(2.0, math.inf)])
+        assert math.isinf(node.finish_time(1.0, 2.0))
+        assert node.finish_time(1.0, 0.5) == 1.5
+
+
+class TestSampleFaultPlanExtensions:
+    def test_link_knobs_round_trip(self):
+        plan = sample_fault_plan(
+            4, horizon=10.0, mtbf=None, loss_rate=0.2, dup_rate=0.1, link_seed=5
+        )
+        assert plan.loss_rate == 0.2
+        assert plan.dup_rate == 0.1
+        assert plan.link_seed == 5
+        assert plan.has_link_faults()
+        assert plan.any_failures()
+
+    def test_spare_nodes_kept_failure_free(self):
+        plan = sample_fault_plan(
+            6, horizon=100.0, mtbf=1.0, seed=2, spare_node_zero=False, spare_nodes=(4, 5)
+        )
+        assert plan.intervals[4] == ()
+        assert plan.intervals[5] == ()
+        assert any(plan.intervals[i] for i in range(4))
+
+    def test_sampled_partitions_within_horizon(self):
+        plan = sample_fault_plan(
+            5,
+            horizon=10.0,
+            mtbf=None,
+            seed=3,
+            partition_mtbs=2.0,
+            partition_duration=1.0,
+        )
+        assert plan.partitions
+        for p in plan.partitions:
+            assert 0 <= p.start < 10.0
+            assert p.end == p.start + 1.0
+            assert 0 < len(p.group) < 5

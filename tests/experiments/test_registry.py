@@ -7,8 +7,8 @@ from repro.experiments.table1 import SELF_ENTRY, TABLE1_LIBRARIES
 
 
 class TestRegistry:
-    def test_all_twelve_registered(self):
-        assert set(REGISTRY) == {f"E{i}" for i in range(1, 13)}
+    def test_all_thirteen_registered(self):
+        assert set(REGISTRY) == {f"E{i}" for i in range(1, 14)}
 
     def test_unknown_id_raises(self):
         with pytest.raises(KeyError):

@@ -1,0 +1,205 @@
+"""Island model under node failures and lossy networks.
+
+Covers the three protection layers: deme downtime stalls (not silent
+progress), the reliable migration channel's exactly-once application
+under loss + duplication, and supervised checkpoint recovery with ring
+rewiring around abandoned demes.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import Network, SimulatedCluster
+from repro.cluster.faults import FaultPlan
+from repro.core import GAConfig
+from repro.migration import MigrationPolicy
+from repro.parallel import SimulatedIslandModel
+from repro.problems import OneMax
+from repro.verify.invariants import CheckContext, check_trace
+
+RULES = (
+    "time-monotone",
+    "message-conservation",
+    "no-send-while-dead",
+    "exactly-once-application",
+    "generation-monotone",
+    "best-monotone",
+)
+
+
+def _model(cluster, n_islands=4, *, pop=10, max_epochs=12, genome=64, **kwargs):
+    kwargs.setdefault("stop_when_any_solves", False)
+    return SimulatedIslandModel(
+        OneMax(genome),
+        n_islands,
+        GAConfig(population_size=pop, elitism=1),
+        cluster=cluster,
+        eval_cost=1e-3,
+        migration_payload=16.0,
+        max_epochs=max_epochs,
+        policy=MigrationPolicy(rate=1, replacement="worst-if-better"),
+        seed=11,
+        **kwargs,
+    )
+
+
+def _cluster(n_nodes, plan=None):
+    return SimulatedCluster(
+        n_nodes, network=Network(n_nodes, latency=1e-3, bandwidth=1e6), fault_plan=plan
+    )
+
+
+def _check(cluster, conserved=("migration",)):
+    ctx = CheckContext.from_cluster(cluster, conserved_kinds=conserved)
+    return check_trace(cluster.trace, ctx, RULES)
+
+
+class TestDowntimeStall:
+    def test_repairable_outage_delays_the_deme(self):
+        outage = ((), ((0.02, 0.06),), (), ())
+        faulty = _model(_cluster(4, FaultPlan(intervals=outage))).run()
+        clean = _model(_cluster(4)).run()
+        assert faulty.finish_times[1] >= clean.finish_times[1] + 0.03
+        assert faulty.epochs == clean.epochs  # work suspended, not lost
+
+    def test_no_sends_from_dead_nodes(self):
+        outage = ((), ((0.02, 0.06),), (), ())
+        cluster = _cluster(4, FaultPlan(intervals=outage))
+        _model(cluster).run()
+        assert _check(cluster) == []
+        assert not any(
+            e.kind.endswith("-send-while-dead") for e in cluster.trace
+        )
+
+    def test_permanent_crash_loses_the_deme(self):
+        crash = ((), ((0.02, math.inf),), (), ())
+        result = _model(_cluster(4, FaultPlan(intervals=crash))).run()
+        # deme 1 stops early; the others run to completion
+        assert result.finish_times[1] == 0.0
+        assert all(t > 0.0 for i, t in enumerate(result.finish_times) if i != 1)
+
+    def test_migrants_to_dead_node_are_dropped_not_lost(self):
+        crash = ((), ((0.02, math.inf),), (), ())
+        cluster = _cluster(4, FaultPlan(intervals=crash))
+        _model(cluster).run()
+        assert _check(cluster) == []  # every send has a recv or drop receipt
+        assert any(e.kind == "migration-drop" for e in cluster.trace)
+
+
+class TestReliableChannel:
+    def test_fault_free_reliable_run_matches_plain_quality(self):
+        plain = _model(_cluster(4)).run()
+        reliable = _model(_cluster(4), reliable_migration=True).run()
+        assert reliable.migrants_sent == plain.migrants_sent
+        assert reliable.retransmits == 0
+        assert reliable.dup_discards == 0
+
+    def test_exactly_once_under_loss_and_dup_fuzz(self):
+        total_retransmits = 0
+        for link_seed in range(5):
+            plan = FaultPlan(
+                intervals=((),) * 4, loss_rate=0.3, dup_rate=0.2, link_seed=link_seed
+            )
+            cluster = _cluster(4, plan)
+            result = _model(cluster, reliable_migration=True).run()
+            assert _check(cluster, conserved=("migration", "migration-ack")) == []
+            applied = [
+                (e["src"], e["dst"], e["seq"])
+                for e in cluster.trace
+                if e.kind == "migrant-apply"
+            ]
+            assert len(applied) == len(set(applied))  # exactly-once application
+            total_retransmits += result.retransmits
+        assert total_retransmits > 0  # the loss actually bit somewhere
+
+    def test_duplicates_are_discarded_and_counted(self):
+        plan = FaultPlan(intervals=((),) * 4, dup_rate=1.0, link_seed=9)
+        cluster = _cluster(4, plan)
+        result = _model(cluster, reliable_migration=True).run()
+        assert result.dup_discards > 0
+        assert _check(cluster, conserved=("migration", "migration-ack")) == []
+
+
+SUPERVISED_KINDS = ("migration", "migration-ack", "heartbeat", "checkpoint", "restore")
+
+
+class TestSupervision:
+    def test_needs_a_supervisor_node(self):
+        with pytest.raises(ValueError):
+            _model(_cluster(4), supervised=True, reliable_migration=True)
+
+    def test_crashed_deme_recovers_on_a_spare(self):
+        crash = ((), ((0.05, math.inf),), (), (), (), ())  # deme 1 dies at gen ~4
+        cluster = _cluster(6, FaultPlan(intervals=crash))
+        result = _model(
+            cluster,
+            reliable_migration=True,
+            supervised=True,
+            checkpoint_every=2,
+            heartbeat_grace=0.03,
+        ).run()
+        assert result.recoveries >= 1
+        assert result.abandoned_demes == 0
+        assert all(t > 0.0 for t in result.finish_times)  # every deme finished
+        assert _check(cluster, conserved=SUPERVISED_KINDS) == []
+        assert any(e.kind == "recovery" for e in cluster.trace)
+
+    def test_crash_before_first_checkpoint_abandons_and_rewires(self):
+        crash = ((), ((0.005, math.inf),), (), (), (), ())  # before gen 2 checkpoint
+        cluster = _cluster(6, FaultPlan(intervals=crash))
+        result = _model(
+            cluster,
+            reliable_migration=True,
+            supervised=True,
+            checkpoint_every=2,
+            heartbeat_grace=0.03,
+        ).run()
+        assert result.abandoned_demes == 1
+        assert result.recoveries == 0
+        # the severed ring contracts: deme 0's migrants now route past 1 to 2
+        applied = {
+            (e["src"], e["dst"]) for e in cluster.trace if e.kind == "migrant-apply"
+        }
+        assert (0, 2) in applied
+        assert _check(cluster, conserved=SUPERVISED_KINDS) == []
+        # the surviving demes all finish
+        assert all(t > 0.0 for i, t in enumerate(result.finish_times) if i != 1)
+
+    def test_supervised_fault_free_run_is_clean(self):
+        cluster = _cluster(6)
+        result = _model(
+            cluster, reliable_migration=True, supervised=True, checkpoint_every=2
+        ).run()
+        assert result.recoveries == 0
+        assert result.abandoned_demes == 0
+        assert _check(cluster, conserved=SUPERVISED_KINDS) == []
+
+    def test_generation_events_carry_incarnations(self):
+        crash = ((), ((0.05, math.inf),), (), (), (), ())
+        cluster = _cluster(6, FaultPlan(intervals=crash))
+        _model(
+            cluster,
+            reliable_migration=True,
+            supervised=True,
+            checkpoint_every=2,
+            heartbeat_grace=0.03,
+        ).run()
+        incs = {
+            e.fields.get("incarnation")
+            for e in cluster.trace
+            if e.kind == "generation" and e["deme"] == 1
+        }
+        assert incs == {0, 1}  # original plus the recovered incarnation
+
+
+class TestBehaviourPreservation:
+    def test_fault_free_plain_run_identical_with_and_without_fault_plan(self):
+        from repro.verify.digest import trace_digest
+
+        with_plan = _cluster(4, FaultPlan(intervals=((),) * 4))
+        without = _cluster(4)
+        _model(with_plan).run()
+        _model(without).run()
+        assert trace_digest(with_plan.trace) == trace_digest(without.trace)

@@ -96,6 +96,74 @@ class TestMessageConservation:
         trace.record(0.0, "msg", mid=0, src=0, dst=1)  # plain msg: no receipt needed
         assert check_trace(trace) == []
 
+    def test_lost_receipt_closes_send(self):
+        trace = Trace()
+        trace.record(0.0, "migration", mid=0, src=0, dst=1)
+        trace.record(0.1, "migration-lost", mid=0, src=0, dst=1, reason="loss")
+        assert check_trace(trace) == []
+
+    def test_dup_receipt_does_not_close_send(self):
+        # the duplicate copy is extra: the original still needs its receipt
+        trace = Trace()
+        trace.record(0.0, "migration", mid=0, src=0, dst=1)
+        trace.record(0.1, "migration-dup", mid=0, src=0, dst=1, delivered=True)
+        assert _rules_hit(check_trace(trace)) == {"message-conservation"}
+        trace.record(0.2, "migration-recv", mid=0, src=0, dst=1)
+        assert check_trace(trace) == []
+
+    def test_dup_of_unsent_mid_flagged(self):
+        trace = Trace()
+        trace.record(0.1, "migration-dup", mid=9, src=0, dst=1, delivered=False)
+        assert _rules_hit(check_trace(trace)) == {"message-conservation"}
+
+
+class TestNoSendWhileDead:
+    RULES = ("no-send-while-dead",)
+
+    def test_send_while_dead_receipt_flagged(self):
+        trace = Trace()
+        trace.record(1.0, "migration-send-while-dead", src=2, dst=0)
+        violations = check_trace(trace, rule_names=self.RULES)
+        assert _rules_hit(violations) == {"no-send-while-dead"}
+
+    def test_conserved_send_from_down_node_flagged(self):
+        ctx = CheckContext(down_intervals=((), ((0.5, 2.0),)))
+        trace = Trace()
+        trace.record(1.0, "migration", mid=0, src=1, dst=0)
+        violations = check_trace(trace, ctx, self.RULES)
+        assert _rules_hit(violations) == {"no-send-while-dead"}
+
+    def test_send_from_live_node_passes(self):
+        ctx = CheckContext(down_intervals=((), ((0.5, 2.0),)))
+        trace = Trace()
+        trace.record(3.0, "migration", mid=0, src=1, dst=0)  # after repair
+        assert check_trace(trace, ctx, self.RULES) == []
+
+
+class TestExactlyOnceApplication:
+    RULES = ("exactly-once-application",)
+
+    def test_distinct_parcels_pass(self):
+        trace = Trace()
+        trace.record(0.0, "migrant-apply", src=0, dst=1, seq=0, count=1)
+        trace.record(0.1, "migrant-apply", src=0, dst=1, seq=1, count=1)
+        trace.record(0.2, "migrant-apply", src=1, dst=0, seq=0, count=1)
+        assert check_trace(trace, rule_names=self.RULES) == []
+
+    def test_double_application_flagged(self):
+        trace = Trace()
+        trace.record(0.0, "migrant-apply", src=0, dst=1, seq=5, count=1)
+        trace.record(0.1, "migrant-apply", src=0, dst=1, seq=5, count=1)
+        violations = check_trace(trace, rule_names=self.RULES)
+        assert _rules_hit(violations) == {"exactly-once-application"}
+
+    def test_unsequenced_applications_out_of_scope(self):
+        # fire-and-forget migration records no seq: never flagged
+        trace = Trace()
+        trace.record(0.0, "migrant-apply", src=0, dst=1, seq=None, count=1)
+        trace.record(0.1, "migrant-apply", src=0, dst=1, seq=None, count=1)
+        assert check_trace(trace, rule_names=self.RULES) == []
+
 
 class TestGenerationMonotone:
     def test_per_deme_counters_independent(self):
@@ -110,6 +178,21 @@ class TestGenerationMonotone:
         trace = Trace()
         trace.record(0.0, "generation", deme=0, generation=2)
         trace.record(0.1, "generation", deme=0, generation=1)
+        assert _rules_hit(check_trace(trace)) == {"generation-monotone"}
+
+    def test_new_incarnation_may_rewind(self):
+        # a supervisor-recovered deme resumes from its checkpointed (older)
+        # generation under a bumped incarnation: legitimate, not a regression
+        trace = Trace()
+        trace.record(0.0, "generation", deme=0, generation=7, incarnation=0)
+        trace.record(0.1, "generation", deme=0, generation=4, incarnation=1)
+        trace.record(0.2, "generation", deme=0, generation=5, incarnation=1)
+        assert check_trace(trace) == []
+
+    def test_regression_within_incarnation_still_flagged(self):
+        trace = Trace()
+        trace.record(0.0, "generation", deme=0, generation=4, incarnation=1)
+        trace.record(0.1, "generation", deme=0, generation=3, incarnation=1)
         assert _rules_hit(check_trace(trace)) == {"generation-monotone"}
 
 
