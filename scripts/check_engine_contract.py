@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""AST lint: engine modules must stay on the shared deme runtime.
+
+The deme-runtime refactor centralised two things that used to be
+copy-pasted per engine, and this check keeps them centralised:
+
+1. **The wire.**  Only the runtime layer (``repro/runtime/``) and the
+   wire-protocol modules (``reliable.py``, ``supervisor.py``) may call
+   ``.send(...)`` on a cluster/channel.  An engine that sends directly
+   bypasses reliable delivery, the message-conservation receipts and the
+   supervisor's view of traffic.
+
+2. **The report schema.**  Engine modules must not define bespoke
+   ``*Result`` / ``*Report`` dataclasses (they are aliases of
+   :class:`repro.parallel.base.RunReport` now) and must not construct
+   ``RunReport`` directly — reports go through
+   ``ParallelEngine._report``, which stamps the engine name and trace
+   digest.
+
+Run from the repository root::
+
+    python scripts/check_engine_contract.py
+
+Exit status 1 if any violation is found (CI-ready).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+PARALLEL = REPO / "src" / "repro" / "parallel"
+
+#: modules that implement the wire protocol itself
+SEND_ALLOWED = {"reliable.py", "supervisor.py"}
+
+#: result classes that are NOT engine reports: outcomes of sequential
+#: sub-engines embedded inside engines (analogous to EvolutionResult)
+RESULT_CLASS_ALLOWED = {("cellular.py", "CellularResult")}
+
+#: the one module that owns the report schema
+SCHEMA_OWNER = "base.py"
+
+
+def lint_file(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    rel = path.name
+    problems: list[str] = []
+
+    for node in ast.walk(tree):
+        # rule 1: no direct .send(...) outside the wire-protocol modules
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "send"
+            and rel not in SEND_ALLOWED
+        ):
+            problems.append(
+                f"{path.relative_to(REPO)}:{node.lineno}: direct .send() call — "
+                "route traffic through the deme runtime "
+                "(repro.runtime.deme) or the reliable channel"
+            )
+
+        # rule 2a: no bespoke *Result / *Report class definitions
+        if (
+            isinstance(node, ast.ClassDef)
+            and (node.name.endswith("Result") or node.name.endswith("Report"))
+            and rel != SCHEMA_OWNER
+            and (rel, node.name) not in RESULT_CLASS_ALLOWED
+        ):
+            problems.append(
+                f"{path.relative_to(REPO)}:{node.lineno}: bespoke result class "
+                f"{node.name} — alias repro.parallel.base.RunReport instead"
+            )
+
+        # rule 2b: no direct RunReport(...) construction outside base.py
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "RunReport"
+            and rel != SCHEMA_OWNER
+        ):
+            problems.append(
+                f"{path.relative_to(REPO)}:{node.lineno}: direct RunReport() "
+                "construction — use ParallelEngine._report(), which stamps "
+                "the engine name and trace digest"
+            )
+
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in sorted(PARALLEL.glob("*.py")):
+        problems.extend(lint_file(path))
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"\n{len(problems)} engine-contract violation(s)", file=sys.stderr)
+        return 1
+    n = len(list(PARALLEL.glob("*.py")))
+    print(f"engine-contract lint: {n} modules clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

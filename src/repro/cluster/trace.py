@@ -52,6 +52,23 @@ class Trace:
         for listener in self._listeners:
             listener(event)
 
+    def generation(
+        self,
+        time: float,
+        *,
+        deme: int,
+        generation: int,
+        best: float | None,
+        **extra: Any,
+    ) -> None:
+        """Record a per-deme ``generation`` progress event.
+
+        This is the uniform schema (``deme``, ``generation``, ``best``)
+        every parallel engine emits — via
+        :func:`repro.runtime.deme.emit_generation` — and the streaming
+        invariants of :mod:`repro.verify` consume."""
+        self.record(time, "generation", deme=deme, generation=generation, best=best, **extra)
+
     def of_kind(self, kind: str) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
 

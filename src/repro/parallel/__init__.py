@@ -5,10 +5,25 @@
 - fine-grained (cellular) → :class:`CellularGA`
 - hierarchical multi-fidelity → :class:`HierarchicalGA`
 - specialized island model → :class:`SpecializedIslandModel`
-- hybrids → :class:`CellularIslandModel`, :class:`MasterSlaveIslandModel`
+- hybrids → :class:`CellularIslandModel`, :class:`MasterSlaveIslandModel`,
+  :class:`SimulatedMasterSlaveIslandModel`
+
+Every engine returns the shared :class:`RunReport` schema and registers
+itself (with a seeded contract scenario) in :data:`ENGINE_REGISTRY` — see
+:mod:`repro.parallel.base`.
 """
 
 from .async_master_slave import AsyncMasterSlaveReport, SimulatedAsyncMasterSlave
+from .base import (
+    ENGINE_REGISTRY,
+    EngineInfo,
+    ParallelEngine,
+    RunReport,
+    contract_run,
+    engine_names,
+    register_engine,
+    validate_report,
+)
 from .cellular import UPDATE_POLICIES, CellularGA, CellularResult
 from .cellular_distributed import DistributedCellularGA, DistributedCellularReport
 from .classification import (
@@ -19,7 +34,12 @@ from .classification import (
     WalkStrategy,
 )
 from .hierarchical import HierarchicalGA, HierarchicalResult
-from .hybrid import CellularIslandModel, HybridResult, MasterSlaveIslandModel
+from .hybrid import (
+    CellularIslandModel,
+    HybridResult,
+    MasterSlaveIslandModel,
+    SimulatedMasterSlaveIslandModel,
+)
 from .island import (
     EpochRecord,
     IslandModel,
@@ -32,11 +52,20 @@ from .master_slave import MasterSlaveGA, MasterSlaveReport, SimulatedMasterSlave
 from .specialized import (
     SIMResult,
     SIMScenario,
+    SimulatedSpecializedIslandModel,
     SpecializedIslandModel,
     standard_scenarios,
 )
 
 __all__ = [
+    "RunReport",
+    "ParallelEngine",
+    "EngineInfo",
+    "ENGINE_REGISTRY",
+    "register_engine",
+    "engine_names",
+    "contract_run",
+    "validate_report",
     "GrainModel",
     "WalkStrategy",
     "ParallelismKind",
@@ -56,11 +85,13 @@ __all__ = [
     "HierarchicalGA",
     "HierarchicalResult",
     "SpecializedIslandModel",
+    "SimulatedSpecializedIslandModel",
     "SIMScenario",
     "SIMResult",
     "standard_scenarios",
     "CellularIslandModel",
     "MasterSlaveIslandModel",
+    "SimulatedMasterSlaveIslandModel",
     "HybridResult",
     "PooledEvolution",
     "PoolResult",

@@ -17,7 +17,7 @@ trajectory legitimately depends on machine speeds — that *is* the model).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
 
 import numpy as np
 
@@ -27,6 +27,8 @@ from ..core.individual import Individual, best_of
 from ..core.problem import Problem
 from ..core.rng import ensure_rng
 from ..core.variation import offspring_pair
+from ..runtime.deme import emit_generation
+from .base import ParallelEngine, RunReport, register_engine
 from .classification import (
     GrainModel,
     ModelClassification,
@@ -38,27 +40,11 @@ from .classification import (
 __all__ = ["SimulatedAsyncMasterSlave", "AsyncMasterSlaveReport"]
 
 
-@dataclass
-class AsyncMasterSlaveReport:
-    """Outcome of an asynchronous farm run."""
-
-    best: Individual
-    evaluations: int
-    sim_time: float
-    solved: bool
-    utilisation: list[float]   # busy fraction per slave
-    completions: list[int]     # evaluations completed per slave
-
-    @property
-    def best_fitness(self) -> float:
-        return self.best.require_fitness()
-
-    @property
-    def mean_utilisation(self) -> float:
-        return float(np.mean(self.utilisation)) if self.utilisation else 0.0
+#: deprecated alias — every engine now returns the shared report schema
+AsyncMasterSlaveReport = RunReport
 
 
-class SimulatedAsyncMasterSlave:
+class SimulatedAsyncMasterSlave(ParallelEngine):
     """Continuous-dispatch steady-state farm on a simulated cluster.
 
     Implemented directly on the event heap (no coroutine per slave needed):
@@ -105,13 +91,24 @@ class SimulatedAsyncMasterSlave:
         self.population: list[Individual] = []
         self.evaluations = 0
 
-    def _round_trip(self, slave: int) -> float:
-        """Dispatch + compute + reply time for one individual on ``slave``."""
+    def _round_trip(self, slave: int, start: float) -> float:
+        """Dispatch + compute + reply duration for one individual on
+        ``slave``, dispatched at ``start``.
+
+        Downtime on the slave *suspends* the evaluation until the node
+        repairs (:meth:`~repro.cluster.node.Node.finish_time`); a
+        permanent crash returns ``inf`` — the individual is lost and the
+        slave retires from the farm.  On an always-up node this is exactly
+        ``send + compute + reply``.
+        """
         net = self.cluster.network
         send = net.transit_time(0, slave, 100.0)
-        compute = self.cluster.node(slave).compute_time(self.eval_cost)
+        node = self.cluster.node(slave)
+        compute_done = node.finish_time(start + send, node.compute_time(self.eval_cost))
+        if math.isinf(compute_done):
+            return math.inf
         reply = net.transit_time(slave, 0, 8.0)
-        return send + compute + reply
+        return (compute_done - start) + reply
 
     def _breed_one(self) -> Individual:
         parents = self.config.selection(self.rng, self.population, 2, self.problem.maximize)
@@ -127,7 +124,7 @@ class SimulatedAsyncMasterSlave:
         self.config.replacement(self.rng, pop, child)
         self.population = pop.individuals
 
-    def run(self, max_evaluations: int = 5_000) -> AsyncMasterSlaveReport:
+    def run(self, max_evaluations: int = 5_000) -> RunReport:
         if max_evaluations < 1:
             raise ValueError("max_evaluations must be >= 1")
         # initial population evaluated up-front (charged to the farm below)
@@ -147,16 +144,24 @@ class SimulatedAsyncMasterSlave:
         busy_time = np.zeros(n_slaves)
         completions = [0] * n_slaves
         in_flight: dict[int, Individual] = {}
+
+        def dispatch(s: int, child: Individual) -> None:
+            """Hand ``child`` to slave ``s`` (a permanent crash retires the
+            slave: ``busy_until`` goes to inf and the individual is lost)."""
+            rt = self._round_trip(s + 1, now)
+            busy_until[s] = now + rt
+            if math.isfinite(rt):
+                busy_time[s] += rt
+                in_flight[s] = child
+            else:
+                in_flight.pop(s, None)
+
         # prime every slave
         for s in range(n_slaves):
-            child = self._breed_one()
-            rt = self._round_trip(s + 1)
-            busy_until[s] = now + rt
-            busy_time[s] += rt
-            in_flight[s] = child
+            dispatch(s, self._breed_one())
 
         solved = False
-        while self.evaluations < max_evaluations and not solved:
+        while self.evaluations < max_evaluations and not solved and in_flight:
             s = int(np.argmin(busy_until))
             now = float(busy_until[s])
             child = in_flight[s]
@@ -166,29 +171,49 @@ class SimulatedAsyncMasterSlave:
             self._insert(child)
             # the loop advances its own clock (no coroutines), so trace
             # records carry `now` explicitly rather than sim.now
-            self.cluster.trace.record(
-                now, "generation", deme=0, generation=self.evaluations,
+            emit_generation(
+                self.cluster.trace, now, deme=0, generation=self.evaluations,
                 best=float(self.global_best().require_fitness()),
             )
             if self.problem.is_solved(self.global_best().require_fitness()):
                 solved = True
                 break
-            fresh = self._breed_one()
-            rt = self._round_trip(s + 1)
-            busy_until[s] = now + rt
-            busy_time[s] += rt
-            in_flight[s] = fresh
+            dispatch(s, self._breed_one())
 
         horizon = max(now, 1e-12)
         utilisation = [float(min(1.0, busy_time[s] / horizon)) for s in range(n_slaves)]
-        return AsyncMasterSlaveReport(
+        if solved:
+            stop_reason = "solved"
+        elif not in_flight:
+            stop_reason = "all-slaves-crashed"
+        else:
+            stop_reason = "max_evaluations"
+        return self._report(
             best=self.global_best().copy(),
             evaluations=self.evaluations,
-            sim_time=now,
+            epochs=sum(completions),
             solved=solved,
-            utilisation=utilisation,
-            completions=completions,
+            stop_reason=stop_reason,
+            sim_time=now,
+            extras={"utilisation": utilisation, "completions": completions},
         )
 
     def global_best(self) -> Individual:
         return best_of(self.population, self.problem.maximize)
+
+
+def _async_master_slave_contract(seed: int):
+    from ..problems.binary import OneMax
+
+    cluster = SimulatedCluster(4)
+    farm = SimulatedAsyncMasterSlave(
+        OneMax(24), GAConfig(population_size=16), cluster=cluster, seed=seed
+    )
+    return cluster.trace, farm.run(max_evaluations=200)
+
+
+register_engine(
+    "async-master-slave",
+    SimulatedAsyncMasterSlave,
+    contract=_async_master_slave_contract,
+)

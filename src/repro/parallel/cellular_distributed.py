@@ -18,13 +18,13 @@ measures (E5's scalability companion; ablation bench asserts the shape).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-
 
 from ..cluster.machine import SimulatedCluster
 from ..cluster.sim import SimulationError, Timeout
 from ..core.config import GAConfig
 from ..core.problem import Problem
+from ..runtime.deme import emit_generation
+from .base import ParallelEngine, RunReport, register_engine
 from .cellular import CellularGA
 from .classification import (
     GrainModel,
@@ -37,26 +37,11 @@ from .classification import (
 __all__ = ["DistributedCellularGA", "DistributedCellularReport"]
 
 
-@dataclass
-class DistributedCellularReport:
-    """Timing + quality report of a strip-distributed cellular run."""
-
-    best_fitness: float
-    solved: bool
-    sweeps: int
-    evaluations: int
-    sim_time: float
-    nodes: int
-    compute_time: float   # aggregate simulated compute across nodes
-    comm_time: float      # aggregate simulated halo-exchange transit
-
-    @property
-    def comm_fraction(self) -> float:
-        total = self.compute_time + self.comm_time
-        return self.comm_time / total if total > 0 else 0.0
+#: deprecated alias — every engine now returns the shared report schema
+DistributedCellularReport = RunReport
 
 
-class DistributedCellularGA:
+class DistributedCellularGA(ParallelEngine):
     """Strip-partitioned cellular GA timed on a simulated cluster.
 
     The *genetics* are exactly :class:`~repro.parallel.cellular.CellularGA`
@@ -178,25 +163,53 @@ class DistributedCellularGA:
                 break
 
     def _record_sweep(self) -> None:
-        self.cluster.record(
-            "generation",
+        emit_generation(
+            self.cluster.trace,
+            self.cluster.sim.now,
             deme=0,
             generation=self.cga.sweeps,
             best=float(self.cga.best_so_far.require_fitness()),
         )
 
-    def run(self, max_sweeps: int = 100) -> DistributedCellularReport:
+    def run(self, max_sweeps: int = 100) -> RunReport:
         proc = self.cluster.sim.process(self._driver(max_sweeps), "cellular-driver")
         self.cluster.run()
         if not proc.finished:
             raise RuntimeError("distributed cellular driver stalled")
-        return DistributedCellularReport(
-            best_fitness=self.cga.best_so_far.require_fitness(),
-            solved=self.cga._solved(),
-            sweeps=self.cga.sweeps,
+        solved = self.cga._solved()
+        return self._report(
+            best=self.cga.best_so_far.copy(),
             evaluations=self.cga.evaluations,
+            epochs=self.cga.sweeps,
+            solved=solved,
+            stop_reason="solved" if solved else "max_sweeps",
             sim_time=self.cluster.sim.now,
-            nodes=self.cluster.n_nodes,
-            compute_time=self.compute_time,
-            comm_time=self.comm_time,
+            extras={
+                "sweeps": self.cga.sweeps,
+                "nodes": self.cluster.n_nodes,
+                "compute_time": self.compute_time,
+                "comm_time": self.comm_time,
+            },
         )
+
+
+def _distributed_cellular_contract(seed: int):
+    from ..problems.binary import OneMax
+
+    cluster = SimulatedCluster(4)
+    dga = DistributedCellularGA(
+        OneMax(24),
+        GAConfig(),
+        rows=8,
+        cols=8,
+        cluster=cluster,
+        seed=seed,
+    )
+    return cluster.trace, dga.run(max_sweeps=6)
+
+
+register_engine(
+    "distributed-cellular",
+    DistributedCellularGA,
+    contract=_distributed_cellular_contract,
+)

@@ -18,14 +18,14 @@ how the "same quality, ~3x faster" claim is measured in E7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from ..cluster.trace import Trace
 from ..core.config import GAConfig
 from ..core.engine import GenerationalEngine
 from ..core.individual import Individual
 from ..core.rng import spawn_rngs
 from ..problems.multifidelity import MultiFidelityProblem
+from ..runtime.deme import EpochLoop, emit_generation
+from .base import ParallelEngine, RunReport, register_engine
 from .classification import (
     GrainModel,
     ModelClassification,
@@ -37,24 +37,11 @@ from .classification import (
 __all__ = ["HierarchicalGA", "HierarchicalResult"]
 
 
-@dataclass
-class HierarchicalResult:
-    """Outcome of a hierarchical run."""
-
-    best: Individual          # best under the top (truth) model
-    work_units: float         # cost-weighted evaluations
-    evaluations: int          # raw evaluation count across all layers
-    epochs: int
-    solved: bool
-    best_curve: list[float] = field(repr=False, default_factory=list)
-    work_curve: list[float] = field(repr=False, default_factory=list)
-
-    @property
-    def best_fitness(self) -> float:
-        return self.best.require_fitness()
+#: deprecated alias — every engine now returns the shared report schema
+HierarchicalResult = RunReport
 
 
-class HierarchicalGA:
+class HierarchicalGA(EpochLoop, ParallelEngine):
     """Tree of demes over a multi-fidelity objective.
 
     Parameters
@@ -156,15 +143,20 @@ class HierarchicalGA:
                 deme.initialize()
         self._track()
 
-    def step_epoch(self) -> None:
-        if self.demes[0][0].population is None:
-            self.initialize()
-        self.epoch += 1
+    # -- standard lifecycle (step layers, exchange up/down, track curves) --------
+    def _lifecycle_initialized(self) -> bool:
+        return self.demes[0][0].population is not None
+
+    def _lifecycle_step(self) -> None:
         for layer in self.demes:
             for deme in layer:
                 deme.step()
+
+    def _lifecycle_exchange(self) -> None:
         if self.epoch % self.migration_interval == 0:
             self._exchange()
+
+    def _lifecycle_record(self) -> None:
         self._track()
 
     def _exchange(self) -> None:
@@ -215,19 +207,18 @@ class HierarchicalGA:
     def _track(self) -> None:
         self.best_curve.append(self.top_best().require_fitness())
         self.work_curve.append(self.work_units())
-        if self.trace is not None:
-            # one record per deme, flattened breadth-first (top deme = 0)
-            k = 0
-            for layer in self.demes:
-                for deme in layer:
-                    self.trace.record(
-                        float(self.epoch),
-                        "generation",
-                        deme=k,
-                        generation=deme.state.generation,
-                        best=float(deme.best_so_far.require_fitness()),
-                    )
-                    k += 1
+        # one record per deme, flattened breadth-first (top deme = 0)
+        k = 0
+        for layer in self.demes:
+            for deme in layer:
+                emit_generation(
+                    self.trace,
+                    float(self.epoch),
+                    deme=k,
+                    generation=deme.state.generation,
+                    best=float(deme.best_so_far.require_fitness()),
+                )
+                k += 1
 
     def _solved(self) -> bool:
         top_view = self.demes[0][0].problem
@@ -238,22 +229,44 @@ class HierarchicalGA:
         max_epochs: int = 100,
         *,
         work_budget: float | None = None,
-    ) -> HierarchicalResult:
+    ) -> RunReport:
         """Run until solved, ``max_epochs`` or the work budget is spent."""
-        if self.demes[0][0].population is None:
-            self.initialize()
-        while (
-            self.epoch < max_epochs
-            and not self._solved()
-            and (work_budget is None or self.work_units() < work_budget)
-        ):
-            self.step_epoch()
-        return HierarchicalResult(
+        self.run_epochs(
+            max_epochs,
+            done=lambda: self._solved()
+            or (work_budget is not None and self.work_units() >= work_budget),
+        )
+        solved = self._solved()
+        return self._report(
             best=self.top_best().copy(),
-            work_units=self.work_units(),
             evaluations=self.total_evaluations(),
             epochs=self.epoch,
-            solved=self._solved(),
-            best_curve=self.best_curve,
-            work_curve=self.work_curve,
+            solved=solved,
+            stop_reason="solved" if solved else "max_epochs",
+            deme_bests=[
+                d.best_so_far.require_fitness() for layer in self.demes for d in layer
+            ],
+            extras={
+                "work_units": self.work_units(),
+                "best_curve": self.best_curve,
+                "work_curve": self.work_curve,
+            },
         )
+
+
+def _hierarchical_contract(seed: int):
+    from ..problems.applications import TransonicWingDesign
+
+    trace = Trace()
+    hga = HierarchicalGA(
+        TransonicWingDesign(),
+        GAConfig(population_size=10, elitism=1),
+        layers=2,
+        branching=2,
+        seed=seed,
+        trace=trace,
+    )
+    return trace, hga.run(6)
+
+
+register_engine("hierarchical", HierarchicalGA, contract=_hierarchical_contract)

@@ -20,7 +20,7 @@ Two canonical hybrids:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
 
 from ..cluster.trace import Trace
 from ..core.config import GAConfig
@@ -30,7 +30,9 @@ from ..core.problem import Problem
 from ..core.rng import spawn_rngs
 from ..migration.policy import MigrationPolicy
 from ..migration.schedule import MigrationSchedule, PeriodicSchedule
+from ..runtime.deme import EpochLoop, emit_generation
 from ..topology.static import RingTopology, Topology
+from .base import ParallelEngine, RunReport, register_engine
 from .cellular import CellularGA
 from .classification import (
     GrainModel,
@@ -39,27 +41,21 @@ from .classification import (
     ProgrammingModel,
     WalkStrategy,
 )
-from .island import IslandModel
+from .island import IslandModel, SimulatedIslandModel
 
-__all__ = ["CellularIslandModel", "MasterSlaveIslandModel", "HybridResult"]
-
-
-@dataclass
-class HybridResult:
-    """Outcome of a hybrid run."""
-
-    best: Individual
-    evaluations: int
-    epochs: int
-    solved: bool
-    deme_bests: list[float] = field(default_factory=list)
-
-    @property
-    def best_fitness(self) -> float:
-        return self.best.require_fitness()
+__all__ = [
+    "CellularIslandModel",
+    "MasterSlaveIslandModel",
+    "SimulatedMasterSlaveIslandModel",
+    "HybridResult",
+]
 
 
-class CellularIslandModel:
+#: deprecated alias — every engine now returns the shared report schema
+HybridResult = RunReport
+
+
+class CellularIslandModel(EpochLoop, ParallelEngine):
     """Ring (or arbitrary topology) of cellular-GA demes.
 
     Migration sends each deme's best cells to its neighbours, where they
@@ -117,21 +113,15 @@ class CellularIslandModel:
         for deme in self.demes:
             deme.initialize()
 
-    def step_epoch(self) -> None:
-        if not self.demes[0].grid:
-            self.initialize()
-        self.epoch += 1
+    # -- standard lifecycle (step grids, swap best cells, record) ---------------
+    def _lifecycle_initialized(self) -> bool:
+        return bool(self.demes[0].grid)
+
+    def _lifecycle_step(self) -> None:
         for deme in self.demes:
             deme.step()
-        if self.trace is not None:
-            for i, deme in enumerate(self.demes):
-                self.trace.record(
-                    float(self.epoch),
-                    "generation",
-                    deme=i,
-                    generation=deme.sweeps,
-                    best=float(deme.best_so_far.require_fitness()),
-                )
+
+    def _lifecycle_exchange(self) -> None:
         for i, deme in enumerate(self.demes):
             if self.schedule.should_migrate(i, self.epoch, self.rng):
                 ranked = sorted(
@@ -142,6 +132,16 @@ class CellularIslandModel:
                 for dst in self.topology.neighbors_out(i):
                     migrants = [deme.grid[c].copy() for c in ranked[: self.policy.rate]]
                     self._place_migrants(self.demes[dst], migrants)
+
+    def _lifecycle_record(self) -> None:
+        for i, deme in enumerate(self.demes):
+            emit_generation(
+                self.trace,
+                float(self.epoch),
+                deme=i,
+                generation=deme.sweeps,
+                best=float(deme.best_so_far.require_fitness()),
+            )
 
     def _place_migrants(self, deme: CellularGA, migrants: list[Individual]) -> None:
         """Immigrants replace the destination's worst cells in place."""
@@ -162,16 +162,15 @@ class CellularIslandModel:
     def _solved(self) -> bool:
         return self.problem.is_solved(self.global_best().require_fitness())
 
-    def run(self, epochs: int = 100) -> HybridResult:
-        if not self.demes[0].grid:
-            self.initialize()
-        while self.epoch < epochs and not self._solved():
-            self.step_epoch()
-        return HybridResult(
+    def run(self, epochs: int = 100) -> RunReport:
+        self.run_epochs(epochs, done=self._solved)
+        solved = self._solved()
+        return self._report(
             best=self.global_best().copy(),
             evaluations=self.total_evaluations(),
             epochs=self.epoch,
-            solved=self._solved(),
+            solved=solved,
+            stop_reason="solved" if solved else "max_epochs",
             deme_bests=[d.best_so_far.require_fitness() for d in self.demes],
         )
 
@@ -197,3 +196,94 @@ class MasterSlaveIslandModel(IslandModel):
         if executor is not None:
             for deme in self.demes:
                 deme.evaluator = executor
+
+
+class SimulatedMasterSlaveIslandModel(SimulatedIslandModel):
+    """Cluster-timed SMP hybrid: islands whose demes farm locally.
+
+    Each deme behaves like an island of the timed driver, but its fitness
+    evaluations are farmed across ``local_workers`` co-located cores (an
+    SMP node), so a generation's simulated compute shrinks by that factor
+    while everything on the wire — migration, reliable delivery,
+    heartbeats, checkpoints, recovery — is exactly the shared runtime's.
+    This is the composition payoff of the deme-runtime layer: the hybrid
+    inherits every resilience capability without one line of fault code.
+    """
+
+    classification = ModelClassification(
+        grain=GrainModel.HYBRID,
+        walk=WalkStrategy.MULTIPLE,
+        parallelism=ParallelismKind.HYBRID,
+        programming=ProgrammingModel.HYBRID,
+    )
+
+    def __init__(self, *args, local_workers: int = 4, **kwargs) -> None:
+        if local_workers < 1:
+            raise ValueError(f"local_workers must be >= 1, got {local_workers}")
+        self.local_workers = local_workers
+        super().__init__(*args, **kwargs)
+
+    def _step_work(self, i: int, evaluations: int) -> float:
+        """A deme's evaluation batch runs ``local_workers``-wide: the
+        simulated generation time is the longest lane's share."""
+        lanes = math.ceil(evaluations / self.local_workers)
+        return lanes * self.eval_cost
+
+
+def _cellular_island_contract(seed: int):
+    from ..problems.binary import OneMax
+
+    trace = Trace()
+    model = CellularIslandModel(
+        OneMax(24), 2, GAConfig(), rows=4, cols=4, seed=seed, trace=trace
+    )
+    return trace, model.run(6)
+
+
+def _master_slave_island_contract(seed: int):
+    from ..problems.binary import OneMax
+
+    trace = Trace()
+    model = MasterSlaveIslandModel(
+        OneMax(24),
+        3,
+        GAConfig(population_size=12, elitism=1),
+        policy=MigrationPolicy(rate=1, replacement="worst-if-better"),
+        seed=seed,
+        trace=trace,
+    )
+    return trace, model.run(6)
+
+
+def _sim_master_slave_island_contract(seed: int):
+    from ..cluster.machine import SimulatedCluster
+    from ..problems.binary import OneMax
+
+    cluster = SimulatedCluster(3)
+    model = SimulatedMasterSlaveIslandModel(
+        OneMax(24),
+        3,
+        GAConfig(population_size=12, elitism=1),
+        cluster=cluster,
+        max_epochs=8,
+        local_workers=4,
+        policy=MigrationPolicy(rate=1, replacement="worst-if-better"),
+        seed=seed,
+    )
+    return cluster.trace, model.run()
+
+
+register_engine(
+    "cellular-island", CellularIslandModel, contract=_cellular_island_contract
+)
+register_engine(
+    "master-slave-island",
+    MasterSlaveIslandModel,
+    contract=_master_slave_island_contract,
+)
+register_engine(
+    "sim-master-slave-island",
+    SimulatedMasterSlaveIslandModel,
+    contract=_sim_master_slave_island_contract,
+    conserved_kinds=("migration",),
+)

@@ -18,19 +18,18 @@ Two drivers are provided:
     :class:`~repro.cluster.machine.SimulatedCluster`; generations cost
     simulated seconds proportional to evaluations and node speed, and
     migrants ride the simulated network.  Measures *time to solution* for
-    speedup tables (E3).
+    speedup tables (E3).  The timed machinery itself lives in
+    :class:`~repro.runtime.deme.TimedDemeRuntime` — the island model is
+    its reference tenant, not its owner.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
 from typing import Sequence, Type
 
 import numpy as np
 
 from ..cluster.machine import SimulatedCluster
-from ..cluster.sim import Timeout
 from ..cluster.trace import Trace
 from ..core.config import GAConfig
 from ..core.engine import (
@@ -45,10 +44,15 @@ from ..core.termination import EvolutionState, MaxGenerations, Termination
 from ..migration.policy import MigrationPolicy, integrate_immigrants, select_migrants
 from ..migration.schedule import MigrationSchedule, PeriodicSchedule
 from ..migration.synchrony import MigrationBuffer, Synchrony
+from ..runtime.deme import (
+    EpochLoop,
+    RuntimeCapabilities,
+    TimedDemeRuntime,
+    emit_generation,
+)
 from ..topology.dynamic import DynamicTopology
 from ..topology.static import RingTopology, Topology
-from .reliable import ReliableChannel
-from .supervisor import IslandSupervisor
+from .base import EpochRecord, ParallelEngine, RunReport, register_engine
 from .classification import (
     GrainModel,
     ModelClassification,
@@ -58,6 +62,9 @@ from .classification import (
 )
 
 __all__ = ["IslandModel", "SimulatedIslandModel", "IslandResult", "EpochRecord", "engine_class_by_name"]
+
+#: deprecated alias — every engine now returns the shared report schema
+IslandResult = RunReport
 
 
 def engine_class_by_name(name: str) -> Type[EvolutionEngine]:
@@ -75,48 +82,7 @@ def engine_class_by_name(name: str) -> Type[EvolutionEngine]:
     raise ValueError(f"unknown engine name {name!r}")
 
 
-@dataclass
-class EpochRecord:
-    """Global statistics for one migration epoch."""
-
-    epoch: int
-    evaluations: int
-    global_best: float
-    deme_bests: list[float]
-    migrants_sent: int
-    migrants_accepted: int
-
-
-@dataclass
-class IslandResult:
-    """Outcome of an island run."""
-
-    best: Individual
-    evaluations: int
-    epochs: int
-    solved: bool
-    stop_reason: str
-    deme_bests: list[float]
-    records: list[EpochRecord] = field(repr=False, default_factory=list)
-    migrants_sent: int = 0
-    migrants_accepted: int = 0
-    #: only set by the simulated driver
-    sim_time: float | None = None
-    #: reliable-migration channel counters (simulated driver, opt-in)
-    retransmits: int = 0
-    dup_discards: int = 0
-    #: supervision counters (simulated driver, opt-in)
-    recoveries: int = 0
-    abandoned_demes: int = 0
-    #: per-deme completion times (simulated driver); 0.0 = never finished
-    finish_times: list[float] = field(default_factory=list)
-
-    @property
-    def best_fitness(self) -> float:
-        return self.best.require_fitness()
-
-
-class _IslandBase:
+class _IslandBase(ParallelEngine):
     """Deme construction and migration bookkeeping shared by both drivers."""
 
     classification = ModelClassification(
@@ -262,22 +228,21 @@ class _IslandBase:
                 migrants_accepted=self.migrants_accepted - accepted_before,
             )
         )
-        if self.trace is not None:
-            for i, best in enumerate(deme_bests):
-                self.trace.record(
-                    float(self.epoch),
-                    "generation",
-                    deme=i,
-                    generation=self.demes[i].state.generation,
-                    best=float(best),
-                )
+        for i, best in enumerate(deme_bests):
+            emit_generation(
+                self.trace,
+                float(self.epoch),
+                deme=i,
+                generation=self.demes[i].state.generation,
+                best=float(best),
+            )
 
     def _advance_topology(self) -> None:
         if isinstance(self.topology, DynamicTopology):
             self.topology.advance()
 
 
-class IslandModel(_IslandBase):
+class IslandModel(EpochLoop, _IslandBase):
     """Logical (untimed) island driver: rounds of step + migrate.
 
     In synchronous mode every deme completes generation *g* before any
@@ -299,22 +264,26 @@ class IslandModel(_IslandBase):
         for deme in self.demes:
             deme.initialize()
 
-    def step_epoch(self) -> None:
-        """One round: each deme steps (maybe), migrates, integrates."""
-        if self.demes[0].population is None:
-            self.initialize()
-        sent_before = self.migrants_sent
-        accepted_before = self.migrants_accepted
-        self.epoch += 1
-        stepped = [
+    # -- standard lifecycle (one round: step, migrate, integrate, record) --------
+    def _lifecycle_initialized(self) -> bool:
+        return self.demes[0].population is not None
+
+    def _lifecycle_begin(self) -> None:
+        self._sent_before = self.migrants_sent
+        self._accepted_before = self.migrants_accepted
+
+    def _lifecycle_step(self) -> None:
+        self._stepped = [
             self.step_prob[i] >= 1.0 or self.rng.random() < self.step_prob[i]
             for i in range(self.n_islands)
         ]
         for i, deme in enumerate(self.demes):
-            if stepped[i]:
+            if self._stepped[i]:
                 deme.step()
+
+    def _lifecycle_exchange(self) -> None:
         for i, deme in enumerate(self.demes):
-            if stepped[i] and self.schedule.should_migrate(
+            if self._stepped[i] and self.schedule.should_migrate(
                 i,
                 self.epoch,
                 self.rng,
@@ -324,22 +293,21 @@ class IslandModel(_IslandBase):
         for i in range(self.n_islands):
             self._immigrate(i, now=self.epoch)
         self._advance_topology()
-        self._record_epoch(sent_before, accepted_before)
 
-    def run(self, termination: Termination | int | None = None) -> IslandResult:
+    def _lifecycle_record(self) -> None:
+        self._record_epoch(self._sent_before, self._accepted_before)
+
+    def run(self, termination: Termination | int | None = None) -> RunReport:
         if termination is None:
             termination = MaxGenerations(100)
         elif isinstance(termination, int):
             termination = MaxGenerations(termination)
-        if self.demes[0].population is None:
-            self.initialize()
-        state = self._global_state()
-        while not termination.should_stop(state) and not self._solved():
-            self.step_epoch()
-            state = self._global_state()
+        self.run_epochs(
+            done=lambda: termination.should_stop(self._global_state()) or self._solved()
+        )
         solved = self._solved()
         best = self.global_best()
-        return IslandResult(
+        return self._report(
             best=best.copy(),
             evaluations=self.total_evaluations(),
             epochs=self.epoch,
@@ -361,7 +329,7 @@ class IslandModel(_IslandBase):
         )
 
 
-class SimulatedIslandModel(_IslandBase):
+class SimulatedIslandModel(TimedDemeRuntime, _IslandBase):
     """Cluster-timed island driver (one deme coroutine per node).
 
     Parameters
@@ -419,240 +387,29 @@ class SimulatedIslandModel(_IslandBase):
         **kwargs,
     ) -> None:
         super().__init__(problem, n_islands, config, **kwargs)
-        self.cluster = cluster or SimulatedCluster(n_islands)
-        if self.cluster.n_nodes < n_islands:
-            raise ValueError(
-                f"cluster has {self.cluster.n_nodes} nodes for {n_islands} islands"
-            )
-        if eval_cost <= 0:
-            raise ValueError(f"eval_cost must be positive, got {eval_cost}")
-        if supervised and self.cluster.n_nodes < n_islands + 1:
-            raise ValueError(
-                "supervision needs a dedicated supervisor node: cluster has "
-                f"{self.cluster.n_nodes} nodes for {n_islands} islands + supervisor"
-            )
-        if checkpoint_every < 1:
-            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
-        self.eval_cost = eval_cost
-        self.migration_payload = migration_payload
-        self.max_epochs = max_epochs
-        self.stop_when_any_solves = stop_when_any_solves
-        self.reliable_migration = reliable_migration
-        self.rto_factor = rto_factor
-        self.max_retransmits = max_retransmits
-        self.supervised = supervised
-        self.checkpoint_every = checkpoint_every
-        if heartbeat_grace is None:
-            heartbeat_grace = 10.0 * self.config.population_size * eval_cost
-        self.heartbeat_grace = heartbeat_grace
-        self._stop = False
-        self._channel: ReliableChannel | None = None
-        self._supervisor: IslandSupervisor | None = None
-        # deme placement / liveness bookkeeping (rebuilt by run())
-        self._deme_node = list(range(n_islands))
-        self._incarnation = [0] * n_islands
-        self._deme_done = [False] * n_islands
-        self._deme_crashed = [False] * n_islands
-        self._routes: list[list[int]] = [
-            list(self.topology.neighbors_out(i)) for i in range(n_islands)
-        ]
-
-    # -- routing -----------------------------------------------------------------
-    def _route_targets(self, i: int) -> list[int]:
-        """Current outgoing migration targets of deme ``i``.
-
-        Unsupervised runs read the topology directly (exact legacy
-        behaviour); supervised runs read the supervisor-maintained route
-        overlay, which splices around abandoned demes.
-        """
-        if self.supervised:
-            return self._routes[i]
-        return list(self.topology.neighbors_out(i))
-
-    def _rebuild_routes(self, abandoned: set[int]) -> None:
-        """Rewire the migration overlay around ``abandoned`` demes: each
-        deme's dead out-neighbours are transitively replaced by *their*
-        out-neighbours, so a severed ring contracts to a smaller ring."""
-        for j in range(self.n_islands):
-            if j in abandoned:
-                self._routes[j] = []
-                continue
-            targets: list[int] = []
-            seen = {j}
-            frontier = list(self.topology.neighbors_out(j))
-            while frontier:
-                d = frontier.pop(0)
-                if d in seen:
-                    continue
-                seen.add(d)
-                if d in abandoned:
-                    frontier.extend(self.topology.neighbors_out(d))
-                else:
-                    targets.append(d)
-            self._routes[j] = targets
-
-    # -- deme lifecycle -----------------------------------------------------------
-    def _record_deme_generation(self, i: int, incarnation: int = 0) -> None:
-        deme = self.demes[i]
-        assert deme.population is not None
-        extra = {"incarnation": incarnation} if self.supervised else {}
-        self.cluster.record(
-            "generation",
-            deme=i,
-            generation=deme.state.generation,
-            best=float(deme.population.best().require_fitness()),
-            **extra,
+        self._init_timed_runtime(
+            cluster or SimulatedCluster(n_islands),
+            eval_cost=eval_cost,
+            migration_payload=migration_payload,
+            max_epochs=max_epochs,
+            stop_when_any_solves=stop_when_any_solves,
+            capabilities=RuntimeCapabilities(
+                reliable=reliable_migration,
+                rto_factor=rto_factor,
+                max_retransmits=max_retransmits,
+                supervised=supervised,
+                checkpoint_every=checkpoint_every,
+                heartbeat_grace=heartbeat_grace,
+            ),
         )
 
-    def _busy(self, i: int, incarnation: int, work: float):
-        """Charge ``work`` units of compute on deme ``i``'s current node,
-        suspending (not losing) progress across repairable downtime.
-
-        Returns True if the deme may carry on; False if the node crashed
-        permanently mid-computation or a supervisor recovery fenced this
-        incarnation off while it was suspended.
-        """
-        node = self.cluster.node(self._deme_node[i])
-        now = self.cluster.sim.now
-        finish = node.finish_time(now, node.compute_time(work))
-        if math.isinf(finish):
-            self._deme_crashed[i] = True
-            return False
-        yield Timeout(finish - now)
-        return self._incarnation[i] == incarnation
-
-    def _after_generation(self, i: int, incarnation: int) -> None:
-        self._record_deme_generation(i, incarnation)
-        if self._supervisor is not None:
-            self._supervisor.heartbeat(i, incarnation)
-            if self.demes[i].state.generation % self.checkpoint_every == 0:
-                self._supervisor.checkpoint(i, incarnation)
-
-    def _apply_parcel(self, i: int, item) -> None:
-        deme = self.demes[i]
-        if self._channel is not None:
-            _, src, seq, _ = item
-            migrants = self._channel.on_parcel(i, item)
-            if migrants is None:
-                return  # duplicate, discarded
-            self.cluster.record(
-                "migrant-apply", src=src, dst=i, seq=seq, count=len(migrants)
-            )
-        else:
-            src, migrants = item
-        self.migrants_accepted += integrate_immigrants(
-            self.rng, deme.population, migrants, self.policy, source=src
-        )
-
-    def _send_migrants(self, i: int) -> None:
-        deme = self.demes[i]
-        for dst in self._route_targets(i):
-            migrants = select_migrants(self.rng, deme.population, self.policy)
-            if not migrants:
-                continue
-            size = self.migration_payload * len(migrants)
-            if self._channel is not None:
-                self._channel.send(i, dst, migrants, size)
-            else:
-                self.cluster.send(
-                    self._deme_node[i],
-                    self._deme_node[dst],
-                    self._inboxes[dst],
-                    (i, migrants),
-                    size=size,
-                    kind="migration",
-                )
-            self.migrants_sent += len(migrants)
-
-    def _deme_process(self, i: int, incarnation: int = 0, resume: bool = False):
-        deme = self.demes[i]
-        inbox = self._inboxes[i]
-        if resume:
-            # restored from a checkpoint on a spare: announce liveness,
-            # then pick the evolution up where the snapshot left it
-            self._after_generation(i, incarnation)
-        else:
-            # initialisation costs one population evaluation
-            before = deme.state.evaluations
-            deme.initialize()
-            alive = yield from self._busy(
-                i, incarnation, (deme.state.evaluations - before) * self.eval_cost
-            )
-            if not alive:
-                return
-            self._after_generation(i, incarnation)
-        while deme.state.generation < self.max_epochs and not self._stop:
-            before = deme.state.evaluations
-            deme.step()
-            epoch = deme.state.generation
-            alive = yield from self._busy(
-                i, incarnation, (deme.state.evaluations - before) * self.eval_cost
-            )
-            if not alive:
-                return
-            # drain any migrants that arrived while computing
-            while len(inbox):
-                item = (yield inbox)
-                if self._incarnation[i] != incarnation:
-                    return
-                self._apply_parcel(i, item)
-            self._after_generation(i, incarnation)
-            if self.schedule.should_migrate(
-                i, epoch, self.rng,
-                stagnant_generations=deme.state.stagnant_generations,
-            ):
-                self._send_migrants(i)
-            if self.problem.is_solved(deme.population.best().require_fitness()):
-                if self.stop_when_any_solves:
-                    self._stop = True
-                break
-        if self._incarnation[i] == incarnation:
-            self._deme_done[i] = True
-            self._finish_times[i] = self.cluster.sim.now
-
-    def run(self) -> IslandResult:
+    def run(self) -> RunReport:
         """Simulate until some deme solves the problem or epochs exhaust."""
-        n = self.n_islands
-        self._inboxes = [self.cluster.inbox(f"deme-{i}") for i in range(n)]
-        self._finish_times = [0.0] * n
-        self._deme_node = list(range(n))
-        self._incarnation = [0] * n
-        self._deme_done = [False] * n
-        self._deme_crashed = [False] * n
-        self._routes = [list(self.topology.neighbors_out(i)) for i in range(n)]
-        if self.reliable_migration:
-            self._channel = ReliableChannel(
-                self.cluster,
-                node_of=lambda d: self._deme_node[d],
-                inbox_of=lambda d: self._inboxes[d],
-                is_stopped=lambda: self._stop,
-                is_done=lambda d: self._deme_done[d],
-                rto_factor=self.rto_factor,
-                # a receiver only drains its inbox between generations, so
-                # the timeout must cover that application delay too
-                min_rto=2.0 * self.config.population_size * self.eval_cost,
-                max_retransmits=self.max_retransmits,
-            )
-        if self.supervised:
-            self._supervisor = IslandSupervisor(
-                self,
-                node_id=n,
-                spares=list(range(n + 1, self.cluster.n_nodes)),
-                grace=self.heartbeat_grace,
-                check_interval=self.heartbeat_grace / 4.0,
-                snapshot_payload=self.migration_payload
-                * self.config.population_size,
-            )
-            self.cluster.sim.process(self._supervisor.process(), name="supervisor")
-        procs = [
-            self.cluster.sim.process(self._deme_process(i), name=f"deme-{i}")
-            for i in range(n)
-        ]
+        self._setup_runtime()
         self.cluster.run()
         solved = self._solved()
         best = self.global_best()
-        plain = self._channel is None and self._supervisor is None
-        return IslandResult(
+        return self._report(
             best=best.copy(),
             evaluations=self.total_evaluations(),
             epochs=max(d.state.generation for d in self.demes),
@@ -662,12 +419,45 @@ class SimulatedIslandModel(_IslandBase):
             records=self.records,
             migrants_sent=self.migrants_sent,
             migrants_accepted=self.migrants_accepted,
-            # trailing retransmit/sweep timers outlive the work itself, so
-            # protected runs report the last deme completion as wall time
-            sim_time=self.cluster.sim.now if plain else max(self._finish_times),
-            retransmits=self._channel.stats.retransmits if self._channel else 0,
-            dup_discards=self._channel.stats.dup_discards if self._channel else 0,
-            recoveries=self._supervisor.recoveries if self._supervisor else 0,
-            abandoned_demes=len(self._supervisor.abandoned) if self._supervisor else 0,
-            finish_times=list(self._finish_times),
+            **self._runtime_report_fields(),
         )
+
+
+def _island_contract(seed: int):
+    from ..problems.binary import OneMax
+
+    trace = Trace()
+    model = IslandModel(
+        OneMax(24),
+        3,
+        GAConfig(population_size=12, elitism=1),
+        policy=MigrationPolicy(rate=1, replacement="worst-if-better"),
+        seed=seed,
+        trace=trace,
+    )
+    return trace, model.run(8)
+
+
+def _sim_island_contract(seed: int):
+    from ..problems.binary import OneMax
+
+    cluster = SimulatedCluster(3)
+    model = SimulatedIslandModel(
+        OneMax(24),
+        3,
+        GAConfig(population_size=12, elitism=1),
+        cluster=cluster,
+        max_epochs=8,
+        policy=MigrationPolicy(rate=1, replacement="worst-if-better"),
+        seed=seed,
+    )
+    return cluster.trace, model.run()
+
+
+register_engine("island", IslandModel, contract=_island_contract)
+register_engine(
+    "sim-island",
+    SimulatedIslandModel,
+    contract=_sim_island_contract,
+    conserved_kinds=("migration",),
+)

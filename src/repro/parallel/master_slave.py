@@ -26,17 +26,15 @@ Two drivers again:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
 from ..cluster.machine import SimulatedCluster
 from ..cluster.sim import Timeout
 from ..core.config import GAConfig
-from ..core.engine import EvolutionResult, GenerationalEngine
+from ..core.engine import GenerationalEngine
 from ..core.problem import Problem
 from ..core.termination import MaxGenerations, Termination
+from ..runtime.deme import emit_generation
 from ..runtime.executor import SerialExecutor, chunk_indices
+from .base import ParallelEngine, RunReport, register_engine
 from .classification import (
     GrainModel,
     ModelClassification,
@@ -82,23 +80,11 @@ class MasterSlaveGA(GenerationalEngine):
         )
 
 
-@dataclass
-class MasterSlaveReport:
-    """Outcome of a simulated master-slave run."""
-
-    result: EvolutionResult
-    sim_time: float
-    generation_makespans: list[float]
-    redispatches: int
-    lost_chunks: int
-    workers: int
-
-    @property
-    def mean_makespan(self) -> float:
-        return float(np.mean(self.generation_makespans)) if self.generation_makespans else 0.0
+#: deprecated alias — every engine now returns the shared report schema
+MasterSlaveReport = RunReport
 
 
-class SimulatedMasterSlave:
+class SimulatedMasterSlave(ParallelEngine):
     """Timed master-slave farm on a simulated cluster.
 
     Parameters
@@ -275,8 +261,9 @@ class SimulatedMasterSlave:
 
     def _record_generation(self) -> None:
         state = self.engine.state
-        self.cluster.record(
-            "generation",
+        emit_generation(
+            self.cluster.trace,
+            self.cluster.sim.now,
             deme=0,
             generation=state.generation,
             best=float(state.best_fitness) if state.best_fitness is not None else None,
@@ -306,7 +293,7 @@ class SimulatedMasterSlave:
         # generation; the farm's wall time is when the master finished
         self._finish_time = self.cluster.sim.now
 
-    def run(self, termination: Termination | int | None = None) -> MasterSlaveReport:
+    def run(self, termination: Termination | int | None = None) -> RunReport:
         if termination is None:
             termination = MaxGenerations(50)
         elif isinstance(termination, int):
@@ -318,11 +305,36 @@ class SimulatedMasterSlave:
         if not proc.finished:
             raise RuntimeError("master process deadlocked")
         result = self.engine.result(stop_reason=self._stop_reason)
-        return MasterSlaveReport(
-            result=result,
+        return self._report(
+            best=result.best,
+            evaluations=result.evaluations,
+            epochs=result.generations,
+            solved=result.solved,
+            stop_reason=self._stop_reason,
             sim_time=self._finish_time,
-            generation_makespans=self.generation_makespans,
             redispatches=self.redispatches,
             lost_chunks=self.lost_chunks,
-            workers=self.workers,
+            extras={
+                "result": result,
+                "generation_makespans": self.generation_makespans,
+                "workers": self.workers,
+            },
         )
+
+
+def _sim_master_slave_contract(seed: int):
+    from ..problems.binary import OneMax
+
+    cluster = SimulatedCluster(4)
+    farm = SimulatedMasterSlave(
+        OneMax(24),
+        GAConfig(population_size=16, elitism=1),
+        cluster=cluster,
+        seed=seed,
+    )
+    return cluster.trace, farm.run(6)
+
+
+register_engine(
+    "sim-master-slave", SimulatedMasterSlave, contract=_sim_master_slave_contract
+)

@@ -17,7 +17,6 @@ canonical workload (see tests/E-suite usage).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 
 from ..cluster.machine import SimulatedCluster
 from ..cluster.sim import Timeout
@@ -26,6 +25,8 @@ from ..core.individual import Individual, best_of
 from ..core.problem import Problem
 from ..core.rng import spawn_rngs
 from ..core.variation import offspring_pair
+from ..runtime.deme import emit_generation
+from .base import ParallelEngine, RunReport, register_engine
 from .classification import (
     GrainModel,
     ModelClassification,
@@ -37,24 +38,11 @@ from .classification import (
 __all__ = ["PooledEvolution", "PoolResult"]
 
 
-@dataclass
-class PoolResult:
-    """Outcome of a pooled run."""
-
-    best: Individual
-    evaluations: int
-    sim_time: float
-    solved: bool
-    pulls: int
-    pool_size: int
-    agent_evaluations: list[int] = field(default_factory=list)
-
-    @property
-    def best_fitness(self) -> float:
-        return self.best.require_fitness()
+#: deprecated alias — every engine now returns the shared report schema
+PoolResult = RunReport
 
 
-class PooledEvolution:
+class PooledEvolution(ParallelEngine):
     """Asynchronous agents breeding against a shared individual pool.
 
     Parameters
@@ -193,8 +181,9 @@ class PooledEvolution:
             yield Timeout(push)
             self._pool_push(offspring)
             transactions += 1
-            self.cluster.record(
-                "generation",
+            emit_generation(
+                self.cluster.trace,
+                self.cluster.sim.now,
                 deme=agent_id,
                 generation=transactions,
                 best=float(self.global_best().require_fitness()),
@@ -206,7 +195,7 @@ class PooledEvolution:
         return best_of(self.pool, self.problem.maximize)
 
     # -- driver --------------------------------------------------------------------------------
-    def run(self) -> PoolResult:
+    def run(self) -> RunReport:
         # seed the pool (coordinator pays initial evaluation time implicitly)
         genomes = self.problem.spec.sample_population(
             self._pool_rng, self.config.population_size
@@ -219,12 +208,34 @@ class PooledEvolution:
             self.cluster.sim.process(self._agent(a), name=f"agent-{a}")
         self.cluster.run()
         best = self.global_best()
-        return PoolResult(
+        solved = self.problem.is_solved(best.require_fitness())
+        return self._report(
             best=best.copy(),
             evaluations=self.evaluations,
+            epochs=self.pulls,
+            solved=solved,
+            stop_reason="solved" if solved else "transactions-exhausted",
             sim_time=self.cluster.sim.now,
-            solved=self.problem.is_solved(best.require_fitness()),
-            pulls=self.pulls,
-            pool_size=len(self.pool),
-            agent_evaluations=list(self.agent_evaluations),
+            extras={
+                "pulls": self.pulls,
+                "pool_size": len(self.pool),
+                "agent_evaluations": list(self.agent_evaluations),
+            },
         )
+
+
+def _pool_contract(seed: int):
+    from ..problems.binary import OneMax
+
+    cluster = SimulatedCluster(4)
+    pooled = PooledEvolution(
+        OneMax(24),
+        GAConfig(population_size=20),
+        cluster=cluster,
+        max_transactions=40,
+        seed=seed,
+    )
+    return cluster.trace, pooled.run()
+
+
+register_engine("pool", PooledEvolution, contract=_pool_contract)

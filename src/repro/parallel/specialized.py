@@ -18,24 +18,33 @@ archive's hypervolume.  The classic seven scenarios are provided as
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from ..cluster.machine import SimulatedCluster
 from ..cluster.trace import Trace
 from ..core.config import GAConfig
 from ..core.engine import GenerationalEngine
 from ..core.individual import Individual
 from ..core.rng import spawn_rngs
 from ..migration.policy import MigrationPolicy, integrate_immigrants, select_migrants
+from ..migration.schedule import PeriodicSchedule
 from ..problems.multiobjective import (
     MultiObjectiveProblem,
     ScalarizedObjective,
     hypervolume_2d,
     pareto_front,
 )
+from ..runtime.deme import (
+    EpochLoop,
+    RuntimeCapabilities,
+    TimedDemeRuntime,
+    emit_generation,
+)
 from ..topology.static import CompleteTopology, RingTopology, Topology
+from .base import ParallelEngine, RunReport, register_engine
 from .classification import (
     GrainModel,
     ModelClassification,
@@ -44,7 +53,13 @@ from .classification import (
     WalkStrategy,
 )
 
-__all__ = ["SpecializedIslandModel", "SIMScenario", "SIMResult", "standard_scenarios"]
+__all__ = [
+    "SpecializedIslandModel",
+    "SimulatedSpecializedIslandModel",
+    "SIMScenario",
+    "SIMResult",
+    "standard_scenarios",
+]
 
 
 @dataclass(frozen=True)
@@ -96,23 +111,11 @@ def standard_scenarios(n_objectives: int = 2) -> list[SIMScenario]:
     ]
 
 
-@dataclass
-class SIMResult:
-    """Outcome of one SIM scenario run."""
-
-    scenario: SIMScenario
-    archive_objectives: np.ndarray  # (n, n_objectives) non-dominated set
-    hypervolume: float
-    evaluations: int
-    epochs: int
-    archive_genomes: list[np.ndarray] = field(repr=False, default_factory=list)
-
-    @property
-    def archive_size(self) -> int:
-        return self.archive_objectives.shape[0]
+#: deprecated alias — every engine now returns the shared report schema
+SIMResult = RunReport
 
 
-class SpecializedIslandModel:
+class SpecializedIslandModel(EpochLoop, ParallelEngine):
     """SIM driver over a 2+-objective problem.
 
     Parameters
@@ -193,24 +196,28 @@ class SpecializedIslandModel:
             sub.initialize()
             self._archive_population(sub.population.individuals)
 
-    def step_epoch(self) -> None:
-        if self.subeas[0].population is None:
-            self.initialize()
-        self.epoch += 1
+    # -- standard lifecycle (step + archive, migrate, record) --------------------
+    def _lifecycle_initialized(self) -> bool:
+        return self.subeas[0].population is not None
+
+    def _lifecycle_step(self) -> None:
         for sub in self.subeas:
             sub.step()
             self._archive_population(sub.population.individuals)
-        if self.trace is not None:
-            for i, sub in enumerate(self.subeas):
-                self.trace.record(
-                    float(self.epoch),
-                    "generation",
-                    deme=i,
-                    generation=sub.state.generation,
-                    best=float(sub.best_so_far.require_fitness()),
-                )
+
+    def _lifecycle_exchange(self) -> None:
         if self.epoch % self.scenario.migration_interval == 0:
             self._migrate()
+
+    def _lifecycle_record(self) -> None:
+        for i, sub in enumerate(self.subeas):
+            emit_generation(
+                self.trace,
+                float(self.epoch),
+                deme=i,
+                generation=sub.state.generation,
+                best=float(sub.best_so_far.require_fitness()),
+            )
 
     def _migrate(self) -> None:
         """Exchange individuals between subEAs, re-scalarising on arrival.
@@ -236,11 +243,8 @@ class SpecializedIslandModel:
     def total_evaluations(self) -> int:
         return sum(s.state.evaluations for s in self.subeas)
 
-    def run(self, epochs: int = 50) -> SIMResult:
-        if self.subeas[0].population is None:
-            self.initialize()
-        while self.epoch < epochs:
-            self.step_epoch()
+    def _archive_summary(self) -> tuple[np.ndarray, float]:
+        """The non-dominated front and its hypervolume."""
         objs = (
             np.stack([o for _, o in self._archive])
             if self._archive
@@ -254,11 +258,150 @@ class SpecializedIslandModel:
             if ref is not None and objs.shape[1] == 2 and objs.shape[0]
             else float("nan")
         )
-        return SIMResult(
-            scenario=self.scenario,
-            archive_objectives=objs,
-            hypervolume=hv,
+        return objs, hv
+
+    def _sim_report(self, **fields) -> RunReport:
+        """Assemble the archive-valued report both SIM drivers share."""
+        objs, hv = self._archive_summary()
+        return self._report(
+            best=None,
             evaluations=self.total_evaluations(),
-            epochs=self.epoch,
-            archive_genomes=[g for g, _ in self._archive],
+            solved=False,
+            extras={
+                "scenario": self.scenario,
+                "archive_objectives": objs,
+                "hypervolume": hv,
+                "archive_genomes": [g for g, _ in self._archive],
+            },
+            **fields,
         )
+
+    def run(self, epochs: int = 50) -> RunReport:
+        self.run_epochs(epochs)
+        return self._sim_report(
+            epochs=self.epoch,
+            stop_reason="max_epochs",
+            deme_bests=[s.best_so_far.require_fitness() for s in self.subeas],
+        )
+
+
+class SimulatedSpecializedIslandModel(TimedDemeRuntime, SpecializedIslandModel):
+    """Cluster-timed SIM driver: one subEA coroutine per node.
+
+    Runs the specialized island model on the shared deme runtime, so the
+    subEAs stall through node downtime instead of silently computing
+    (``Node.finish_time`` semantics — the gap the untimed driver cannot
+    model), migrants pay network transit, and the reliable channel /
+    supervision capabilities are available exactly as for islands.
+
+    The destination subEA re-scalarises every immigrant on arrival (its
+    weights differ from the sender's), which is the SIM-specific
+    :meth:`_integrate_parcel` override — everything else is the runtime's.
+    """
+
+    def __init__(
+        self,
+        problem: MultiObjectiveProblem,
+        scenario: SIMScenario,
+        config: GAConfig | None = None,
+        *,
+        cluster: SimulatedCluster | None = None,
+        eval_cost: float = 1e-3,
+        migration_payload: float = 100.0,
+        max_epochs: int = 50,
+        reliable_migration: bool = False,
+        rto_factor: float = 3.0,
+        max_retransmits: int = 8,
+        supervised: bool = False,
+        checkpoint_every: int = 5,
+        heartbeat_grace: float | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(problem, scenario, config, **kwargs)
+        self.n_islands = scenario.n_subeas
+        self.demes = self.subeas
+        self.config = self.subeas[0].config
+        self.schedule = PeriodicSchedule(scenario.migration_interval)
+        self.migrants_sent = 0
+        self.migrants_accepted = 0
+        self._init_timed_runtime(
+            cluster or SimulatedCluster(scenario.n_subeas),
+            eval_cost=eval_cost,
+            migration_payload=migration_payload,
+            max_epochs=max_epochs,
+            # archive quality is the objective; no deme ever "solves"
+            stop_when_any_solves=False,
+            capabilities=RuntimeCapabilities(
+                reliable=reliable_migration,
+                rto_factor=rto_factor,
+                max_retransmits=max_retransmits,
+                supervised=supervised,
+                checkpoint_every=checkpoint_every,
+                heartbeat_grace=heartbeat_grace,
+            ),
+        )
+
+    def _after_step(self, i: int) -> None:
+        self._archive_population(self.subeas[i].population.individuals)
+
+    def _deme_solved(self, i: int) -> bool:
+        return False
+
+    def _integrate_parcel(self, i: int, src: int, migrants) -> None:
+        dst_sub = self.subeas[i]
+        for m in migrants:
+            m.fitness = dst_sub.problem.evaluate(m.genome)
+            dst_sub.state.evaluations += 1
+        self.migrants_accepted += integrate_immigrants(
+            self.rng, dst_sub.population, migrants, self.policy, source=src
+        )
+
+    def run(self) -> RunReport:
+        self._setup_runtime()
+        self.cluster.run()
+        return self._sim_report(
+            epochs=max(s.state.generation for s in self.subeas),
+            stop_reason="max_epochs",
+            deme_bests=[s.best_so_far.require_fitness() for s in self.subeas],
+            migrants_sent=self.migrants_sent,
+            migrants_accepted=self.migrants_accepted,
+            **self._runtime_report_fields(),
+        )
+
+
+def _specialized_contract(seed: int):
+    from ..problems.multiobjective import SchafferF2
+
+    trace = Trace()
+    model = SpecializedIslandModel(
+        SchafferF2(),
+        standard_scenarios()[2],
+        GAConfig(population_size=12),
+        seed=seed,
+        trace=trace,
+    )
+    return trace, model.run(6)
+
+
+def _sim_specialized_contract(seed: int):
+    from ..problems.multiobjective import SchafferF2
+
+    cluster = SimulatedCluster(2)
+    model = SimulatedSpecializedIslandModel(
+        SchafferF2(),
+        standard_scenarios()[2],
+        GAConfig(population_size=12),
+        cluster=cluster,
+        max_epochs=6,
+        seed=seed,
+    )
+    return cluster.trace, model.run()
+
+
+register_engine("specialized", SpecializedIslandModel, contract=_specialized_contract)
+register_engine(
+    "sim-specialized",
+    SimulatedSpecializedIslandModel,
+    contract=_sim_specialized_contract,
+    conserved_kinds=("migration",),
+)

@@ -1,6 +1,8 @@
-"""Real-parallelism executors (threads / processes) behind the evaluator seam."""
+"""Engine runtime: executors behind the evaluator seam, and the shared
+deme lifecycle every parallel model runs on (:mod:`repro.runtime.deme`)."""
 
 from .cache import FitnessCache, MemoizingEvaluator
+from .deme import EpochLoop, RuntimeCapabilities, TimedDemeRuntime, emit_generation
 from .executor import (
     MultiprocessingExecutor,
     SerialExecutor,
@@ -9,6 +11,10 @@ from .executor import (
 )
 
 __all__ = [
+    "EpochLoop",
+    "TimedDemeRuntime",
+    "RuntimeCapabilities",
+    "emit_generation",
     "SerialExecutor",
     "ThreadExecutor",
     "MultiprocessingExecutor",

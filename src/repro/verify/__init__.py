@@ -17,9 +17,13 @@ fault plan.  Four pieces:
   shrinker.
 - :mod:`~repro.verify.fuzzer` — randomised scenario sampling + the
   fuzz driver (``python -m repro.verify fuzz --seed 0 --runs 25``).
+- :mod:`~repro.verify.engines` — generic contract audits (schema,
+  determinism, invariants) over every registered parallel engine
+  (``python -m repro.verify engines``).
 """
 
 from .digest import AuditResult, audit_determinism, result_fingerprint, trace_digest
+from .engines import EngineAudit, audit_engine, audit_engines, contract_engine_names
 from .fuzzer import FuzzFailure, FuzzReport, fuzz, sample_spec
 from .harness import RunOutcome, execute, run_replay
 from .invariants import (
@@ -37,6 +41,10 @@ from .shrink import ShrinkResult, shrink_spec
 
 __all__ = [
     "AuditResult",
+    "EngineAudit",
+    "audit_engine",
+    "audit_engines",
+    "contract_engine_names",
     "audit_determinism",
     "result_fingerprint",
     "trace_digest",

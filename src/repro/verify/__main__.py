@@ -5,6 +5,7 @@
     python -m repro.verify fuzz --seed 0 --runs 25
     python -m repro.verify replay 'ReplaySpec {"scenario":...}'
     python -m repro.verify audit --quick E2 E3
+    python -m repro.verify engines --seed 0
 
 Exit status 1 on any failure, so all three subcommands are CI-ready.
 """
@@ -69,6 +70,27 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    # imported lazily: pulls in every engine module to fill the registry
+    from .engines import audit_engines, contract_engine_names
+
+    names = [n.lower() for n in args.names] or None
+    known = contract_engine_names()
+    unknown = [n for n in (names or []) if n not in known]
+    if unknown:
+        print(
+            f"error: unknown engine(s) {unknown}; choose from {known}",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for audit in audit_engines(names, seed=args.seed).values():
+        print(audit.describe())
+        if not audit.ok:
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.verify",
@@ -105,6 +127,15 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true", help="quick-mode experiment budgets"
     )
     p_audit.set_defaults(func=_cmd_audit)
+
+    p_eng = sub.add_parser(
+        "engines", help="generic contract audit of every registered engine"
+    )
+    p_eng.add_argument(
+        "names", nargs="*", default=[], help="engine names (default: all)"
+    )
+    p_eng.add_argument("--seed", type=int, default=0, help="contract-scenario seed")
+    p_eng.set_defaults(func=_cmd_engines)
 
     args = parser.parse_args(argv)
     return args.func(args)

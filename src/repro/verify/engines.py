@@ -1,0 +1,106 @@
+"""Engine-generic contract auditing over the parallel-engine registry.
+
+The verification subsystem predates the shared runtime and was wired to
+three hand-picked scenarios.  This module closes the loop for *every*
+engine: anything registered in
+:data:`~repro.parallel.base.ENGINE_REGISTRY` with a contract scenario
+can be audited generically —
+
+* **schema** — the run returns a schema-valid
+  :class:`~repro.parallel.base.RunReport`
+  (:func:`~repro.parallel.base.validate_report`);
+* **determinism** — two runs from the same seed produce identical result
+  fingerprints and trace digests;
+* **invariants** — the emitted trace passes the streaming rules of
+  :mod:`~repro.verify.invariants` (each registry entry may name its own
+  rule set and conserved message kinds).
+
+The cross-engine contract test suite and ``python -m repro.verify
+engines`` are both thin wrappers over :func:`audit_engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..parallel.base import ENGINE_REGISTRY, EngineInfo, RunReport, validate_report
+from .digest import result_fingerprint, trace_digest
+from .invariants import CheckContext, Violation, check_trace
+
+__all__ = ["EngineAudit", "audit_engine", "audit_engines", "contract_engine_names"]
+
+
+@dataclass
+class EngineAudit:
+    """Outcome of one engine's generic contract audit."""
+
+    engine: str
+    report: RunReport
+    fingerprint: str
+    deterministic: bool
+    schema_problems: list[str] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.deterministic and not self.schema_problems and not self.violations
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"{self.engine}: ok (fingerprint {self.fingerprint[:12]})"
+        parts = []
+        if not self.deterministic:
+            parts.append("nondeterministic across same-seed runs")
+        parts.extend(self.schema_problems)
+        parts.extend(str(v) for v in self.violations)
+        return f"{self.engine}: FAILED — " + "; ".join(parts)
+
+
+def _registry() -> dict[str, EngineInfo]:
+    # the registry fills as engine modules import; make sure they have
+    from .. import parallel  # noqa: F401
+
+    return ENGINE_REGISTRY
+
+
+def contract_engine_names() -> list[str]:
+    """Engines that registered a runnable contract scenario."""
+    return sorted(n for n, info in _registry().items() if info.contract is not None)
+
+
+def _check(info: EngineInfo, trace, report: RunReport) -> list[Violation]:
+    if trace is None:
+        return []
+    context = CheckContext(conserved_kinds=info.conserved_kinds)
+    return check_trace(trace, context, info.rules)
+
+
+def audit_engine(name: str, seed: int = 0) -> EngineAudit:
+    """Run engine ``name``'s contract scenario twice and audit it."""
+    registry = _registry()
+    info = registry.get(name)
+    if info is None:
+        raise KeyError(f"unknown engine {name!r}; choose from {sorted(registry)}")
+    if info.contract is None:
+        raise ValueError(f"engine {name!r} registered no contract scenario")
+    trace_a, report_a = info.contract(seed)
+    trace_b, report_b = info.contract(seed)
+    fp_a, fp_b = result_fingerprint(report_a), result_fingerprint(report_b)
+    deterministic = fp_a == fp_b
+    if trace_a is not None and trace_b is not None:
+        deterministic = deterministic and trace_digest(trace_a) == trace_digest(trace_b)
+    return EngineAudit(
+        engine=name,
+        report=report_a,
+        fingerprint=fp_a,
+        deterministic=deterministic,
+        schema_problems=validate_report(report_a, engine=name),
+        violations=_check(info, trace_a, report_a),
+    )
+
+
+def audit_engines(
+    names: list[str] | None = None, seed: int = 0
+) -> dict[str, EngineAudit]:
+    """Audit each named engine (default: all with contracts)."""
+    return {n: audit_engine(n, seed) for n in (names or contract_engine_names())}

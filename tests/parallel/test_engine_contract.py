@@ -1,0 +1,236 @@
+"""Cross-engine contract suite: every registered engine honours the
+shared runtime contract.
+
+Three generic properties, checked for *every* engine in the registry via
+its seeded contract scenario:
+
+1. the run returns a schema-valid :class:`~repro.parallel.base.RunReport`;
+2. two runs from the same seed are fingerprint- and digest-identical;
+3. the emitted trace passes the streaming invariant rules.
+
+Plus the runtime-capability demonstrations the refactor promises: the
+reliable channel and supervisor work from a *non-island* engine (the
+master-slave/island hybrid), and the engines that previously computed
+through node downtime now stall (specialized islands, async
+master-slave).
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import Network, SimulatedCluster
+from repro.cluster.faults import FaultPlan
+from repro.core import GAConfig
+from repro.migration import MigrationPolicy
+from repro.parallel import (
+    ENGINE_REGISTRY,
+    RunReport,
+    SimulatedAsyncMasterSlave,
+    SimulatedMasterSlaveIslandModel,
+    SimulatedSpecializedIslandModel,
+    contract_run,
+    engine_names,
+    validate_report,
+)
+from repro.parallel.base import EpochRecord
+from repro.parallel.specialized import standard_scenarios
+from repro.problems import OneMax
+from repro.problems.multiobjective import SchafferF2
+from repro.verify.engines import audit_engine, audit_engines, contract_engine_names
+from repro.verify.invariants import CheckContext, check_trace
+
+ENGINES = contract_engine_names()
+
+
+def test_every_registered_engine_has_a_contract():
+    assert ENGINES == engine_names()
+    assert len(ENGINES) >= 8  # the survey's full taxonomy is covered
+
+
+@pytest.fixture(scope="module")
+def audits():
+    return audit_engines(seed=2)
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_returns_schema_valid_run_report(name, audits):
+    audit = audits[name]
+    assert isinstance(audit.report, RunReport)
+    assert audit.schema_problems == []
+    assert audit.report.engine == name
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_fingerprint_deterministic_across_two_runs(name, audits):
+    assert audits[name].deterministic
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_trace_passes_streaming_invariants(name, audits):
+    audit = audits[name]
+    assert audit.violations == []
+    # every contract scenario is traced, and the report carries the digest
+    assert audit.report.trace_digest is not None
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_records_and_counters_are_well_formed(name, audits):
+    report = audits[name].report
+    assert all(isinstance(r, EpochRecord) for r in report.records)
+    assert report.migrants_accepted <= report.migrants_sent
+    assert report.stop_reason
+
+
+def test_contract_run_seed_changes_the_run():
+    _, a = contract_run("sim-island", seed=0)
+    _, b = contract_run("sim-island", seed=1)
+    from repro.verify.digest import result_fingerprint
+
+    assert result_fingerprint(a) != result_fingerprint(b)
+
+
+def test_audit_engine_rejects_unknown_name():
+    with pytest.raises(KeyError):
+        audit_engine("no-such-engine")
+
+
+def test_registry_exposes_engine_classes():
+    for name in ENGINES:
+        info = ENGINE_REGISTRY[name]
+        assert info.cls.engine_name == name
+
+
+# ---------------------------------------------------------------------------
+# runtime capabilities from a non-island engine (the hybrid)
+# ---------------------------------------------------------------------------
+
+
+def _hybrid(cluster, **kwargs):
+    kwargs.setdefault("stop_when_any_solves", False)
+    kwargs.setdefault("local_workers", 4)
+    return SimulatedMasterSlaveIslandModel(
+        OneMax(64),
+        4,
+        GAConfig(population_size=10, elitism=1),
+        cluster=cluster,
+        eval_cost=1e-3,
+        migration_payload=16.0,
+        max_epochs=12,
+        policy=MigrationPolicy(rate=1, replacement="worst-if-better"),
+        seed=11,
+        **kwargs,
+    )
+
+
+def _cluster(n_nodes, plan=None):
+    return SimulatedCluster(
+        n_nodes, network=Network(n_nodes, latency=1e-3, bandwidth=1e6), fault_plan=plan
+    )
+
+
+class TestHybridRuntimeCapabilities:
+    def test_reliable_channel_retransmits_under_loss(self):
+        total_retransmits = 0
+        for link_seed in range(5):
+            plan = FaultPlan(
+                intervals=((),) * 4, loss_rate=0.3, dup_rate=0.2, link_seed=link_seed
+            )
+            cluster = _cluster(4, plan)
+            report = _hybrid(cluster, reliable_migration=True).run()
+            ctx = CheckContext.from_cluster(
+                cluster, conserved_kinds=("migration", "migration-ack")
+            )
+            assert check_trace(cluster.trace, ctx) == []
+            applied = [
+                (e["src"], e["dst"], e["seq"])
+                for e in cluster.trace
+                if e.kind == "migrant-apply"
+            ]
+            assert len(applied) == len(set(applied))  # exactly-once
+            total_retransmits += report.retransmits
+        assert total_retransmits > 0
+
+    def test_supervisor_recovers_crashed_deme_on_spare(self):
+        crash = ((), ((0.02, math.inf),), (), (), (), ())
+        cluster = _cluster(6, FaultPlan(intervals=crash))
+        report = _hybrid(
+            cluster,
+            reliable_migration=True,
+            supervised=True,
+            checkpoint_every=2,
+            heartbeat_grace=0.03,
+        ).run()
+        assert report.recoveries >= 1
+        assert report.abandoned_demes == 0
+        assert all(t > 0.0 for t in report.finish_times)
+        assert any(e.kind == "recovery" for e in cluster.trace)
+
+    def test_local_workers_shrink_simulated_time(self):
+        wide = _hybrid(_cluster(4), local_workers=8).run()
+        narrow = _hybrid(_cluster(4), local_workers=1).run()
+        assert wide.sim_time < narrow.sim_time
+        # the wire is untouched by local farming: same migration traffic
+        assert wide.migrants_sent == narrow.migrants_sent
+
+
+# ---------------------------------------------------------------------------
+# downtime is no longer silently computed through
+# ---------------------------------------------------------------------------
+
+
+def _sim_specialized(cluster, **kwargs):
+    return SimulatedSpecializedIslandModel(
+        SchafferF2(),
+        standard_scenarios()[2],
+        GAConfig(population_size=12),
+        cluster=cluster,
+        eval_cost=1e-3,
+        max_epochs=8,
+        seed=5,
+        **kwargs,
+    )
+
+
+class TestDowntimeStalls:
+    def test_specialized_subea_stalls_through_outage(self):
+        outage = ((), ((0.01, 0.05),))
+        faulty = _sim_specialized(_cluster(2, FaultPlan(intervals=outage))).run()
+        clean = _sim_specialized(_cluster(2)).run()
+        assert faulty.finish_times[1] >= clean.finish_times[1] + 0.03
+        assert faulty.epochs == clean.epochs  # work suspended, not lost
+
+    def test_specialized_permanent_crash_loses_the_subea(self):
+        crash = ((), ((0.01, math.inf),))
+        report = _sim_specialized(_cluster(2, FaultPlan(intervals=crash))).run()
+        assert report.finish_times[1] == 0.0
+        assert report.finish_times[0] > 0.0
+
+    def test_async_master_slave_crashed_slave_stops_completing(self):
+        crash = ((), ((0.05, math.inf),), (), ())
+        cluster = _cluster(4, FaultPlan(intervals=crash))
+        model = SimulatedAsyncMasterSlave(
+            OneMax(48),
+            GAConfig(population_size=16),
+            cluster=cluster,
+            eval_cost=1e-3,
+            seed=3,
+        )
+        report = model.run(max_evaluations=400)
+        alive = [c for i, c in enumerate(report.completions) if i != 0]
+        assert report.completions[0] < min(alive)  # crashed lane starved
+        assert report.solved or report.stop_reason == "max_evaluations"
+
+    def test_async_all_slaves_crashed_terminates(self):
+        crash = tuple(((0.01, math.inf),) if i else () for i in range(4))
+        cluster = _cluster(4, FaultPlan(intervals=crash))
+        model = SimulatedAsyncMasterSlave(
+            OneMax(48),
+            GAConfig(population_size=16),
+            cluster=cluster,
+            eval_cost=1e-3,
+            seed=3,
+        )
+        report = model.run(max_evaluations=10_000)
+        assert report.stop_reason == "all-slaves-crashed"
+        assert report.evaluations < 10_000
