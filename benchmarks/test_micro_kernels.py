@@ -136,6 +136,41 @@ class TestBatchEvaluationThroughput:
 
 
 class TestSimulatorThroughput:
+    #: dispatch floor for the heappop-once hot loop — the measured rate on
+    #: a single shared CPU core is ~450-550k events/s, so 100k/s flags a
+    #: real regression (peek+pop double access, re-validation on resume)
+    #: without flaking on slow CI runners
+    EVENTS_PER_SEC_FLOOR = 100_000
+
+    def test_event_dispatch_floor(self):
+        from repro.cluster import sim as sim_mod
+
+        n = 50_000
+
+        def run_n():
+            sim = Simulator()
+
+            def ticker():
+                for _ in range(n):
+                    yield Timeout(1.0)
+
+            sim.process(ticker())
+            sim.run()
+
+        best = 0.0
+        for _ in range(3):
+            before = sim_mod.events_dispatched()
+            start = time.perf_counter()
+            run_n()
+            elapsed = time.perf_counter() - start
+            dispatched = sim_mod.events_dispatched() - before
+            assert dispatched >= n  # the counter must actually count
+            best = max(best, dispatched / elapsed)
+        assert best >= self.EVENTS_PER_SEC_FLOOR, (
+            f"simulator kernel dispatched only {best:,.0f} events/s "
+            f"(floor {self.EVENTS_PER_SEC_FLOOR:,})"
+        )
+
     def test_event_dispatch_rate(self, benchmark):
         def run_10k_events():
             sim = Simulator()

@@ -17,6 +17,15 @@ copy-pasted per engine, and this check keeps them centralised:
    ``ParallelEngine._report``, which stamps the engine name and trace
    digest.
 
+3. **The sweep orchestrator.**  Experiment runner modules
+   (``repro/experiments/e*.py`` and ``table1.py``) must declare their
+   trial grids through :func:`repro.runtime.sweep.run_sweep` rather than
+   hand-rolling nested seed loops: each runner must import and call
+   ``run_sweep``, and must not call a ``.run(...)`` method inside a
+   ``for``/``while`` loop in its driver ``run()`` (model executions
+   belong in module-level trial functions, where the sweep can fan them
+   out and cache them).
+
 Run from the repository root::
 
     python scripts/check_engine_contract.py
@@ -32,6 +41,7 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 PARALLEL = REPO / "src" / "repro" / "parallel"
+EXPERIMENTS = REPO / "src" / "repro" / "experiments"
 
 #: modules that implement the wire protocol itself
 SEND_ALLOWED = {"reliable.py", "supervisor.py"}
@@ -91,17 +101,76 @@ def lint_file(path: Path) -> list[str]:
     return problems
 
 
+def _experiment_modules() -> list[Path]:
+    return sorted(
+        p
+        for p in EXPERIMENTS.glob("*.py")
+        if p.name == "table1.py" or p.name.startswith("e")
+    )
+
+
+def lint_experiment_file(path: Path) -> list[str]:
+    """Experiment runners must use the sweep API, not bare seed loops."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems: list[str] = []
+
+    imports_run_sweep = any(
+        isinstance(node, ast.ImportFrom)
+        and node.module is not None
+        and node.module.endswith("sweep")
+        and any(alias.name == "run_sweep" for alias in node.names)
+        for node in ast.walk(tree)
+    )
+    calls_run_sweep = any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "run_sweep"
+        for node in ast.walk(tree)
+    )
+    if not (imports_run_sweep and calls_run_sweep):
+        problems.append(
+            f"{path.relative_to(REPO)}:1: experiment module does not use "
+            "repro.runtime.sweep.run_sweep — declare the trial grid as "
+            "Trial specs so it can be fanned out and cached"
+        )
+
+    # no model `.run(...)` calls inside a loop statement: that is the
+    # hand-rolled serial sweep the orchestrator replaces.  Trial functions
+    # at module level may call .run() freely — the rule only bites loops.
+    for loop in ast.walk(tree):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
+        for node in ast.walk(loop):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "run"
+            ):
+                problems.append(
+                    f"{path.relative_to(REPO)}:{node.lineno}: .run(...) inside "
+                    "a loop — hoist the execution into a module-level trial "
+                    "function and dispatch it through run_sweep"
+                )
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
     for path in sorted(PARALLEL.glob("*.py")):
         problems.extend(lint_file(path))
+    experiment_files = _experiment_modules()
+    for path in experiment_files:
+        problems.extend(lint_experiment_file(path))
     for line in problems:
         print(line)
     if problems:
         print(f"\n{len(problems)} engine-contract violation(s)", file=sys.stderr)
         return 1
     n = len(list(PARALLEL.glob("*.py")))
-    print(f"engine-contract lint: {n} modules clean")
+    print(
+        f"engine-contract lint: {n} engine modules + "
+        f"{len(experiment_files)} experiment modules clean"
+    )
     return 0
 
 

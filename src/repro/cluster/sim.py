@@ -17,7 +17,16 @@ import math
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Protocol
 
-__all__ = ["Simulator", "Timeout", "Inbox", "Process", "SimulationError"]
+__all__ = ["Simulator", "Timeout", "Inbox", "Process", "SimulationError", "events_dispatched"]
+
+# process-wide count of executed events, for perf telemetry only (the sweep
+# harness diffs it around a trial); never part of traces or fingerprints
+_EVENTS_DISPATCHED = 0
+
+
+def events_dispatched() -> int:
+    """Total events executed by every Simulator in this process so far."""
+    return _EVENTS_DISPATCHED
 
 
 class SimulationError(RuntimeError):
@@ -46,6 +55,8 @@ class Inbox:
     :meth:`Simulator.put_later`).
     """
 
+    __slots__ = ("_sim", "name", "_items", "_waiters")
+
     def __init__(self, sim: "Simulator", name: str = "inbox") -> None:
         self._sim = sim
         self.name = name
@@ -57,7 +68,7 @@ class Inbox:
         self._items.append(item)
         if self._waiters:
             proc = self._waiters.popleft()
-            self._sim._schedule(0.0, proc._resume_with_item, self)
+            self._sim._schedule_trusted(0.0, proc._resume_with_item, self)
 
     def _try_get(self) -> tuple[bool, Any]:
         if self._items:
@@ -102,11 +113,12 @@ class Process:
 
     def _handle(self, yielded: Any) -> None:
         if isinstance(yielded, Timeout):
-            self._sim._schedule(yielded.duration, self._step, None)
+            # duration was validated by the Timeout constructor
+            self._sim._schedule_trusted(yielded.duration, self._step, None)
         elif isinstance(yielded, Inbox):
             ok, item = yielded._try_get()
             if ok:
-                self._sim._schedule(0.0, self._step, item)
+                self._sim._schedule_trusted(0.0, self._step, item)
             else:
                 yielded._waiters.append(self)
         else:
@@ -162,6 +174,13 @@ class Simulator:
         jitter = self._jitter.random() if self._jitter is not None else 0.0
         heapq.heappush(self._heap, (self.now + delay, jitter, next(self._seq), fn, args))
 
+    def _schedule_trusted(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Hot-path scheduling for delays already proven finite and >= 0
+        (Timeout constructor, literal 0.0 resume paths) — skips the
+        float()/isfinite re-validation of :meth:`_schedule`."""
+        jitter = self._jitter.random() if self._jitter is not None else 0.0
+        heapq.heappush(self._heap, (self.now + delay, jitter, next(self._seq), fn, args))
+
     def call_at(self, time: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at absolute simulated ``time`` (>= now)."""
         if time < self.now:
@@ -193,20 +212,27 @@ class Simulator:
 
         Returns the final simulated time.
         """
+        global _EVENTS_DISPATCHED
         events = 0
-        while self._heap:
-            t, _, _, fn, args = self._heap[0]
-            if until is not None and t > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = t
-            fn(*args)
-            events += 1
-            if events >= max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events — livelock or runaway process?"
-                )
+        heap = self._heap
+        pop, push = heapq.heappop, heapq.heappush
+        try:
+            while heap:
+                entry = pop(heap)  # single heap access per event
+                t = entry[0]
+                if until is not None and t > until:
+                    push(heap, entry)  # re-push only on overshoot
+                    self.now = until
+                    return self.now
+                self.now = t
+                entry[3](*entry[4])
+                events += 1
+                if events >= max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events — livelock or runaway process?"
+                    )
+        finally:
+            _EVENTS_DISPATCHED += events
         return self.now
 
     def run_until_complete(self, procs: Iterable[Process], **kwargs: Any) -> float:

@@ -27,7 +27,18 @@ __all__ = [
     "batch_evaluation_enabled",
     "use_batch_evaluation",
     "batch_evaluation",
+    "evaluations_observed",
 ]
+
+# process-wide count of genomes evaluated through the bulk path, for perf
+# telemetry only (the sweep harness diffs it around a trial); engines route
+# fitness through evaluate_many, so this tracks the dominant cost driver
+_EVALS_OBSERVED = 0
+
+
+def evaluations_observed() -> int:
+    """Total bulk-path fitness evaluations in this process so far."""
+    return _EVALS_OBSERVED
 
 
 # The vectorized fast path is on by default; tests and determinism audits
@@ -114,6 +125,8 @@ class Problem(abc.ABC):
     def evaluate_many(self, genomes: Sequence[np.ndarray] | np.ndarray) -> list[float]:
         """Evaluate a batch, routing through :meth:`evaluate_batch` when the
         genomes stack into one homogeneous 2-D array (the fast path)."""
+        global _EVALS_OBSERVED
+        _EVALS_OBSERVED += len(genomes)
         if _BATCH_ENABLED:
             batch = stack_genomes(genomes)
             if batch is not None:

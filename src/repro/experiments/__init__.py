@@ -25,6 +25,7 @@ from . import (
     e13_island_resilience,
     table1,
 )
+from ..runtime.sweep import SweepTelemetry, sweep_context
 from .report import Expectation, ExperimentReport, SeriesSpec, TableSpec
 
 __all__ = [
@@ -55,27 +56,42 @@ REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
 
 
 def run_experiment(
-    experiment_id: str, quick: bool = False, *, audit: bool = False
+    experiment_id: str,
+    quick: bool = False,
+    *,
+    audit: bool = False,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    telemetry: SweepTelemetry | None = None,
 ) -> ExperimentReport:
     """Run one experiment by id ('E1' … 'E13').
+
+    ``jobs`` fans the experiment's independent trials out over a process
+    pool and ``cache_dir`` enables the content-addressed trial cache (see
+    :mod:`repro.runtime.sweep`); both default to the hermetic serial,
+    uncached configuration.  ``telemetry`` collects per-trial timing.
 
     With ``audit=True`` the runner executes *twice* and a
     ``determinism-audit`` expectation is appended comparing the two
     reports' canonical fingerprints — every experiment is seeded, so two
     fresh runs must be behaviourally identical (same tables, same series,
-    same expectation outcomes).
+    same expectation outcomes).  The audit re-run always executes with
+    the cache disabled: replaying cached values would audit the cache,
+    not the experiment.
     """
     key = experiment_id.upper()
     if key not in REGISTRY:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; choose from {sorted(REGISTRY)}"
         )
-    report = REGISTRY[key](quick=quick)
+    with sweep_context(jobs=jobs, cache_dir=cache_dir, telemetry=telemetry):
+        report = REGISTRY[key](quick=quick)
     if audit:
         from ..verify.digest import result_fingerprint
 
         first = result_fingerprint(report)
-        second = result_fingerprint(REGISTRY[key](quick=quick))
+        with sweep_context(jobs=jobs, cache_dir=None):
+            second = result_fingerprint(REGISTRY[key](quick=quick))
         report.expect(
             "determinism-audit",
             first == second,
@@ -85,8 +101,24 @@ def run_experiment(
 
 
 def run_all(
-    quick: bool = False, ids: list[str] | None = None, *, audit: bool = False
+    quick: bool = False,
+    ids: list[str] | None = None,
+    *,
+    audit: bool = False,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    telemetry: SweepTelemetry | None = None,
 ) -> list[ExperimentReport]:
     """Run every experiment (or a subset) and return the reports in order."""
     keys = [k.upper() for k in ids] if ids else list(REGISTRY)
-    return [run_experiment(k, quick=quick, audit=audit) for k in keys]
+    return [
+        run_experiment(
+            k,
+            quick=quick,
+            audit=audit,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            telemetry=telemetry,
+        )
+        for k in keys
+    ]

@@ -1,16 +1,29 @@
-"""CLI: ``python -m repro.experiments [--quick] [E3 E5 ...]``.
+"""CLI: ``python -m repro.experiments [--quick] [--jobs N] [E3 E5 ...]``.
 
 Runs the requested experiments (default: all) and prints each report's
 tables, ASCII figures and expectation checks.  Exit status 1 if any
 expectation failed.
+
+``--jobs N`` fans each experiment's independent trials out over a
+process pool; results are merged in declared order so reports are
+fingerprint-identical to serial runs.  Trials are memoised in a
+content-addressed on-disk cache (``--cache-dir``, default
+``.sweep_cache``) keyed by experiment id, trial parameters, seed, quick
+flag and a digest of the repro source tree — editing any kernel code
+invalidates every entry.  ``--no-cache`` disables the cache entirely;
+``--bench-out FILE`` writes per-trial telemetry as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from ..runtime.sweep import SweepTelemetry
 from . import REGISTRY, run_experiment
+
+DEFAULT_CACHE_DIR = ".sweep_cache"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,17 +46,65 @@ def main(argv: list[str] | None = None) -> int:
         "--audit",
         action="store_true",
         help="run each experiment twice and check the runs are identical "
-        "(appends a determinism-audit expectation)",
+        "(appends a determinism-audit expectation; the second run bypasses "
+        "the trial cache)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_SWEEP_JOBS", "1")),
+        metavar="N",
+        help="worker processes for trial fan-out (default: 1, i.e. serial; "
+        "env REPRO_SWEEP_JOBS overrides the default)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="content-addressed trial cache directory "
+        f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the trial cache (every trial recomputes)",
+    )
+    parser.add_argument(
+        "--bench-out",
+        metavar="FILE",
+        help="write per-trial telemetry (wall time, simulated events, "
+        "evaluations, cache hits) to FILE as JSON",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     ids = [i.upper() for i in args.ids] or list(REGISTRY)
+    cache_dir = None if args.no_cache else args.cache_dir
+    telemetry = SweepTelemetry() if args.bench_out else None
     any_failed = False
     for key in ids:
-        report = run_experiment(key, quick=args.quick, audit=args.audit)
+        report = run_experiment(
+            key,
+            quick=args.quick,
+            audit=args.audit,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            telemetry=telemetry,
+        )
         print(report.render())
         print()
         if not report.all_passed:
             any_failed = True
+    if telemetry is not None and args.bench_out:
+        telemetry.write(args.bench_out)
+        totals = telemetry.totals()
+        print(
+            f"[sweep] {totals['trials']} trials, "
+            f"{totals['cache_hits']} cache hits, "
+            f"{totals['trial_wall_s']:.2f}s trial wall time "
+            f"-> {args.bench_out}",
+            file=sys.stderr,  # keep stdout byte-identical across sweep modes
+        )
     return 1 if any_failed else 0
 
 

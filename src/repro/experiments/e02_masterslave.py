@@ -20,6 +20,7 @@ from ..core.config import GAConfig
 from ..metrics.speedup import amdahl_speedup, speedup_curve
 from ..parallel.master_slave import SimulatedMasterSlave
 from ..problems.binary import OneMax
+from ..runtime.sweep import Trial, run_sweep
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
 __all__ = ["run"]
@@ -65,12 +66,18 @@ def run(quick: bool = False) -> ExperimentReport:
     fig = SeriesSpec(
         title="Master-slave speedup curves", x_label="workers", y_label="speedup"
     )
+    trials = [
+        Trial(
+            _farm_time,
+            dict(workers=w, eval_cost=cost, generations=generations, pop=pop, latency=latency),
+        )
+        for cost in scenarios.values()
+        for w in worker_counts
+    ]
+    farm_times = run_sweep("E2", trials, quick=quick)
     curves = {}
-    for name, cost in scenarios.items():
-        times = [
-            _farm_time(w, cost, generations=generations, pop=pop, latency=latency)
-            for w in worker_counts
-        ]
+    for k, name in enumerate(scenarios):
+        times = farm_times[k * len(worker_counts) : (k + 1) * len(worker_counts)]
         curves[name] = speedup_curve(worker_counts, times)
         fig.add(name, worker_counts, [p.speedup for p in curves[name]])
     for i, w in enumerate(worker_counts):

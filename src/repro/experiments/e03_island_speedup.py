@@ -26,6 +26,7 @@ from ..migration.policy import MigrationPolicy
 from ..migration.schedule import PeriodicSchedule
 from ..parallel.island import IslandModel, SimulatedIslandModel
 from ..problems.binary import DeceptiveTrap
+from ..runtime.sweep import Trial, run_sweep
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
 __all__ = ["run"]
@@ -82,9 +83,10 @@ def run(quick: bool = False) -> ExperimentReport:
         columns=[
             "islands",
             "median evals",
-            "hit rate",
+            "eval hit rate",
             "evals speedup",
             "median sim time",
+            "time hit rate",
             "time speedup",
         ],
     )
@@ -93,20 +95,29 @@ def run(quick: bool = False) -> ExperimentReport:
         x_label="islands",
         y_label="speedup",
     )
-    med_evals, med_times, hits = {}, {}, {}
-    for n in island_counts:
-        evals, times, solved = [], [], 0
-        for s in seeds:
-            e, ok_e = _evals_to_solution(n, total_pop, 1000 + s, budget=budget)
-            t, ok_t = _time_to_solution(n, total_pop, 2000 + s, max_epochs=max_epochs)
-            if ok_e:
-                evals.append(e)
-            if ok_t:
-                times.append(t)
-            solved += int(ok_e)
+    n_seeds = len(seeds)
+    eval_trials = [
+        Trial(_evals_to_solution, dict(n_islands=n, total_pop=total_pop, budget=budget), seed=1000 + s)
+        for n in island_counts
+        for s in seeds
+    ]
+    time_trials = [
+        Trial(_time_to_solution, dict(n_islands=n, total_pop=total_pop, max_epochs=max_epochs), seed=2000 + s)
+        for n in island_counts
+        for s in seeds
+    ]
+    eval_results = run_sweep("E3", eval_trials, quick=quick)
+    time_results = run_sweep("E3", time_trials, quick=quick)
+    med_evals, med_times, eval_hits, time_hits = {}, {}, {}, {}
+    for j, n in enumerate(island_counts):
+        per_n_e = eval_results[j * n_seeds : (j + 1) * n_seeds]
+        per_n_t = time_results[j * n_seeds : (j + 1) * n_seeds]
+        evals = [e for e, ok_e in per_n_e if ok_e]
+        times = [t for t, ok_t in per_n_t if ok_t]
         med_evals[n] = float(np.median(evals)) if evals else float("inf")
         med_times[n] = float(np.median(times)) if times else float("inf")
-        hits[n] = solved / len(list(seeds))
+        eval_hits[n] = sum(int(ok_e) for _, ok_e in per_n_e) / n_seeds
+        time_hits[n] = sum(int(ok_t) for _, ok_t in per_n_t) / n_seeds
     base_e, base_t = med_evals[1], med_times[1]
     evals_speedup = {n: base_e / med_evals[n] for n in island_counts}
     time_speedup = {n: base_t / med_times[n] for n in island_counts}
@@ -114,9 +125,10 @@ def run(quick: bool = False) -> ExperimentReport:
         table.add_row(
             n,
             med_evals[n],
-            round(hits[n], 2),
+            round(eval_hits[n], 2),
             round(evals_speedup[n], 2),
             round(med_times[n], 2),
+            round(time_hits[n], 2),
             round(time_speedup[n], 2),
         )
     report.tables.append(table)

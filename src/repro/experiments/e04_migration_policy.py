@@ -23,6 +23,7 @@ from ..migration.policy import MigrationPolicy
 from ..migration.schedule import NeverSchedule, PeriodicSchedule
 from ..parallel.island import IslandModel
 from ..problems import spectrum
+from ..runtime.sweep import Trial, run_sweep
 from .report import ExperimentReport, TableSpec
 
 __all__ = ["run"]
@@ -58,6 +59,29 @@ def _run_config(
     return best
 
 
+def _run_named(
+    problem_name: str,
+    *,
+    interval: int | None,
+    selection: str,
+    engine: str,
+    seed: int,
+    budget: int,
+    pop: int,
+) -> float:
+    """Sweep-friendly trial: rebuild the (seeded, deterministic) spectrum
+    problem by name so only plain data crosses the process boundary."""
+    return _run_config(
+        spectrum(seed=7)[problem_name],
+        interval=interval,
+        selection=selection,
+        engine=engine,
+        seed=seed,
+        budget=budget,
+        pop=pop,
+    )
+
+
 def run(quick: bool = False) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E4",
@@ -78,22 +102,29 @@ def run(quick: bool = False) -> ExperimentReport:
         "(ring of 8, best-migrant, generational)",
         columns=["problem"] + [("isolated" if i is None else f"every {i}") for i in intervals],
     )
+    freq_trials = [
+        Trial(
+            _run_named,
+            dict(
+                problem_name=name,
+                interval=interval,
+                selection="best",
+                engine="generational",
+                budget=budget,
+                pop=pop,
+            ),
+            seed=300 + s,
+        )
+        for name in problems
+        for interval in intervals
+        for s in seeds
+    ]
+    freq_vals = iter(run_sweep("E4", freq_trials, quick=quick))
     freq_scores: dict[str, dict[int | None, float]] = {}
-    for name, problem in problems.items():
+    for name in problems:
         row: dict[int | None, float] = {}
         for interval in intervals:
-            vals = [
-                _run_config(
-                    problem,
-                    interval=interval,
-                    selection="best",
-                    engine="generational",
-                    seed=300 + s,
-                    budget=budget,
-                    pop=pop,
-                )
-                for s in seeds
-            ]
+            vals = [next(freq_vals) for _ in seeds]
             row[interval] = float(np.mean(vals))
         freq_scores[name] = row
         freq_table.add_row(name, *[round(row[i], 4) for i in intervals])
@@ -105,22 +136,29 @@ def run(quick: bool = False) -> ExperimentReport:
         title="Mean normalised best fitness vs migrant selection (interval 4)",
         columns=["problem"] + selections,
     )
+    sel_trials = [
+        Trial(
+            _run_named,
+            dict(
+                problem_name=name,
+                interval=4,
+                selection=sel,
+                engine="generational",
+                budget=budget,
+                pop=pop,
+            ),
+            seed=400 + s,
+        )
+        for name in problems
+        for sel in selections
+        for s in seeds
+    ]
+    sel_vals = iter(run_sweep("E4", sel_trials, quick=quick))
     sel_scores: dict[str, dict[str, float]] = {}
-    for name, problem in problems.items():
+    for name in problems:
         row2: dict[str, float] = {}
         for sel in selections:
-            vals = [
-                _run_config(
-                    problem,
-                    interval=4,
-                    selection=sel,
-                    engine="generational",
-                    seed=400 + s,
-                    budget=budget,
-                    pop=pop,
-                )
-                for s in seeds
-            ]
+            vals = [next(sel_vals) for _ in seeds]
             row2[sel] = float(np.mean(vals))
         sel_scores[name] = row2
         sel_table.add_row(name, *[round(row2[s], 4) for s in selections])
@@ -131,22 +169,29 @@ def run(quick: bool = False) -> ExperimentReport:
         title="Generational vs steady-state islands (interval 4, best-migrant)",
         columns=["problem", "generational", "steady-state"],
     )
+    loop_trials = [
+        Trial(
+            _run_named,
+            dict(
+                problem_name=name,
+                interval=4,
+                selection="best",
+                engine=engine,
+                budget=budget,
+                pop=pop,
+            ),
+            seed=500 + s,
+        )
+        for name in problems
+        for engine in ("generational", "steady-state")
+        for s in seeds
+    ]
+    loop_vals = iter(run_sweep("E4", loop_trials, quick=quick))
     loop_scores: dict[str, dict[str, float]] = {}
-    for name, problem in problems.items():
+    for name in problems:
         row3: dict[str, float] = {}
         for engine in ("generational", "steady-state"):
-            vals = [
-                _run_config(
-                    problem,
-                    interval=4,
-                    selection="best",
-                    engine=engine,
-                    seed=500 + s,
-                    budget=budget,
-                    pop=pop,
-                )
-                for s in seeds
-            ]
+            vals = [next(loop_vals) for _ in seeds]
             row3[engine] = float(np.mean(vals))
         loop_scores[name] = row3
         loop_table.add_row(

@@ -18,14 +18,40 @@ from __future__ import annotations
 import numpy as np
 
 from ..metrics.pressure import (
+    GrowthCurve,
     cellular_growth_curve,
     logistic_fit_rate,
     panmictic_growth_curve,
 )
 from ..parallel.cellular import UPDATE_POLICIES
+from ..runtime.sweep import Trial, run_sweep
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
 __all__ = ["run"]
+
+
+def _growth(*, rows: int, cols: int, update: str, max_steps: int, seed: int) -> GrowthCurve:
+    return cellular_growth_curve(rows, cols, update=update, seed=seed, max_steps=max_steps)
+
+
+def _panmictic(*, population: int, max_steps: int, seed: int) -> GrowthCurve:
+    return panmictic_growth_curve(population, seed=seed, max_steps=max_steps)
+
+
+def _strip_scalability(*, nodes: int, grid: int, max_sweeps: int, seed: int) -> tuple[float, float]:
+    from ..cluster.machine import SimulatedCluster
+    from ..cluster.network import Network
+    from ..core.config import GAConfig
+    from ..parallel.cellular_distributed import DistributedCellularGA
+    from ..problems.binary import OneMax
+
+    cluster = SimulatedCluster(nodes, network=Network(nodes, latency=1e-4, bandwidth=1e6))
+    d = DistributedCellularGA(
+        OneMax(32), GAConfig(), rows=grid, cols=grid,
+        cluster=cluster, eval_cost=1e-3, seed=seed,
+    )
+    rep = d.run(max_sweeps=max_sweeps)
+    return rep.sim_time, rep.comm_fraction
 
 
 def run(quick: bool = False) -> ExperimentReport:
@@ -47,13 +73,19 @@ def run(quick: bool = False) -> ExperimentReport:
         x_label="sweep",
         y_label="proportion of best copies",
     )
+    n_seeds = len(seeds)
+    growth_trials = [
+        Trial(_growth, dict(rows=rows, cols=cols, update=policy, max_steps=max_steps), seed=1000 + s)
+        for policy in UPDATE_POLICIES
+        for s in seeds
+    ]
+    pan_trial = Trial(_panmictic, dict(population=rows * cols, max_steps=max_steps), seed=1000)
+    curves = run_sweep("E5", growth_trials + [pan_trial], quick=quick)
     med_takeover: dict[str, float] = {}
-    for policy in UPDATE_POLICIES:
+    for j, policy in enumerate(UPDATE_POLICIES):
+        per_policy = curves[j * n_seeds : (j + 1) * n_seeds]
         takeovers, rates, areas = [], [], []
-        for s in seeds:
-            c = cellular_growth_curve(
-                rows, cols, update=policy, seed=1000 + s, max_steps=max_steps
-            )
+        for c in per_policy:
             takeovers.append(c.takeover if c.takeover is not None else max_steps)
             rates.append(logistic_fit_rate(c.proportions))
             areas.append(c.area())
@@ -64,9 +96,9 @@ def run(quick: bool = False) -> ExperimentReport:
             round(float(np.nanmean(rates)), 3),
             round(float(np.mean(areas)), 1),
         )
-        rep = cellular_growth_curve(rows, cols, update=policy, seed=1000, max_steps=max_steps)
+        rep = per_policy[0]  # the seed-1000 run doubles as the representative curve
         fig.add(policy, list(range(len(rep))), list(rep.proportions))
-    pan = panmictic_growth_curve(rows * cols, seed=1000, max_steps=max_steps)
+    pan = curves[-1]
     table.add_row(
         "panmictic-tournament",
         pan.takeover if pan.takeover is not None else max_steps,
@@ -103,12 +135,6 @@ def run(quick: bool = False) -> ExperimentReport:
     )
 
     # -- fine-grained scalability (Pelikan et al. 2002) -----------------------------
-    from ..cluster.machine import SimulatedCluster
-    from ..cluster.network import Network
-    from ..core.config import GAConfig
-    from ..parallel.cellular_distributed import DistributedCellularGA
-    from ..problems.binary import OneMax
-
     node_counts = [1, 4, 8, 16] if quick else [1, 4, 8, 16, 32, 64]
     grid_rows = grid_cols = 32 if quick else 64
     scal = TableSpec(
@@ -116,15 +142,11 @@ def run(quick: bool = False) -> ExperimentReport:
         "grid, fixed sweeps)",
         columns=["nodes", "sim time", "speedup", "efficiency", "comm fraction"],
     )
-    times = {}
-    for n in node_counts:
-        cluster = SimulatedCluster(n, network=Network(n, latency=1e-4, bandwidth=1e6))
-        d = DistributedCellularGA(
-            OneMax(32), GAConfig(), rows=grid_rows, cols=grid_cols,
-            cluster=cluster, eval_cost=1e-3, seed=1,
-        )
-        rep = d.run(max_sweeps=8)
-        times[n] = (rep.sim_time, rep.comm_fraction)
+    strip_trials = [
+        Trial(_strip_scalability, dict(nodes=n, grid=grid_rows, max_sweeps=8), seed=1)
+        for n in node_counts
+    ]
+    times = dict(zip(node_counts, run_sweep("E5", strip_trials, quick=quick)))
     base = times[node_counts[0]][0]
     for n in node_counts:
         t, cf = times[n]

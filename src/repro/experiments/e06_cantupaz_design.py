@@ -27,6 +27,7 @@ from ..migration.policy import MigrationPolicy
 from ..migration.schedule import PeriodicSchedule
 from ..parallel.island import IslandModel
 from ..problems.binary import DeceptiveTrap
+from ..runtime.sweep import Trial, run_sweep
 from ..topology import topology_by_name
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
@@ -96,15 +97,30 @@ def run(quick: bool = False) -> ExperimentReport:
     topo_quality: dict[str, float] = {}
     topo_hits: dict[str, float] = {}
     topo_speed: dict[str, float] = {}
-    for name in topo_names:
-        vals, hits, epochs = [], 0, []
-        for s in seeds:
-            q, ok = _quality(n_islands, 20, name, 600 + s, budget=budget)
-            vals.append(q)
-            hits += int(ok)
-            epochs.append(_epochs_to_solve_onemax(name, 600 + s))
+    n_seeds = len(seeds)
+    quality_trials = [
+        Trial(
+            _quality,
+            dict(n_islands=n_islands, pop_per_deme=20, topology_name=name, budget=budget),
+            seed=600 + s,
+        )
+        for name in topo_names
+        for s in seeds
+    ]
+    speed_trials = [
+        Trial(_epochs_to_solve_onemax, dict(topology_name=name), seed=600 + s)
+        for name in topo_names
+        for s in seeds
+    ]
+    quality_results = run_sweep("E6", quality_trials, quick=quick)
+    speed_results = run_sweep("E6", speed_trials, quick=quick)
+    for j, name in enumerate(topo_names):
+        per_topo = quality_results[j * n_seeds : (j + 1) * n_seeds]
+        epochs = speed_results[j * n_seeds : (j + 1) * n_seeds]
+        vals = [q for q, _ in per_topo]
+        hits = sum(int(ok) for _, ok in per_topo)
         topo_quality[name] = float(np.mean(vals))
-        topo_hits[name] = hits / len(list(seeds))
+        topo_hits[name] = hits / n_seeds
         topo_speed[name] = float(np.median(epochs))
         topo_table.add_row(
             name,
@@ -127,15 +143,28 @@ def run(quick: bool = False) -> ExperimentReport:
         y_label="mean normalised quality",
     )
     trade_quality: dict[int, float] = {}
-    for n in deme_counts:
+    trade_trials = [
+        Trial(
+            _quality,
+            dict(
+                n_islands=n,
+                pop_per_deme=total_pop // n,
+                topology_name="ring" if n > 1 else "isolated",
+                budget=budget,
+            ),
+            seed=700 + s,
+        )
+        for n in deme_counts
+        for s in seeds
+    ]
+    trade_results = run_sweep("E6", trade_trials, quick=quick)
+    for j, n in enumerate(deme_counts):
         size = total_pop // n
-        vals, hits = [], 0
-        for s in seeds:
-            q, ok = _quality(n, size, "ring" if n > 1 else "isolated", 700 + s, budget=budget)
-            vals.append(q)
-            hits += int(ok)
+        per_n = trade_results[j * n_seeds : (j + 1) * n_seeds]
+        vals = [q for q, _ in per_n]
+        hits = sum(int(ok) for _, ok in per_n)
         trade_quality[n] = float(np.mean(vals))
-        trade_table.add_row(n, size, round(trade_quality[n], 4), round(hits / len(list(seeds)), 2))
+        trade_table.add_row(n, size, round(trade_quality[n], 4), round(hits / n_seeds, 2))
     fig.add("quality", deme_counts, [trade_quality[n] for n in deme_counts])
     report.tables.append(trade_table)
     report.series.append(fig)
@@ -148,13 +177,26 @@ def run(quick: bool = False) -> ExperimentReport:
     )
     sizing_hits: dict[int, float] = {}
     sizing_quality: dict[int, float] = {}
-    for total in sizes:
-        vals, hits = [], 0
-        for s in seeds:
-            q, ok = _quality(8, max(2, total // 8), "ring", 800 + s, budget=budget)
-            vals.append(q)
-            hits += int(ok)
-        sizing_hits[total] = hits / len(list(seeds))
+    sizing_trials = [
+        Trial(
+            _quality,
+            dict(
+                n_islands=8,
+                pop_per_deme=max(2, total // 8),
+                topology_name="ring",
+                budget=budget,
+            ),
+            seed=800 + s,
+        )
+        for total in sizes
+        for s in seeds
+    ]
+    sizing_results = run_sweep("E6", sizing_trials, quick=quick)
+    for j, total in enumerate(sizes):
+        per_total = sizing_results[j * n_seeds : (j + 1) * n_seeds]
+        vals = [q for q, _ in per_total]
+        hits = sum(int(ok) for _, ok in per_total)
+        sizing_hits[total] = hits / n_seeds
         sizing_quality[total] = float(np.mean(vals))
         sizing_table.add_row(total, round(sizing_quality[total], 4), round(sizing_hits[total], 2))
     report.tables.append(sizing_table)

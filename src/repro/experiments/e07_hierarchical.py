@@ -23,6 +23,7 @@ from ..migration.schedule import PeriodicSchedule
 from ..parallel.hierarchical import HierarchicalGA
 from ..parallel.island import IslandModel
 from ..problems.applications.wing import TransonicWingDesign
+from ..runtime.sweep import Trial, run_sweep
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
 __all__ = ["run"]
@@ -84,11 +85,18 @@ def run(quick: bool = False) -> ExperimentReport:
     epochs = 20 if quick else 50
     pop = 16 if quick else 24
 
+    hga_trials = [
+        Trial(_hga_curve, dict(epochs=epochs, pop=pop), seed=900 + s) for s in seeds
+    ]
+    complex_trials = [
+        Trial(_complex_curve, dict(epochs=epochs, pop=pop), seed=900 + s) for s in seeds
+    ]
+    hga_curves = run_sweep("E7", hga_trials, quick=quick)
+    complex_curves = run_sweep("E7", complex_trials, quick=quick)
+
     ratios, targets = [], []
     rep_series = None
-    for s in seeds:
-        hw, hb = _hga_curve(900 + s, epochs=epochs, pop=pop)
-        cw, cb = _complex_curve(900 + s, epochs=epochs, pop=pop)
+    for (hw, hb), (cw, cb) in zip(hga_curves, complex_curves):
         # matched-quality point: the worse of the two finals, which both
         # curves provably reach — "same quality" in Sefrioui's claim
         target = max(cb[-1], hb[-1])

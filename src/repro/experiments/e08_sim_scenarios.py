@@ -20,11 +20,32 @@ import numpy as np
 from ..core.config import GAConfig
 from ..parallel.specialized import SpecializedIslandModel, standard_scenarios
 from ..problems.multiobjective import ZDT1
+from ..runtime.sweep import Trial, run_sweep
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
 __all__ = ["run"]
 
 HV_REFERENCE = (1.1, 7.0)  # safely dominates random ZDT1 objective vectors
+
+
+def _run_scenario(
+    *, scenario_index: int, pop: int, epochs: int, dims: int, seed: int
+) -> dict:
+    scen = standard_scenarios()[scenario_index]
+    model = SpecializedIslandModel(
+        ZDT1(dims=dims),
+        scen,
+        GAConfig(population_size=pop, elitism=1),
+        hv_reference=HV_REFERENCE,
+        seed=seed,
+    )
+    res = model.run(epochs=epochs)
+    return {
+        "hypervolume": res.hypervolume,
+        "evaluations": res.evaluations,
+        "archive_size": res.archive_size,
+        "front": res.archive_objectives.tolist(),
+    }
 
 
 def run(quick: bool = False) -> ExperimentReport:
@@ -48,27 +69,29 @@ def run(quick: bool = False) -> ExperimentReport:
     )
     hv: dict[str, float] = {}
     extremes: dict[str, tuple[float, float]] = {}  # (min f1, min f2) over seeds
-    for scen in standard_scenarios():
+    scenarios = standard_scenarios()
+    n_seeds = len(seeds)
+    scen_trials = [
+        Trial(_run_scenario, dict(scenario_index=i, pop=pop, epochs=epochs, dims=dims), seed=1100 + s)
+        for i in range(len(scenarios))
+        for s in seeds
+    ]
+    scen_results = run_sweep("E8", scen_trials, quick=quick)
+    for i, scen in enumerate(scenarios):
+        per_scen = scen_results[i * n_seeds : (i + 1) * n_seeds]
         hvs, per_eval, archives = [], [], []
         min_f1, min_f2 = np.inf, np.inf
         front = None
-        for s in seeds:
-            model = SpecializedIslandModel(
-                ZDT1(dims=dims),
-                scen,
-                GAConfig(population_size=pop, elitism=1),
-                hv_reference=HV_REFERENCE,
-                seed=1100 + s,
-            )
-            res = model.run(epochs=epochs)
-            hvs.append(res.hypervolume)
-            per_eval.append(res.hypervolume / (res.evaluations / 1000.0))
-            archives.append(res.archive_size)
-            if res.archive_objectives.shape[0]:
-                min_f1 = min(min_f1, float(res.archive_objectives[:, 0].min()))
-                min_f2 = min(min_f2, float(res.archive_objectives[:, 1].min()))
-            if front is None and res.archive_objectives.shape[0]:
-                front = res.archive_objectives
+        for res in per_scen:
+            front_arr = np.asarray(res["front"], dtype=float).reshape(-1, 2)
+            hvs.append(res["hypervolume"])
+            per_eval.append(res["hypervolume"] / (res["evaluations"] / 1000.0))
+            archives.append(res["archive_size"])
+            if front_arr.shape[0]:
+                min_f1 = min(min_f1, float(front_arr[:, 0].min()))
+                min_f2 = min(min_f2, float(front_arr[:, 1].min()))
+            if front is None and front_arr.shape[0]:
+                front = front_arr
         hv[scen.name] = float(np.mean(hvs))
         extremes[scen.name] = (min_f1, min_f2)
         table.add_row(

@@ -29,6 +29,7 @@ from ..cluster.network import Network
 from ..core.config import GAConfig
 from ..parallel.master_slave import SimulatedMasterSlave
 from ..problems.binary import OneMax
+from ..runtime.sweep import Trial, run_sweep
 from .report import ExperimentReport, TableSpec
 
 __all__ = ["run"]
@@ -84,6 +85,55 @@ def _island_time(*, speeds, generations: int, pop: int, seed: int) -> float:
     return (generations + 1) * per_epoch  # +1 for initialisation
 
 
+def _adapt_case(
+    *, speeds_seed: int, generations: int, pop: int, seed: int
+) -> tuple[float, float]:
+    """One adaptivity comparison: (farm time, lock-step island time)."""
+    speeds = _hetero_speeds(speeds_seed)
+    t_ms, _, _ = _masterslave_time(speeds=speeds, generations=generations, pop=pop, seed=seed)
+    t_is = _island_time(speeds=speeds, generations=generations, pop=pop, seed=seed)
+    return t_ms, t_is
+
+
+def _robust_case(
+    *, speeds_seed: int, plan_seed: int, generations: int, pop: int, seed: int
+) -> tuple[float, float, int, int]:
+    """One robustness comparison: (baseline, FT time, redispatches, lost chunks).
+
+    Bundled into one trial because the fault plan's horizon is sized from
+    the baseline run's completion time.
+    """
+    speeds = _hetero_speeds(speeds_seed)
+    t_base, _, _ = _masterslave_time(
+        speeds=speeds, generations=generations, pop=pop, seed=seed
+    )
+    # failures sized to hit mid-run: horizon from the baseline time
+    plan = sample_fault_plan(
+        N_NODES,
+        horizon=t_base,
+        mtbf=t_base * 1.2,
+        repair_time=t_base / 4,
+        seed=plan_seed,
+    )
+    t_ft, redisp, _ = _masterslave_time(
+        speeds=speeds,
+        fault_plan=plan,
+        fault_tolerant=True,
+        generations=generations,
+        pop=pop,
+        seed=seed,
+    )
+    _, _, lost = _masterslave_time(
+        speeds=speeds,
+        fault_plan=plan,
+        fault_tolerant=False,
+        generations=generations,
+        pop=pop,
+        seed=seed,
+    )
+    return t_base, t_ft, redisp, lost
+
+
 def run(quick: bool = False) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E9",
@@ -98,13 +148,12 @@ def run(quick: bool = False) -> ExperimentReport:
         title="Time to complete the same genetic workload (heterogeneous nodes)",
         columns=["seed", "master-slave farm", "lock-step islands", "farm advantage"],
     )
+    adapt_trials = [
+        Trial(_adapt_case, dict(speeds_seed=2200 + s, generations=generations, pop=pop), seed=50 + s)
+        for s in seeds
+    ]
     advantages = []
-    for s in seeds:
-        speeds = _hetero_speeds(2200 + s)
-        t_ms, _, _ = _masterslave_time(
-            speeds=speeds, generations=generations, pop=pop, seed=50 + s
-        )
-        t_is = _island_time(speeds=speeds, generations=generations, pop=pop, seed=50 + s)
+    for s, (t_ms, t_is) in zip(seeds, run_sweep("E9", adapt_trials, quick=quick)):
         advantages.append(t_is / t_ms)
         adapt.add_row(s, round(t_ms, 2), round(t_is, 2), round(t_is / t_ms, 2))
     report.tables.append(adapt)
@@ -121,36 +170,18 @@ def run(quick: bool = False) -> ExperimentReport:
             "non-FT lost chunks",
         ],
     )
+    robust_trials = [
+        Trial(
+            _robust_case,
+            dict(speeds_seed=2200 + s, plan_seed=70 + s, generations=generations, pop=pop),
+            seed=60 + s,
+        )
+        for s in seeds
+    ]
     overheads, all_redispatch, all_lost = [], [], []
-    for s in seeds:
-        speeds = _hetero_speeds(2200 + s)
-        t_base, _, _ = _masterslave_time(
-            speeds=speeds, generations=generations, pop=pop, seed=60 + s
-        )
-        # failures sized to hit mid-run: horizon from the baseline time
-        plan = sample_fault_plan(
-            N_NODES,
-            horizon=t_base,
-            mtbf=t_base * 1.2,
-            repair_time=t_base / 4,
-            seed=70 + s,
-        )
-        t_ft, redisp, _ = _masterslave_time(
-            speeds=speeds,
-            fault_plan=plan,
-            fault_tolerant=True,
-            generations=generations,
-            pop=pop,
-            seed=60 + s,
-        )
-        _, _, lost = _masterslave_time(
-            speeds=speeds,
-            fault_plan=plan,
-            fault_tolerant=False,
-            generations=generations,
-            pop=pop,
-            seed=60 + s,
-        )
+    for s, (t_base, t_ft, redisp, lost) in zip(
+        seeds, run_sweep("E9", robust_trials, quick=quick)
+    ):
         overheads.append(t_ft / t_base)
         all_redispatch.append(redisp)
         all_lost.append(lost)
@@ -168,7 +199,7 @@ def run(quick: bool = False) -> ExperimentReport:
     report.expect(
         "failures-actually-hit-some-runs",
         len(faulty_runs) > 0,
-        f"{len(faulty_runs)}/{len(list(seeds))} runs saw failures",
+        f"{len(faulty_runs)}/{len(seeds)} runs saw failures",
     )
     report.expect(
         "fault-tolerant-farm-completes-all-generations",

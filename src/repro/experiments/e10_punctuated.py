@@ -28,6 +28,7 @@ from ..migration.policy import MigrationPolicy
 from ..migration.schedule import NeverSchedule, PeriodicSchedule
 from ..parallel.island import IslandModel
 from ..problems.binary import DeceptiveTrap
+from ..runtime.sweep import Trial, run_sweep
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
 __all__ = ["run"]
@@ -62,6 +63,31 @@ def _improvement_epochs(records, burn_in: int = MIGRATION_INTERVAL) -> list[int]
     return out
 
 
+def _divergence_case(*, epochs: int, seed: int) -> tuple[int, float, float]:
+    model = _model(NeverSchedule(), seed)
+    model.run(MaxGenerations(epochs))
+    genomes = {tuple(d.population.best().genome.tolist()) for d in model.demes}
+    div = between_deme_divergence([d.population for d in model.demes])
+    entropy = float(np.mean([gene_entropy(d.population) for d in model.demes]))
+    return len(genomes), float(div), entropy
+
+
+def _burst_case(*, epochs: int, seed: int) -> dict:
+    model = _model(PeriodicSchedule(MIGRATION_INTERVAL), seed)
+    res = model.run(MaxGenerations(epochs))
+    return {
+        "improvements": _improvement_epochs(res.records),
+        "curve_epochs": [r.epoch for r in res.records],
+        "curve_bests": [float(r.global_best) for r in res.records],
+    }
+
+
+def _quality_case(*, epochs: int, seed: int) -> tuple[float, float]:
+    iso = _model(NeverSchedule(), seed).run(MaxGenerations(epochs))
+    mig = _model(PeriodicSchedule(MIGRATION_INTERVAL), seed).run(MaxGenerations(epochs))
+    return iso.best_fitness, mig.best_fitness
+
+
 def run(quick: bool = False) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E10",
@@ -80,18 +106,12 @@ def run(quick: bool = False) -> ExperimentReport:
             "mean within-deme entropy",
         ],
     )
+    div_trials = [Trial(_divergence_case, dict(epochs=epochs), seed=3000 + s) for s in seeds]
     distinct_counts, divergences = [], []
-    for s in seeds:
-        model = _model(NeverSchedule(), 3000 + s)
-        model.run(MaxGenerations(epochs))
-        genomes = {tuple(d.population.best().genome.tolist()) for d in model.demes}
-        div = between_deme_divergence([d.population for d in model.demes])
-        entropy = float(
-            np.mean([gene_entropy(d.population) for d in model.demes])
-        )
-        distinct_counts.append(len(genomes))
+    for s, (n_distinct, div, entropy) in zip(seeds, run_sweep("E10", div_trials, quick=quick)):
+        distinct_counts.append(n_distinct)
         divergences.append(div)
-        div_table.add_row(s, len(genomes), round(div, 2), round(entropy, 3))
+        div_table.add_row(s, n_distinct, round(div, 2), round(entropy, 3))
     report.tables.append(div_table)
 
     # (2) bursts after migration ------------------------------------------------------------
@@ -105,11 +125,10 @@ def run(quick: bool = False) -> ExperimentReport:
         x_label="epoch",
         y_label="global best fitness",
     )
+    burst_trials = [Trial(_burst_case, dict(epochs=epochs), seed=3100 + s) for s in seeds]
     burst_fracs, chance_rates = [], []
-    for s in seeds:
-        model = _model(PeriodicSchedule(MIGRATION_INTERVAL), 3100 + s)
-        res = model.run(MaxGenerations(epochs))
-        improvements = _improvement_epochs(res.records)
+    for s, burst in zip(seeds, run_sweep("E10", burst_trials, quick=quick)):
+        improvements = burst["improvements"]
         # epochs counted as 'post-migration': m+1 .. m+2 for each migration m
         post = set()
         for m in range(MIGRATION_INTERVAL, epochs + 1, MIGRATION_INTERVAL):
@@ -119,18 +138,14 @@ def run(quick: bool = False) -> ExperimentReport:
         else:
             frac = float("nan")
         eligible = range(MIGRATION_INTERVAL + 1, epochs + 1)
-        chance = len([e for e in eligible if e in post]) / max(1, len(list(eligible)))
+        chance = len([e for e in eligible if e in post]) / max(1, len(eligible))
         burst_fracs.append(frac)
         chance_rates.append(chance)
         burst_table.add_row(
             s, len(improvements), round(frac, 3) if frac == frac else "n/a", round(chance, 3)
         )
         if s == list(seeds)[0]:
-            fig.add(
-                "global best",
-                [r.epoch for r in res.records],
-                [r.global_best for r in res.records],
-            )
+            fig.add("global best", burst["curve_epochs"], burst["curve_bests"])
     report.tables.append(burst_table)
     report.series.append(fig)
 
@@ -139,15 +154,12 @@ def run(quick: bool = False) -> ExperimentReport:
         title="Final quality: migrating vs isolated ensemble (same budget)",
         columns=["seed", "isolated best", "migrating best"],
     )
+    quality_trials = [Trial(_quality_case, dict(epochs=epochs), seed=3200 + s) for s in seeds]
     iso_bests, mig_bests = [], []
-    for s in seeds:
-        iso = _model(NeverSchedule(), 3200 + s).run(MaxGenerations(epochs))
-        mig = _model(PeriodicSchedule(MIGRATION_INTERVAL), 3200 + s).run(
-            MaxGenerations(epochs)
-        )
-        iso_bests.append(iso.best_fitness)
-        mig_bests.append(mig.best_fitness)
-        quality_table.add_row(s, iso.best_fitness, mig.best_fitness)
+    for s, (iso_best, mig_best) in zip(seeds, run_sweep("E10", quality_trials, quick=quick)):
+        iso_bests.append(iso_best)
+        mig_bests.append(mig_best)
+        quality_table.add_row(s, iso_best, mig_best)
     report.tables.append(quality_table)
 
     report.expect(

@@ -32,9 +32,41 @@ from ..problems.applications.image_registration import (
     two_phase_register,
 )
 from ..problems.combinatorial import TravelingSalesman
+from ..runtime.sweep import Trial, run_sweep
 from .report import ExperimentReport, TableSpec
 
 __all__ = ["run"]
+
+
+def _registration_case(
+    *, size: int, shift_seed: int, scene_seed: int, control_seed: int, seed: int
+) -> dict:
+    rng = np.random.default_rng(shift_seed)
+    shift = (int(rng.integers(-10, 11)), int(rng.integers(-10, 11)))
+    problem = ImageRegistration.synthetic(
+        size=size, shift=shift, max_shift=12, seed=scene_seed
+    )
+    two = two_phase_register(
+        problem,
+        factor=4,
+        phase1_generations=8,
+        phase2_generations=8,
+        population=30,
+        seed=seed,
+    )
+    # single-phase control with the same total budget
+    eng = GenerationalEngine(problem, GAConfig(population_size=30), seed=control_seed)
+    eng.run(MaxEvaluations(two.total_evaluations))
+    single = eng.result()
+    found1 = (int(single.best.genome[0]), int(single.best.genome[1]))
+    return {
+        "shift": shift,
+        "two_shift_str": str(two.shift),
+        "two_evals": two.total_evaluations,
+        "two_exact": bool(two.exact),
+        "found1": found1,
+        "single_evals": single.evaluations,
+    }
 
 
 def _registration_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
@@ -43,33 +75,49 @@ def _registration_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
         title="2-phase vs single-phase registration (synthetic scenes)",
         columns=["seed", "true shift", "2-phase found", "2-phase evals", "1-phase found", "1-phase evals"],
     )
-    hits2, hits1 = [], []
-    for s in seeds:
-        rng = np.random.default_rng(4100 + s)
-        shift = (int(rng.integers(-10, 11)), int(rng.integers(-10, 11)))
-        problem = ImageRegistration.synthetic(
-            size=size, shift=shift, max_shift=12, seed=4200 + s
-        )
-        two = two_phase_register(
-            problem,
-            factor=4,
-            phase1_generations=8,
-            phase2_generations=8,
-            population=30,
+    trials = [
+        Trial(
+            _registration_case,
+            dict(size=size, shift_seed=4100 + s, scene_seed=4200 + s, control_seed=999 + s),
             seed=s,
         )
-        # single-phase control with the same total budget
-        eng = GenerationalEngine(problem, GAConfig(population_size=30), seed=999 + s)
-        eng.run(MaxEvaluations(two.total_evaluations))
-        single = eng.result()
-        found1 = (int(single.best.genome[0]), int(single.best.genome[1]))
-        hits2.append(two.exact)
-        hits1.append(found1 == shift)
+        for s in seeds
+    ]
+    hits2, hits1 = [], []
+    for s, case in zip(seeds, run_sweep("E11", trials, quick=quick)):
+        hits2.append(case["two_exact"])
+        hits1.append(case["found1"] == case["shift"])
         table.add_row(
-            s, str(shift), str(two.shift), two.total_evaluations,
-            str(found1), single.evaluations,
+            s, str(case["shift"]), case["two_shift_str"], case["two_evals"],
+            str(case["found1"]), case["single_evals"],
         )
     return table, float(np.mean(hits2)), float(np.mean(hits1))
+
+
+def _feature_case(
+    *, n_features: int, budget: int, problem_seed: int, seed: int
+) -> tuple[float, float, int]:
+    problem = FeatureSelection.synthetic(
+        n_features=n_features,
+        n_informative=max(5, n_features // 20),
+        seed=problem_seed,
+        feature_cost=5e-4,       # pruning pressure: accuracy minus cost
+        initial_density=0.1,     # sparse start, Moser-style
+    )
+    model = IslandModel(
+        problem,
+        8,
+        GAConfig(population_size=16, elitism=1),
+        policy=MigrationPolicy(rate=1, selection="best"),
+        schedule=PeriodicSchedule(4),
+        seed=seed,
+    )
+    res = model.run(MaxEvaluations(budget))
+    return (
+        res.best_fitness,
+        problem.informative_recall(res.best.genome),
+        problem.selected_count(res.best.genome),
+    )
 
 
 def _feature_rows(seeds, quick: bool) -> tuple[TableSpec, dict[int, float], dict[int, float]]:
@@ -85,30 +133,20 @@ def _feature_rows(seeds, quick: bool) -> tuple[TableSpec, dict[int, float], dict
             "selected fraction",
         ],
     )
+    n_seeds = len(seeds)
+    fs_trials = [
+        Trial(_feature_case, dict(n_features=d, budget=budget, problem_seed=4300 + s), seed=s)
+        for d in dims
+        for s in seeds
+    ]
+    fs_results = run_sweep("E11", fs_trials, quick=quick)
     fitness_by_dim: dict[int, float] = {}
     selected_fraction: dict[int, float] = {}
-    for d in dims:
-        fits, recs, sels = [], [], []
-        for s in seeds:
-            problem = FeatureSelection.synthetic(
-                n_features=d,
-                n_informative=max(5, d // 20),
-                seed=4300 + s,
-                feature_cost=5e-4,       # pruning pressure: accuracy minus cost
-                initial_density=0.1,     # sparse start, Moser-style
-            )
-            model = IslandModel(
-                problem,
-                8,
-                GAConfig(population_size=16, elitism=1),
-                policy=MigrationPolicy(rate=1, selection="best"),
-                schedule=PeriodicSchedule(4),
-                seed=s,
-            )
-            res = model.run(MaxEvaluations(budget))
-            fits.append(res.best_fitness)
-            recs.append(problem.informative_recall(res.best.genome))
-            sels.append(problem.selected_count(res.best.genome))
+    for j, d in enumerate(dims):
+        per_dim = fs_results[j * n_seeds : (j + 1) * n_seeds]
+        fits = [fit for fit, _, _ in per_dim]
+        recs = [rec for _, rec, _ in per_dim]
+        sels = [sel for _, _, sel in per_dim]
         fitness_by_dim[d] = float(np.mean(fits))
         selected_fraction[d] = float(np.mean(sels)) / d
         table.add_row(
@@ -121,6 +159,31 @@ def _feature_rows(seeds, quick: bool) -> tuple[TableSpec, dict[int, float], dict
     return table, fitness_by_dim, selected_fraction
 
 
+def _tsp_case(
+    *, n_cities: int, budget: int, pan_seed: int, seed: int
+) -> tuple[float, float, float]:
+    problem = TravelingSalesman.circular(n_cities)
+    cfg_kwargs = dict(
+        crossover=OrderCrossover(), mutation=InversionMutation(), elitism=1
+    )
+    model = IslandModel.partitioned(
+        problem,
+        128,
+        8,
+        GAConfig(**cfg_kwargs),
+        policy=MigrationPolicy(rate=1, selection="best"),
+        schedule=PeriodicSchedule(4),
+        seed=seed,
+    )
+    res_island = model.run(MaxEvaluations(budget))
+    eng = GenerationalEngine(
+        problem, GAConfig(population_size=128, **cfg_kwargs), seed=pan_seed
+    )
+    eng.run(MaxEvaluations(budget))
+    res_pan = eng.result()
+    return problem.optimum, res_island.best_fitness, res_pan.best_fitness
+
+
 def _tsp_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
     n_cities = 30 if quick else 60
     budget = 20_000 if quick else 80_000
@@ -128,35 +191,17 @@ def _tsp_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
         title=f"Circular TSP ({n_cities} cities): island vs panmictic, same budget",
         columns=["seed", "optimum", "island tour", "panmictic tour"],
     )
-    cfg_kwargs = dict(
-        crossover=OrderCrossover(), mutation=InversionMutation(), elitism=1
-    )
+    trials = [
+        Trial(_tsp_case, dict(n_cities=n_cities, budget=budget, pan_seed=4500 + s), seed=4400 + s)
+        for s in seeds
+    ]
     island_gaps, pan_gaps = [], []
-    for s in seeds:
-        problem = TravelingSalesman.circular(n_cities)
-        model = IslandModel.partitioned(
-            problem,
-            128,
-            8,
-            GAConfig(**cfg_kwargs),
-            policy=MigrationPolicy(rate=1, selection="best"),
-            schedule=PeriodicSchedule(4),
-            seed=4400 + s,
-        )
-        res_island = model.run(MaxEvaluations(budget))
-        eng = GenerationalEngine(
-            problem, GAConfig(population_size=128, **cfg_kwargs), seed=4500 + s
-        )
-        eng.run(MaxEvaluations(budget))
-        res_pan = eng.result()
-        island_gaps.append(res_island.best_fitness / problem.optimum)
-        pan_gaps.append(res_pan.best_fitness / problem.optimum)
-        table.add_row(
-            s,
-            round(problem.optimum, 1),
-            round(res_island.best_fitness, 1),
-            round(res_pan.best_fitness, 1),
-        )
+    for s, (optimum, island_best, pan_best) in zip(
+        seeds, run_sweep("E11", trials, quick=quick)
+    ):
+        island_gaps.append(island_best / optimum)
+        pan_gaps.append(pan_best / optimum)
+        table.add_row(s, round(optimum, 1), round(island_best, 1), round(pan_best, 1))
     return table, float(np.mean(island_gaps)), float(np.mean(pan_gaps))
 
 

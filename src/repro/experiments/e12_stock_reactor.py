@@ -25,9 +25,44 @@ from ..migration.schedule import PeriodicSchedule
 from ..parallel.island import IslandModel
 from ..problems.applications.reactor import ReactorCoreDesign
 from ..problems.applications.stock import StockPrediction
+from ..runtime.sweep import Trial, run_sweep
 from .report import ExperimentReport, TableSpec
 
 __all__ = ["run"]
+
+
+def _stock_case(*, budget: int, problem_seed: int, seed: int) -> dict:
+    problem = StockPrediction(seed=problem_seed, hidden=4)
+    # the 2-D encoding: rows = hidden units, cols = per-unit weights
+    cx = TwoDimensionalCrossover(rows=problem.rows, cols=problem.cols + 0)
+    # pad: genome also holds the output layer — fall back to treating
+    # the full genome as rows x cols only if lengths match, else use the
+    # default SBX via config resolution on the non-matching tail.
+    cfg = GAConfig(
+        population_size=30,
+        crossover=cx
+        if problem.spec.length == problem.rows * problem.cols
+        else None,
+        mutation=GaussianMutation(sigma=0.3, lower=-3.0, upper=3.0),
+        elitism=1,
+    )
+    model = IslandModel(
+        problem,
+        4,
+        cfg,
+        policy=MigrationPolicy(rate=1, selection="best"),
+        schedule=PeriodicSchedule(5),
+        seed=seed,
+    )
+    res = model.run(MaxEvaluations(budget))
+    out = problem.out_of_sample(res.best.genome)
+    return {
+        "train_fitness": res.best_fitness,
+        "bh_train": problem.buy_and_hold(),
+        "strategy_return": out.strategy_return,
+        "buy_and_hold_return": out.buy_and_hold_return,
+        "excess": out.excess,
+    }
 
 
 def _stock_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
@@ -43,44 +78,42 @@ def _stock_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
             "test excess",
         ],
     )
+    trials = [
+        Trial(_stock_case, dict(budget=budget, problem_seed=5100 + s), seed=s)
+        for s in seeds
+    ]
     train_excess, test_excess = [], []
-    for s in seeds:
-        problem = StockPrediction(seed=5100 + s, hidden=4)
-        # the 2-D encoding: rows = hidden units, cols = per-unit weights
-        cx = TwoDimensionalCrossover(rows=problem.rows, cols=problem.cols + 0)
-        # pad: genome also holds the output layer — fall back to treating
-        # the full genome as rows x cols only if lengths match, else use the
-        # default SBX via config resolution on the non-matching tail.
-        cfg = GAConfig(
-            population_size=30,
-            crossover=cx
-            if problem.spec.length == problem.rows * problem.cols
-            else None,
-            mutation=GaussianMutation(sigma=0.3, lower=-3.0, upper=3.0),
-            elitism=1,
-        )
-        model = IslandModel(
-            problem,
-            4,
-            cfg,
-            policy=MigrationPolicy(rate=1, selection="best"),
-            schedule=PeriodicSchedule(5),
-            seed=s,
-        )
-        res = model.run(MaxEvaluations(budget))
-        out = problem.out_of_sample(res.best.genome)
-        bh_train = problem.buy_and_hold()
-        train_excess.append(res.best_fitness - bh_train)
-        test_excess.append(out.excess)
+    for s, case in zip(seeds, run_sweep("E12", trials, quick=quick)):
+        train_excess.append(case["train_fitness"] - case["bh_train"])
+        test_excess.append(case["excess"])
         table.add_row(
             s,
-            round(res.best_fitness, 4),
-            round(bh_train, 4),
-            round(out.strategy_return, 4),
-            round(out.buy_and_hold_return, 4),
-            round(out.excess, 4),
+            round(case["train_fitness"], 4),
+            round(case["bh_train"], 4),
+            round(case["strategy_return"], 4),
+            round(case["buy_and_hold_return"], 4),
+            round(case["excess"], 4),
         )
     return table, float(np.mean(train_excess)), float(np.mean(test_excess))
+
+
+def _reactor_case(*, budget: int, seq_seed: int, seed: int) -> tuple[float, float, float, float]:
+    problem = ReactorCoreDesign(mesh_points=40)
+    model = IslandModel.partitioned(
+        problem,
+        96,
+        6,
+        GAConfig(elitism=1),
+        policy=MigrationPolicy(rate=1, selection="best"),
+        schedule=PeriodicSchedule(4),
+        seed=seed,
+    )
+    res_i = model.run(MaxEvaluations(budget))
+    eng = GenerationalEngine(problem, GAConfig(population_size=96, elitism=1), seed=seq_seed)
+    eng.run(MaxEvaluations(budget))
+    res_s = eng.result()
+    sol = problem.solve(res_i.best.genome)
+    return res_i.best_fitness, res_s.best_fitness, float(sol.k_eff), float(sol.peaking_factor)
 
 
 def _reactor_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
@@ -89,32 +122,17 @@ def _reactor_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
         title="Reactor core design: island GA vs non-parallel GA (same budget)",
         columns=["seed", "island fitness", "sequential fitness", "island k_eff", "island peaking"],
     )
+    trials = [
+        Trial(_reactor_case, dict(budget=budget, seq_seed=5300 + s), seed=5200 + s)
+        for s in seeds
+    ]
     island_fits, seq_fits = [], []
-    for s in seeds:
-        problem = ReactorCoreDesign(mesh_points=40)
-        model = IslandModel.partitioned(
-            problem,
-            96,
-            6,
-            GAConfig(elitism=1),
-            policy=MigrationPolicy(rate=1, selection="best"),
-            schedule=PeriodicSchedule(4),
-            seed=5200 + s,
-        )
-        res_i = model.run(MaxEvaluations(budget))
-        eng = GenerationalEngine(problem, GAConfig(population_size=96, elitism=1), seed=5300 + s)
-        eng.run(MaxEvaluations(budget))
-        res_s = eng.result()
-        sol = problem.solve(res_i.best.genome)
-        island_fits.append(res_i.best_fitness)
-        seq_fits.append(res_s.best_fitness)
-        table.add_row(
-            s,
-            round(res_i.best_fitness, 4),
-            round(res_s.best_fitness, 4),
-            round(sol.k_eff, 4),
-            round(sol.peaking_factor, 3),
-        )
+    for s, (fit_i, fit_s, k_eff, peaking) in zip(
+        seeds, run_sweep("E12", trials, quick=quick)
+    ):
+        island_fits.append(fit_i)
+        seq_fits.append(fit_s)
+        table.add_row(s, round(fit_i, 4), round(fit_s, 4), round(k_eff, 4), round(peaking, 3))
     return table, float(np.mean(island_fits)), float(np.mean(seq_fits))
 
 

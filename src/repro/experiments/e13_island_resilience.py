@@ -41,6 +41,7 @@ from ..core.config import GAConfig
 from ..migration.policy import MigrationPolicy
 from ..parallel.island import SimulatedIslandModel
 from ..problems.binary import OneMax
+from ..runtime.sweep import Trial, run_sweep
 from ..verify.invariants import CheckContext, check_trace
 from .report import ExperimentReport, TableSpec
 
@@ -158,6 +159,71 @@ def _run_arm(
     return result, violations, lost
 
 
+def _case_summary(result, violations, lost) -> dict:
+    return {
+        "violations": len(violations),
+        "lost": lost,
+        "deme_bests": [float(b) for b in result.deme_bests],
+        "sim_time": result.sim_time,
+        "retransmits": result.retransmits,
+        "dup_discards": result.dup_discards,
+        "recoveries": result.recoveries,
+        "abandoned": result.abandoned_demes,
+    }
+
+
+def _grid_case(
+    *,
+    arm: str,
+    n_islands: int,
+    n_nodes: int,
+    horizon: float,
+    loss: float,
+    partition: float,
+    mode: str,
+    plan_seed: int,
+    pop: int,
+    max_epochs: int,
+) -> dict:
+    plan = _fault_plan(
+        n_nodes=n_nodes,
+        n_islands=n_islands,
+        horizon=horizon,
+        loss=loss,
+        partition=partition,
+        mtbf_mode=mode,
+        seed=plan_seed,
+    )
+    result, violations, lost = _run_arm(
+        arm,
+        n_islands=n_islands,
+        n_nodes=n_nodes,
+        plan=plan,
+        seed=42,
+        pop=pop,
+        max_epochs=max_epochs,
+        checkpoint_every=3,
+    )
+    return _case_summary(result, violations, lost)
+
+
+def _showcase_case(
+    *, arm: str, n_islands: int, n_nodes: int, horizon: float, pop: int, max_epochs: int
+) -> dict:
+    plan = _showcase_plan(n_nodes=n_nodes, n_islands=n_islands, horizon=horizon)
+    result, violations, lost = _run_arm(
+        arm,
+        n_islands=n_islands,
+        n_nodes=n_nodes,
+        plan=plan,
+        seed=42,
+        pop=pop,
+        max_epochs=max_epochs,
+        checkpoint_every=3,
+    )
+    return _case_summary(result, violations, lost)
+
+
 def run(quick: bool = False) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E13",
@@ -195,49 +261,55 @@ def run(quick: bool = False) -> ExperimentReport:
     healthy = {a: None for a in ARMS}     # fault-free config
     lossy_retx = 0
 
+    grid = [
+        (loss, partition, mode)
+        for loss in losses
+        for partition in partition_durations
+        for mode in mtbf_modes
+    ]
+    grid_trials = [
+        Trial(
+            _grid_case,
+            dict(
+                arm=arm,
+                n_islands=n_islands,
+                n_nodes=n_nodes,
+                horizon=horizon,
+                loss=loss,
+                partition=partition,
+                mode=mode,
+                plan_seed=1300 + cfg_id,
+                pop=pop,
+                max_epochs=max_epochs,
+            ),
+        )
+        for cfg_id, (loss, partition, mode) in enumerate(grid)
+        for arm in ARMS
+    ]
+    grid_results = iter(run_sweep("E13", grid_trials, quick=quick))
     cfg_id = 0
-    for loss in losses:
-        for partition in partition_durations:
-            for mode in mtbf_modes:
-                plan = _fault_plan(
-                    n_nodes=n_nodes,
-                    n_islands=n_islands,
-                    horizon=horizon,
-                    loss=loss,
-                    partition=partition,
-                    mtbf_mode=mode,
-                    seed=1300 + cfg_id,
-                )
-                solved_row, quality_row = [], []
-                for arm in ARMS:
-                    result, violations, lost = _run_arm(
-                        arm,
-                        n_islands=n_islands,
-                        n_nodes=n_nodes,
-                        plan=plan,
-                        seed=42,
-                        pop=pop,
-                        max_epochs=max_epochs,
-                        checkpoint_every=3,
-                    )
-                    total_violations += len(violations)
-                    total_lost += lost
-                    solved = sum(1 for b in result.deme_bests if b >= GENOME)
-                    solved_row.append(solved)
-                    quality_row.append(round(float(np.mean(result.deme_bests)), 2))
-                    s = sums[arm]
-                    s["time"] += result.sim_time
-                    s["retx"] += result.retransmits
-                    s["dup"] += result.dup_discards
-                    s["recov"] += result.recoveries
-                    s["aband"] += result.abandoned_demes
-                    if loss > 0 and arm != "none":
-                        lossy_retx += result.retransmits
-                    if (loss, partition, mode) == (0.0, 0.0, "none"):
-                        healthy[arm] = (solved, result)
-                solved_tbl.add_row(loss, partition, mode, *solved_row)
-                quality_tbl.add_row(loss, partition, mode, *quality_row)
-                cfg_id += 1
+    for loss, partition, mode in grid:
+        solved_row, quality_row = [], []
+        for arm in ARMS:
+            case = next(grid_results)
+            total_violations += case["violations"]
+            total_lost += case["lost"]
+            solved = sum(1 for b in case["deme_bests"] if b >= GENOME)
+            solved_row.append(solved)
+            quality_row.append(round(float(np.mean(case["deme_bests"])), 2))
+            s = sums[arm]
+            s["time"] += case["sim_time"]
+            s["retx"] += case["retransmits"]
+            s["dup"] += case["dup_discards"]
+            s["recov"] += case["recoveries"]
+            s["aband"] += case["abandoned"]
+            if loss > 0 and arm != "none":
+                lossy_retx += case["retransmits"]
+            if (loss, partition, mode) == (0.0, 0.0, "none"):
+                healthy[arm] = (solved, case)
+        solved_tbl.add_row(loss, partition, mode, *solved_row)
+        quality_tbl.add_row(loss, partition, mode, *quality_row)
+        cfg_id += 1
 
     for arm in ARMS:
         s = sums[arm]
@@ -252,30 +324,33 @@ def run(quick: bool = False) -> ExperimentReport:
         title="Showcase: deme crash + partition + 30% loss (deterministic)",
         columns=["arm", "demes solved", "mean best", "retransmits", "recoveries"],
     )
-    plan = _showcase_plan(n_nodes=n_nodes, n_islands=n_islands, horizon=horizon)
-    showcase = {}
-    for arm in ARMS:
-        result, violations, lost = _run_arm(
-            arm,
-            n_islands=n_islands,
-            n_nodes=n_nodes,
-            plan=plan,
-            seed=42,
-            pop=pop,
-            max_epochs=max_epochs,
-            checkpoint_every=3,
+    showcase_trials = [
+        Trial(
+            _showcase_case,
+            dict(
+                arm=arm,
+                n_islands=n_islands,
+                n_nodes=n_nodes,
+                horizon=horizon,
+                pop=pop,
+                max_epochs=max_epochs,
+            ),
         )
-        total_violations += len(violations)
-        total_lost += lost
-        solved = sum(1 for b in result.deme_bests if b >= GENOME)
-        showcase[arm] = (solved, result)
-        lossy_retx += result.retransmits
+        for arm in ARMS
+    ]
+    showcase = {}
+    for arm, case in zip(ARMS, run_sweep("E13", showcase_trials, quick=quick)):
+        total_violations += case["violations"]
+        total_lost += case["lost"]
+        solved = sum(1 for b in case["deme_bests"] if b >= GENOME)
+        showcase[arm] = (solved, case)
+        lossy_retx += case["retransmits"]
         showcase_tbl.add_row(
             arm,
             solved,
-            round(float(np.mean(result.deme_bests)), 2),
-            result.retransmits,
-            result.recoveries,
+            round(float(np.mean(case["deme_bests"])), 2),
+            case["retransmits"],
+            case["recoveries"],
         )
     report.tables.extend([solved_tbl, quality_tbl, machinery_tbl, showcase_tbl])
 
@@ -309,11 +384,13 @@ def run(quick: bool = False) -> ExperimentReport:
     )
     report.expect(
         "recovery-actually-used-under-chaos",
-        showcase["reliable+supervisor"][1].recoveries > 0,
-        f"{showcase['reliable+supervisor'][1].recoveries} checkpoint recoveries "
+        showcase["reliable+supervisor"][1]["recoveries"] > 0,
+        f"{showcase['reliable+supervisor'][1]['recoveries']} checkpoint recoveries "
         "in the showcase",
     )
-    overhead = healthy["reliable+supervisor"][1].sim_time / healthy["none"][1].sim_time
+    overhead = (
+        healthy["reliable+supervisor"][1]["sim_time"] / healthy["none"][1]["sim_time"]
+    )
     report.expect(
         "protection-overhead-bounded-when-healthy",
         overhead < 1.5,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..runtime.sweep import Trial, run_sweep
 from .report import ExperimentReport, TableSpec
 
 __all__ = ["LibraryEntry", "TABLE1_LIBRARIES", "run"]
@@ -43,21 +44,8 @@ TABLE1_LIBRARIES: tuple[LibraryEntry, ...] = (
 SELF_ENTRY = LibraryEntry(8, "repro (this work)", "Python", "simulated MP / multiprocessing", "Any")
 
 
-def run(quick: bool = False) -> ExperimentReport:
-    """Regenerate Table 1 and the model-taxonomy table."""
-    report = ExperimentReport(
-        experiment_id="E1",
-        title="Table 1 — parallel genetic libraries and their characteristics",
-    )
-    t = TableSpec(
-        title="Parallel genetic libraries",
-        columns=["#", "Name", "Language", "Comm.", "OS"],
-    )
-    for e in TABLE1_LIBRARIES + (SELF_ENTRY,):
-        t.add_row(e.index, e.name, e.language, e.communication, e.os)
-    report.tables.append(t)
-
-    # taxonomy of the models this framework implements (survey §1.2)
+def _taxonomy_rows() -> list[list[str]]:
+    """Taxonomy rows for the models this framework implements (survey §1.2)."""
     from ..parallel import (
         CellularGA,
         CellularIslandModel,
@@ -72,10 +60,7 @@ def run(quick: bool = False) -> ExperimentReport:
         SpecializedIslandModel,
     )
 
-    tax = TableSpec(
-        title="Implemented PGA models vs the survey's taxonomy",
-        columns=["Model", "Grain", "Walk", "Parallelism", "Programming"],
-    )
+    rows = []
     for cls in (
         MasterSlaveGA,
         SimulatedMasterSlave,
@@ -90,9 +75,33 @@ def run(quick: bool = False) -> ExperimentReport:
         PooledEvolution,
     ):
         c = cls.classification
-        tax.add_row(
-            cls.__name__, c.grain.value, c.walk.value, c.parallelism.value, c.programming.value
+        rows.append(
+            [cls.__name__, c.grain.value, c.walk.value, c.parallelism.value, c.programming.value]
         )
+    return rows
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    """Regenerate Table 1 and the model-taxonomy table."""
+    report = ExperimentReport(
+        experiment_id="E1",
+        title="Table 1 — parallel genetic libraries and their characteristics",
+    )
+    t = TableSpec(
+        title="Parallel genetic libraries",
+        columns=["#", "Name", "Language", "Comm.", "OS"],
+    )
+    for e in TABLE1_LIBRARIES + (SELF_ENTRY,):
+        t.add_row(e.index, e.name, e.language, e.communication, e.os)
+    report.tables.append(t)
+
+    tax = TableSpec(
+        title="Implemented PGA models vs the survey's taxonomy",
+        columns=["Model", "Grain", "Walk", "Parallelism", "Programming"],
+    )
+    (rows,) = run_sweep("E1", [Trial(_taxonomy_rows)], quick=quick)
+    for row in rows:
+        tax.add_row(*row)
     report.tables.append(tax)
 
     report.expect(

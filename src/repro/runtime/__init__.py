@@ -9,8 +9,26 @@ from .executor import (
     ThreadExecutor,
     chunk_indices,
 )
+from .sweep import (
+    SweepConfig,
+    SweepTelemetry,
+    Trial,
+    TrialCache,
+    kernel_digest,
+    run_sweep,
+    sweep_context,
+    trial_digest,
+)
 
 __all__ = [
+    "Trial",
+    "TrialCache",
+    "SweepConfig",
+    "SweepTelemetry",
+    "run_sweep",
+    "sweep_context",
+    "kernel_digest",
+    "trial_digest",
     "EpochLoop",
     "TimedDemeRuntime",
     "RuntimeCapabilities",

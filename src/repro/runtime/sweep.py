@@ -1,0 +1,464 @@
+"""Trial-level sweep orchestrator: process fan-out + content-addressed cache.
+
+Every experiment runner (E1–E13) regenerates its tables from a grid of
+independent, seeded simulations — the embarrassingly parallel "many
+independent runs" workload that honest PGA performance studies demand
+(Harada, Alba & Luque).  This module lets a runner declare that grid as
+pure :class:`Trial` specs and hands the harness two orthogonal levers:
+
+**Fan-out.**  ``run_sweep`` executes the trials on a ``fork``-server
+process pool (the broadcast-once idiom of
+:class:`~repro.runtime.executor.MultiprocessingExecutor`: the interpreter
+image is forked once, per-trial traffic is one small pickled spec out and
+one small result back).  Results are merged back **in declared order**,
+so a report built from a parallel sweep is fingerprint-identical to the
+serial run — trials must therefore be pure functions of
+``(params, seed)`` and return plain picklable data.
+
+**Content-addressed caching.**  Each trial's result can be stored on disk
+under a digest of ``(experiment id, fn identity, params, seed, quick
+flag, kernel-code digest)``.  The kernel digest hashes every ``*.py``
+file of the ``repro`` package, so *any* code edit transparently
+invalidates every cached trial, while re-runs after unrelated edits
+(docs, tests) are near-instant cache hits.  Entries carry a checksum; a
+corrupt entry is detected, discarded and recomputed, never trusted.
+
+Configuration is ambient (:func:`sweep_context`) so the thirteen runners
+keep their ``run(quick=False)`` signature; the CLI exposes ``--jobs``,
+``--cache-dir`` and ``--no-cache``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import platform
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Trial",
+    "TrialCache",
+    "SweepConfig",
+    "SweepTelemetry",
+    "TrialRecord",
+    "run_sweep",
+    "sweep_context",
+    "current_config",
+    "kernel_digest",
+    "trial_digest",
+    "canonical_params",
+]
+
+
+# -- trial specs -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One independent unit of experiment work.
+
+    ``fn`` must be a module-level callable (so it pickles by reference),
+    pure given its arguments, and must return plain picklable data —
+    numbers, strings, lists/tuples/dicts and small dataclasses of those.
+    It is invoked as ``fn(**params)``, plus ``seed=seed`` when a seed is
+    declared.
+    """
+
+    fn: Callable[..., Any]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+
+    def call(self) -> Any:
+        kwargs = dict(self.params)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return self.fn(**kwargs)
+
+    @property
+    def fn_id(self) -> str:
+        return f"{self.fn.__module__}.{self.fn.__qualname__}"
+
+
+# -- cache keys --------------------------------------------------------------------
+
+_KERNEL_DIGEST: str | None = None
+
+
+def kernel_digest() -> str:
+    """sha256 over every ``*.py`` of the ``repro`` package (memoized).
+
+    Part of every trial's cache key: touching any kernel code invalidates
+    every cached trial, so the cache can never serve results computed by
+    an older implementation.
+    """
+    global _KERNEL_DIGEST
+    if _KERNEL_DIGEST is None:
+        root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _KERNEL_DIGEST = h.hexdigest()
+    return _KERNEL_DIGEST
+
+
+def canonical_params(value: Any, depth: int = 0) -> str:
+    """Canonical string form of a trial parameter (stable across processes).
+
+    Follows the same conventions as :mod:`repro.verify.digest`: floats via
+    ``repr`` (shortest round-trip form), mappings sorted by key.  Opaque
+    objects fall back to a digest of their pickled bytes — sound here
+    because the kernel digest already invalidates on any code change.
+    """
+    if depth > 12:
+        raise ValueError("trial params nest too deeply to canonicalise")
+    if value is None or isinstance(value, bool):
+        return repr(value)
+    if isinstance(value, (np.floating, float)):
+        return repr(float(value))
+    if isinstance(value, (np.integer, int)):
+        return repr(int(value))
+    if isinstance(value, (str, bytes)):
+        return repr(value)
+    if isinstance(value, np.ndarray):
+        return f"ndarray({canonical_params(value.tolist(), depth + 1)},{value.dtype.str})"
+    if isinstance(value, Mapping):
+        items = ",".join(
+            f"{canonical_params(k, depth + 1)}:{canonical_params(v, depth + 1)}"
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        )
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(canonical_params(v, depth + 1) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(canonical_params(v, depth + 1) for v in value)) + "}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={canonical_params(getattr(value, f.name), depth + 1)}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({fields})"
+    blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return f"<{type(value).__module__}.{type(value).__qualname__}:{hashlib.sha256(blob).hexdigest()}>"
+
+
+def trial_digest(
+    experiment_id: str, trial: Trial, *, quick: bool, kernel: str | None = None
+) -> str:
+    """Content address of one trial's result."""
+    blob = "|".join(
+        [
+            experiment_id,
+            trial.fn_id,
+            canonical_params(dict(trial.params)),
+            repr(trial.seed),
+            repr(bool(quick)),
+            kernel if kernel is not None else kernel_digest(),
+        ]
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -- on-disk cache -----------------------------------------------------------------
+
+_MAGIC = b"RSWEEP1\n"
+
+
+class TrialCache:
+    """Content-addressed on-disk store of trial results.
+
+    Layout: ``<root>/<digest[:2]>/<digest[2:]>.pkl``; each entry is a
+    magic header, the hex sha256 of the payload, and the pickled payload.
+    A short, damaged or tampered entry fails the checksum (or unpickling)
+    and is treated as a miss — the trial recomputes and the entry is
+    rewritten.  Writes are atomic (temp file + rename), so a crashed
+    writer can at worst leave a corrupt entry, never a half-trusted one.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest[2:]}.pkl"
+
+    def load(self, digest: str) -> tuple[bool, Any]:
+        """``(hit, value)``; corrupt entries count as misses."""
+        path = self._path(digest)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return False, None
+        try:
+            if not blob.startswith(_MAGIC):
+                raise ValueError("bad magic")
+            checksum = blob[len(_MAGIC) : len(_MAGIC) + 64].decode("ascii")
+            payload = blob[len(_MAGIC) + 65 :]
+            if blob[len(_MAGIC) + 64 : len(_MAGIC) + 65] != b"\n":
+                raise ValueError("bad header")
+            if hashlib.sha256(payload).hexdigest() != checksum:
+                raise ValueError("checksum mismatch")
+            value = pickle.loads(payload)
+        except Exception:
+            self.corrupt += 1
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, digest: str, value: Any) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _MAGIC + hashlib.sha256(payload).hexdigest().encode("ascii") + b"\n" + payload
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+
+
+# -- telemetry ---------------------------------------------------------------------
+
+
+@dataclass
+class TrialRecord:
+    """Per-trial perf telemetry (never part of a result fingerprint)."""
+
+    experiment: str
+    fn: str
+    seed: int | None
+    digest: str
+    wall_s: float
+    cached: bool
+    sim_events: int = 0
+    evaluations: int = 0
+
+
+@dataclass
+class SweepTelemetry:
+    """Collects per-trial and per-sweep perf records into a JSON artifact.
+
+    The artifact (``BENCH_sweep.json`` by convention) is the repo's bench
+    trajectory for the experiment suite: wall time per trial, simulated
+    events dispatched and bulk fitness evaluations observed, plus cache
+    hit/corruption counts per sweep.
+    """
+
+    trials: list[TrialRecord] = field(default_factory=list)
+    sweeps: list[dict[str, Any]] = field(default_factory=list)
+
+    def record_sweep(
+        self,
+        *,
+        experiment: str,
+        n_trials: int,
+        cache_hits: int,
+        cache_corrupt: int,
+        jobs: int,
+        wall_s: float,
+    ) -> None:
+        self.sweeps.append(
+            {
+                "experiment": experiment,
+                "trials": n_trials,
+                "cache_hits": cache_hits,
+                "cache_corrupt": cache_corrupt,
+                "jobs": jobs,
+                "wall_s": round(wall_s, 6),
+            }
+        )
+
+    def totals(self) -> dict[str, Any]:
+        return {
+            "trials": len(self.trials),
+            "cache_hits": sum(1 for t in self.trials if t.cached),
+            "trial_wall_s": round(sum(t.wall_s for t in self.trials), 6),
+            "sweep_wall_s": round(sum(s["wall_s"] for s in self.sweeps), 6),
+            "sim_events": sum(t.sim_events for t in self.trials),
+            "evaluations": sum(t.evaluations for t in self.trials),
+        }
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": "repro-sweep-bench/v1",
+            "host": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "cpu_count": os.cpu_count(),
+            },
+            "totals": self.totals(),
+            "sweeps": self.sweeps,
+            "trials": [dataclasses.asdict(t) for t in self.trials],
+        }
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_json(), indent=2) + "\n")
+
+
+# -- ambient configuration ---------------------------------------------------------
+
+
+@dataclass
+class SweepConfig:
+    """How ``run_sweep`` executes: process count, cache location, telemetry.
+
+    ``cache_dir=None`` disables the cache (the library default, keeping
+    programmatic runs hermetic); the CLI opts into ``.sweep_cache``.
+    """
+
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    telemetry: SweepTelemetry | None = None
+
+
+_ACTIVE = SweepConfig()
+
+
+def current_config() -> SweepConfig:
+    return _ACTIVE
+
+
+@contextmanager
+def sweep_context(
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    telemetry: SweepTelemetry | None = None,
+) -> Iterator[SweepConfig]:
+    """Install an ambient :class:`SweepConfig` for the enclosed runners."""
+    global _ACTIVE
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    prev = _ACTIVE
+    _ACTIVE = SweepConfig(jobs=int(jobs), cache_dir=cache_dir, telemetry=telemetry)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = prev
+
+
+# -- execution ---------------------------------------------------------------------
+
+
+def _execute_indexed(job: tuple[int, Trial]) -> tuple[int, Any, float, int, int]:
+    """Run one trial (driver- or worker-side), measuring wall time and the
+    simulation-kernel / evaluation-stack counters around it."""
+    from ..cluster import sim as _sim
+    from ..core import problem as _problem
+
+    index, trial = job
+    ev0 = _problem.evaluations_observed()
+    si0 = _sim.events_dispatched()
+    start = time.perf_counter()
+    value = trial.call()
+    wall = time.perf_counter() - start
+    return (
+        index,
+        value,
+        wall,
+        _sim.events_dispatched() - si0,
+        _problem.evaluations_observed() - ev0,
+    )
+
+
+def run_sweep(
+    experiment_id: str,
+    trials: Sequence[Trial],
+    *,
+    quick: bool = False,
+    config: SweepConfig | None = None,
+) -> list[Any]:
+    """Execute ``trials`` and return their results in declared order.
+
+    Cache hits are answered from disk; the remaining trials run serially
+    (``jobs == 1``) or on a process pool.  The returned list is ordered
+    exactly like ``trials`` regardless of completion order, so reports
+    built from it are fingerprint-identical across serial, parallel and
+    cached executions.
+    """
+    cfg = config if config is not None else _ACTIVE
+    trials = list(trials)
+    results: list[Any] = [None] * len(trials)
+    cache = TrialCache(cfg.cache_dir) if cfg.cache_dir is not None else None
+    telemetry = cfg.telemetry
+    sweep_start = time.perf_counter()
+    cache_hits = 0
+
+    pending: list[int] = []
+    digests: list[str | None] = [None] * len(trials)
+    if cache is not None:
+        kernel = kernel_digest()
+        for i, trial in enumerate(trials):
+            digests[i] = trial_digest(experiment_id, trial, quick=quick, kernel=kernel)
+    for i, trial in enumerate(trials):
+        if cache is not None:
+            hit, value = cache.load(digests[i])
+            if hit:
+                results[i] = value
+                cache_hits += 1
+                if telemetry is not None:
+                    telemetry.trials.append(
+                        TrialRecord(
+                            experiment=experiment_id,
+                            fn=trial.fn_id,
+                            seed=trial.seed,
+                            digest=digests[i][:16],
+                            wall_s=0.0,
+                            cached=True,
+                        )
+                    )
+                continue
+        pending.append(i)
+
+    def _absorb(index: int, value: Any, wall: float, sim_events: int, evals: int) -> None:
+        results[index] = value
+        if cache is not None:
+            cache.store(digests[index], value)
+        if telemetry is not None:
+            telemetry.trials.append(
+                TrialRecord(
+                    experiment=experiment_id,
+                    fn=trials[index].fn_id,
+                    seed=trials[index].seed,
+                    digest=(digests[index] or "")[:16],
+                    wall_s=round(wall, 6),
+                    cached=False,
+                    sim_events=sim_events,
+                    evaluations=evals,
+                )
+            )
+
+    jobs = min(cfg.jobs, len(pending))
+    if jobs > 1:
+        ctx = get_context("fork" if os.name == "posix" else "spawn")
+        with ctx.Pool(processes=jobs) as pool:
+            payloads = [(i, trials[i]) for i in pending]
+            for out in pool.imap_unordered(_execute_indexed, payloads):
+                _absorb(*out)
+    else:
+        for i in pending:
+            _absorb(*_execute_indexed((i, trials[i])))
+
+    if telemetry is not None:
+        telemetry.record_sweep(
+            experiment=experiment_id,
+            n_trials=len(trials),
+            cache_hits=cache_hits,
+            cache_corrupt=cache.corrupt if cache is not None else 0,
+            jobs=cfg.jobs,
+            wall_s=time.perf_counter() - sweep_start,
+        )
+    return results
