@@ -26,6 +26,15 @@ copy-pasted per engine, and this check keeps them centralised:
    belong in module-level trial functions, where the sweep can fan them
    out and cache them).
 
+4. **The metrics registry.**  Counter-like run statistics belong in the
+   namespaced ``RunReport.metrics`` snapshot
+   (:func:`repro.obs.metrics.metrics_snapshot`), not in new bare
+   ``extras`` dict keys.  ``extras`` stays for engine-specific payloads
+   (curves, archives, per-worker vectors); any *new* key in an
+   ``extras={...}`` literal must either join the allowlist below (with a
+   non-scalar payload justification) or become a first-class
+   ``RunReport`` counter wired into the snapshot.
+
 Run from the repository root::
 
     python scripts/check_engine_contract.py
@@ -52,6 +61,25 @@ RESULT_CLASS_ALLOWED = {("cellular.py", "CellularResult")}
 
 #: the one module that owns the report schema
 SCHEMA_OWNER = "base.py"
+
+#: every extras key an engine may put in its report.  These are
+#: engine-specific *payloads* (curves, archives, per-worker vectors,
+#: nested results) — scalar counters do NOT belong here: they become
+#: RunReport fields surfaced through the repro.obs metrics snapshot.
+EXTRAS_KEY_ALLOWLIST = {
+    # master-slave
+    "result", "generation_makespans", "workers",
+    # async master-slave
+    "utilisation", "completions",
+    # pool
+    "pulls", "pool_size", "agent_evaluations",
+    # distributed cellular
+    "sweeps", "nodes", "compute_time", "comm_time",
+    # hierarchical
+    "work_units", "best_curve", "work_curve",
+    # specialized / multi-objective
+    "scenario", "archive_objectives", "hypervolume", "archive_genomes",
+}
 
 
 def lint_file(path: Path) -> list[str]:
@@ -97,6 +125,25 @@ def lint_file(path: Path) -> list[str]:
                 "construction — use ParallelEngine._report(), which stamps "
                 "the engine name and trace digest"
             )
+
+        # rule 4: extras dict literals may only carry allowlisted payload
+        # keys — new counters go through the RunReport metrics snapshot
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg != "extras" or not isinstance(kw.value, ast.Dict):
+                    continue
+                for key in kw.value.keys:
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and key.value not in EXTRAS_KEY_ALLOWLIST
+                    ):
+                        problems.append(
+                            f"{path.relative_to(REPO)}:{key.lineno}: extras key "
+                            f"{key.value!r} is not allowlisted — scalar counters "
+                            "belong on RunReport and in the repro.obs metrics "
+                            "snapshot, not in bare extras dicts"
+                        )
 
     return problems
 

@@ -17,6 +17,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..obs.session import current_obs
 from .genome import GenomeSpec
 
 __all__ = [
@@ -127,6 +128,9 @@ class Problem(abc.ABC):
         genomes stack into one homogeneous 2-D array (the fast path)."""
         global _EVALS_OBSERVED
         _EVALS_OBSERVED += len(genomes)
+        session = current_obs()
+        if session is not None:
+            session.metrics.counter("eval.evaluations_observed").inc(len(genomes))
         if _BATCH_ENABLED:
             batch = stack_genomes(genomes)
             if batch is not None:

@@ -12,6 +12,13 @@ content-addressed on-disk cache (``--cache-dir``, default
 flag and a digest of the repro source tree — editing any kernel code
 invalidates every entry.  ``--no-cache`` disables the cache entirely;
 ``--bench-out FILE`` writes per-trial telemetry as JSON.
+
+``--obs-out FILE`` enables the observability subsystem for the whole
+invocation and writes the merged span timeline + metrics as JSON
+(schema ``repro-obs-timeline/v1``); ``--obs-trace FILE`` writes the
+same spans in Chrome trace-event format for ``chrome://tracing`` /
+Perfetto.  Both leave stdout — and the experiment results themselves —
+byte-identical to an unobserved run.
 """
 
 from __future__ import annotations
@@ -20,10 +27,19 @@ import argparse
 import os
 import sys
 
+from ..obs import obs_session, sweep_obs_summary, write_chrome_trace, write_timeline
 from ..runtime.sweep import SweepTelemetry
 from . import REGISTRY, run_experiment
 
 DEFAULT_CACHE_DIR = ".sweep_cache"
+
+
+def normalize_id(raw: str) -> str:
+    """Canonicalise a CLI experiment id: ``e03`` / ``E03`` / ``e3`` → ``E3``."""
+    s = raw.strip().upper()
+    if s.startswith("E") and s[1:].isdigit():
+        s = f"E{int(s[1:])}"
+    return s
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -75,26 +91,67 @@ def main(argv: list[str] | None = None) -> int:
         help="write per-trial telemetry (wall time, simulated events, "
         "evaluations, cache hits) to FILE as JSON",
     )
+    parser.add_argument(
+        "--obs-out",
+        metavar="FILE",
+        help="enable observability and write the merged span timeline "
+        "(repro-obs-timeline/v1 JSON) to FILE",
+    )
+    parser.add_argument(
+        "--obs-trace",
+        metavar="FILE",
+        help="enable observability and write the spans in Chrome "
+        "trace-event format to FILE (open in chrome://tracing or Perfetto)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    ids = [i.upper() for i in args.ids] or list(REGISTRY)
+    raw_ids = list(args.ids)
+    # tolerate an explicit `run` verb (``python -m repro.experiments run e03``)
+    if raw_ids and raw_ids[0].lower() == "run":
+        raw_ids = raw_ids[1:]
+    ids = [normalize_id(i) for i in raw_ids] or list(REGISTRY)
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        parser.error(
+            f"unknown experiment ids {unknown}; choose from {', '.join(REGISTRY)}"
+        )
     cache_dir = None if args.no_cache else args.cache_dir
     telemetry = SweepTelemetry() if args.bench_out else None
+    obs_requested = bool(args.obs_out or args.obs_trace)
     any_failed = False
-    for key in ids:
-        report = run_experiment(
-            key,
-            quick=args.quick,
-            audit=args.audit,
-            jobs=args.jobs,
-            cache_dir=cache_dir,
-            telemetry=telemetry,
-        )
-        print(report.render())
-        print()
-        if not report.all_passed:
-            any_failed = True
+
+    def _run_all() -> bool:
+        failed = False
+        for key in ids:
+            report = run_experiment(
+                key,
+                quick=args.quick,
+                audit=args.audit,
+                jobs=args.jobs,
+                cache_dir=cache_dir,
+                telemetry=telemetry,
+            )
+            print(report.render())
+            print()
+            if not report.all_passed:
+                failed = True
+        return failed
+
+    if obs_requested:
+        with obs_session(label="+".join(ids)) as session:
+            any_failed = _run_all()
+        if args.obs_out:
+            write_timeline(session, args.obs_out)
+            print(f"[obs] timeline -> {args.obs_out}", file=sys.stderr)
+        if args.obs_trace:
+            write_chrome_trace(session, args.obs_trace)
+            print(f"[obs] chrome trace -> {args.obs_trace}", file=sys.stderr)
+        if telemetry is not None:
+            telemetry.obs = sweep_obs_summary(session)
+    else:
+        any_failed = _run_all()
+
     if telemetry is not None and args.bench_out:
         telemetry.write(args.bench_out)
         totals = telemetry.totals()

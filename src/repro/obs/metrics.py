@@ -1,0 +1,202 @@
+"""Namespaced metric instruments and the ``RunReport.metrics`` schema.
+
+Two distinct things live here, and keeping them distinct is what keeps
+the engines deterministic:
+
+* :class:`MetricRegistry` — live counters/gauges/histograms owned by an
+  observability *session*.  Process-level sources (simulator event
+  dispatch, fitness-cache hits, evaluations observed) feed these.  They
+  accumulate across runs, so they are exported only in session timelines
+  and sweep telemetry — never into a :class:`~repro.parallel.base.RunReport`.
+* :func:`metrics_snapshot` — a *pure function* of one finished report,
+  mapping its scattered counters into one namespaced, schema-versioned
+  dict stored as ``RunReport.metrics``.  Same report in, same snapshot
+  out: same-seed audit runs stay fingerprint-identical whether or not a
+  session is active.
+
+Metric names are lowercase dotted paths (``comm.retransmits``); the
+leading segment is the namespace.  Current namespaces: ``comm`` (wire
+traffic), ``recovery`` (supervisor outcomes), ``farm`` (master-slave
+work redistribution), ``progress`` (search progress), ``time`` (clock
+totals), plus session-level ``sim``, ``cache``, ``eval`` and ``sweep``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "metrics_snapshot",
+]
+
+METRICS_SCHEMA = "repro-obs-metrics/v1"
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name {name!r} must be lowercase dotted (namespace.metric)"
+        )
+    return name
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing integer."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins float."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary: count/sum/min/max (no buckets needed yet)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class MetricRegistry:
+    """One namespace of live instruments, lazily created on first use."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(_check_name(name))
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(_check_name(name))
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(_check_name(name))
+        return inst
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready dump, keys sorted for stable serialisation."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": {k: self.counters[k].value for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k].value for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].summary() for k in sorted(self.histograms)
+            },
+        }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold another registry's snapshot into this one (sweep roll-up)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name)
+            count = int(summary.get("count", 0))
+            if count:
+                hist.count += count
+                hist.total += float(summary.get("sum", 0.0))
+                hist.min = min(hist.min, float(summary.get("min", math.inf)))
+                hist.max = max(hist.max, float(summary.get("max", -math.inf)))
+
+
+# --- the RunReport.metrics snapshot ---------------------------------------
+
+# (namespaced metric, RunReport counter attribute) — every engine report
+# carries these attributes, so the snapshot shape is engine-independent.
+_REPORT_COUNTERS = (
+    ("comm.migrants_sent", "migrants_sent"),
+    ("comm.migrants_accepted", "migrants_accepted"),
+    ("comm.retransmits", "retransmits"),
+    ("comm.dup_discards", "dup_discards"),
+    ("recovery.recoveries", "recoveries"),
+    ("recovery.abandoned_demes", "abandoned_demes"),
+    ("farm.redispatches", "redispatches"),
+    ("farm.lost_chunks", "lost_chunks"),
+    ("progress.evaluations", "evaluations"),
+    ("progress.epochs", "epochs"),
+)
+
+
+def metrics_snapshot(report: Any) -> dict[str, Any]:
+    """Build the stable ``RunReport.metrics`` snapshot from ``report``.
+
+    Pure and deterministic: reads only the report's own fields, never a
+    live session, so same-seed runs snapshot identically with or without
+    observability enabled.
+    """
+    counters = {name: int(getattr(report, attr)) for name, attr in _REPORT_COUNTERS}
+    gauges: dict[str, float] = {}
+    sim_time = getattr(report, "sim_time", None)
+    if sim_time is not None:
+        gauges["time.sim_total"] = float(sim_time)
+    extras = getattr(report, "extras", None) or {}
+    for key in ("compute_time", "comm_time"):
+        if key in extras:
+            gauges[f"time.{key}"] = float(extras[key])
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": counters,
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "histograms": {},
+    }

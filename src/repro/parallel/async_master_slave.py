@@ -23,6 +23,7 @@ import numpy as np
 
 from ..cluster.machine import SimulatedCluster
 from ..core.config import GAConfig
+from ..obs.session import current_obs
 from ..core.individual import Individual, best_of
 from ..core.problem import Problem
 from ..core.rng import ensure_rng
@@ -144,6 +145,7 @@ class SimulatedAsyncMasterSlave(ParallelEngine):
         busy_time = np.zeros(n_slaves)
         completions = [0] * n_slaves
         in_flight: dict[int, Individual] = {}
+        obs = current_obs()
 
         def dispatch(s: int, child: Individual) -> None:
             """Hand ``child`` to slave ``s`` (a permanent crash retires the
@@ -153,6 +155,13 @@ class SimulatedAsyncMasterSlave(ParallelEngine):
             if math.isfinite(rt):
                 busy_time[s] += rt
                 in_flight[s] = child
+                if obs is not None:
+                    # the charged round-trip [dispatch, completion]: span
+                    # durations per track sum to exactly busy_time[s]
+                    obs.spans.record(
+                        "evaluate", now, now + rt,
+                        track=f"slave-{s + 1}", node=s + 1,
+                    )
             else:
                 in_flight.pop(s, None)
 

@@ -28,6 +28,9 @@ from typing import Any, Callable, TYPE_CHECKING
 import numpy as np
 
 from ..core.individual import Individual
+from ..obs.metrics import metrics_snapshot
+from ..obs.session import current_obs
+from ..obs.validate import check_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..cluster.trace import Trace
@@ -96,6 +99,10 @@ class RunReport:
     trace_digest: str | None = None
     #: model-specific measurements, attribute-accessible
     extras: dict[str, Any] = field(default_factory=dict)
+    #: namespaced counter/gauge snapshot under the stable
+    #: ``repro-obs-metrics/v1`` schema (see :mod:`repro.obs.metrics`);
+    #: a pure function of the other fields, filled in by ``_report``
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def __getattr__(self, name: str) -> Any:
         if name.startswith("_"):
@@ -164,7 +171,13 @@ class ParallelEngine:
             from ..verify.digest import trace_digest
 
             fields["trace_digest"] = trace_digest(trace)
-        return RunReport(engine=self.engine_name, **fields)
+        report = RunReport(engine=self.engine_name, **fields)
+        if not report.metrics:
+            report.metrics = metrics_snapshot(report)
+        session = current_obs()
+        if session is not None:
+            session.note_run(report)
+        return report
 
     def _report_trace(self) -> "Trace | None":
         """The trace this engine emitted into, if any."""
@@ -271,4 +284,14 @@ def validate_report(report: RunReport, *, engine: str | None = None) -> list[str
         if not isinstance(rec, EpochRecord):
             problems.append(f"records contain non-EpochRecord {type(rec).__name__}")
             break
+    if not report.metrics:
+        problems.append("report.metrics snapshot is missing")
+    else:
+        problems.extend(f"metrics: {p}" for p in check_metrics(report.metrics))
+        expected = metrics_snapshot(report)
+        if report.metrics != expected:
+            problems.append(
+                "report.metrics disagrees with metrics_snapshot(report) — "
+                "the snapshot must stay a pure function of the report"
+            )
     return problems

@@ -21,6 +21,7 @@ import math
 
 from ..cluster.machine import SimulatedCluster
 from ..cluster.sim import SimulationError, Timeout
+from ..obs.session import current_obs
 from ..core.config import GAConfig
 from ..core.problem import Problem
 from ..runtime.deme import emit_generation
@@ -103,6 +104,11 @@ class DistributedCellularGA(ParallelEngine):
         ]
         self.compute_time = 0.0
         self.comm_time = 0.0
+        self._obs = None
+        # serialized occupancy cursor of the virtual "network" timeline
+        # lane: aggregate per-sweep comm recorded back-to-back so the
+        # span durations sum to exactly ``comm_time``
+        self._net_cursor = 0.0
 
     def _sweep_cost(self) -> tuple[float, float]:
         """(barrier compute time, per-sweep aggregate comm time).
@@ -127,6 +133,13 @@ class DistributedCellularGA(ParallelEngine):
                     "cellular barrier cannot complete"
                 )
             per_node_compute.append(finish - now)
+        obs = self._obs
+        if obs is not None:
+            for i, dur in enumerate(per_node_compute):
+                obs.spans.record(
+                    "compute", now, now + dur, track=f"node-{i}",
+                    node=i, rows=self.strip_rows[i], sweep=self.cga.sweeps,
+                )
         barrier = max(per_node_compute)
         comm = 0.0
         n = self.cluster.n_nodes
@@ -137,6 +150,12 @@ class DistributedCellularGA(ParallelEngine):
                 comm += self.cluster.network.transit_time(i, down, self.halo_payload)
         self.compute_time += sum(per_node_compute)
         self.comm_time += comm
+        if obs is not None and comm > 0.0:
+            t0 = max(self._net_cursor, now)
+            obs.spans.record(
+                "comm", t0, t0 + comm, track="network", sweep=self.cga.sweeps,
+            )
+            self._net_cursor = t0 + comm
         # halo exchanges happen pairwise in parallel: the barrier extends by
         # the slowest single exchange, not the sum
         worst_exchange = (
@@ -150,13 +169,25 @@ class DistributedCellularGA(ParallelEngine):
         return barrier, worst_exchange
 
     def _driver(self, max_sweeps: int):
+        obs = self._obs
+        sim = self.cluster.sim
+
+        def frame(duration: float):
+            if obs is not None:
+                obs.spans.record(
+                    "sweep", sim.now, sim.now + duration, track="machine",
+                    sweep=self.cga.sweeps,
+                )
+
         self.cga.initialize()
         init_cost, _ = self._sweep_cost()  # initial evaluation wave
+        frame(init_cost)
         yield Timeout(init_cost)
         self._record_sweep()
         for _ in range(max_sweeps):
             self.cga.step()
             barrier, exchange = self._sweep_cost()
+            frame(barrier + exchange)
             yield Timeout(barrier + exchange)
             self._record_sweep()
             if self.cga._solved():
@@ -172,6 +203,7 @@ class DistributedCellularGA(ParallelEngine):
         )
 
     def run(self, max_sweeps: int = 100) -> RunReport:
+        self._obs = current_obs()
         proc = self.cluster.sim.process(self._driver(max_sweeps), "cellular-driver")
         self.cluster.run()
         if not proc.finished:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from ..cluster.machine import SimulatedCluster
 from ..cluster.sim import Timeout
+from ..obs.session import current_obs
 from ..core.config import GAConfig
 from ..core.engine import GenerationalEngine
 from ..core.problem import Problem
@@ -179,6 +180,12 @@ class SimulatedMasterSlave(ParallelEngine):
         """
         sim = self.cluster.sim
         start = sim.now
+        obs = self._obs
+        frame = (
+            obs.spans.begin("farm", t0=start, track="master", evals=n_evals)
+            if obs is not None
+            else None
+        )
         master_inbox = self.cluster.inbox("master")
         spans = chunk_indices(n_evals, self.workers * self.chunks_per_worker)
         # round-robin initial assignment; work-stealing on completion
@@ -200,6 +207,21 @@ class SimulatedMasterSlave(ParallelEngine):
             alive = not node.fails_during(sim.now, finish)
             if alive:
                 sim.put_later(finish - sim.now, master_inbox, ("done", chunk, node_id))
+                if obs is not None:
+                    track = f"slave-{node_id}"
+                    obs.spans.record(
+                        "comm", sim.now, sim.now + send_t,
+                        track=track, chunk=chunk, direction="send",
+                    )
+                    obs.spans.record(
+                        "evaluate", sim.now + send_t, sim.now + send_t + compute,
+                        track=track, chunk=chunk, node=node_id,
+                        evals=chunk_sizes[chunk],
+                    )
+                    obs.spans.record(
+                        "comm", sim.now + send_t + compute, finish,
+                        track=track, chunk=chunk, direction="reply",
+                    )
             # watchdog fires regardless; ignored if reply arrived first
             expected = finish - sim.now
             deadline = sim.now + max(expected * self.reply_timeout_factor, 1e-9)
@@ -228,7 +250,13 @@ class SimulatedMasterSlave(ParallelEngine):
                 chunk = unassigned.pop(0)
                 work = chunk_sizes[chunk] * self.eval_cost
                 self.cluster.record("master-compute", chunk=chunk, size=chunk_sizes[chunk])
+                t0 = sim.now
                 yield Timeout(self.cluster.node(0).compute_time(work))
+                if obs is not None:
+                    obs.spans.record(
+                        "master-compute", t0, sim.now, track="master",
+                        chunk=chunk, evals=chunk_sizes[chunk],
+                    )
                 done.add(chunk)
                 assign_pending()
                 continue
@@ -257,6 +285,8 @@ class SimulatedMasterSlave(ParallelEngine):
                 else:
                     self.lost_chunks += 1
                     done.add(chunk)  # give up on these evaluations
+        if frame is not None:
+            obs.spans.end(frame, sim.now)
         return sim.now - start
 
     def _record_generation(self) -> None:
@@ -300,6 +330,7 @@ class SimulatedMasterSlave(ParallelEngine):
             termination = MaxGenerations(termination)
         self._stop_reason = "unknown"
         self._finish_time = 0.0
+        self._obs = current_obs()
         proc = self.cluster.sim.process(self._master_process(termination), "master")
         self.cluster.run()
         if not proc.finished:

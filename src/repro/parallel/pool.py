@@ -20,6 +20,7 @@ import math
 
 from ..cluster.machine import SimulatedCluster
 from ..cluster.sim import Timeout
+from ..obs.session import current_obs
 from ..core.config import GAConfig
 from ..core.individual import Individual, best_of
 from ..core.problem import Problem
@@ -130,6 +131,8 @@ class PooledEvolution(ParallelEngine):
         node_id = agent_id + 1
         rng = self._agent_rngs[agent_id]
         node = self.cluster.node(node_id)
+        obs = self._obs
+        track = f"agent-{agent_id}"
         transactions = 0
         while not self._stop and self._remaining > 0:
             # liveness guard: a dead agent neither pulls nor pushes — it
@@ -141,9 +144,18 @@ class PooledEvolution(ParallelEngine):
                     return
                 yield Timeout(wake - now)
                 continue
+            frame = (
+                obs.spans.begin(
+                    "transaction", t0=now, track=track,
+                    agent=agent_id, transaction=transactions + 1,
+                )
+                if obs is not None
+                else None
+            )
             self._remaining -= 1
             # round trip to the pool: request + parcel back
             transit = self.cluster.network.transit_time(node_id, 0, 64.0)
+            t0 = self.cluster.sim.now
             yield Timeout(transit)
             parents = self._pool_pull()
             self.pulls += 1
@@ -151,6 +163,11 @@ class PooledEvolution(ParallelEngine):
                 0, node_id, self.payload * len(parents)
             )
             yield Timeout(back)
+            if frame is not None:
+                obs.spans.record(
+                    "pull", t0, self.cluster.sim.now, track=track,
+                    agent=agent_id, count=len(parents),
+                )
             # breed locally
             offspring: list[Individual] = []
             while len(offspring) < self.batch:
@@ -172,13 +189,24 @@ class PooledEvolution(ParallelEngine):
                 now, node.compute_time(len(offspring) * self.eval_cost)
             )
             if math.isinf(finish):
-                return
+                return  # open spans are closed when the session exports
             yield Timeout(finish - now)
+            if frame is not None:
+                obs.spans.record(
+                    "evaluate", now, self.cluster.sim.now, track=track,
+                    agent=agent_id, evals=len(offspring),
+                )
             # push back
             push = self.cluster.network.transit_time(
                 node_id, 0, self.payload * len(offspring)
             )
+            t0 = self.cluster.sim.now
             yield Timeout(push)
+            if frame is not None:
+                obs.spans.record(
+                    "push", t0, self.cluster.sim.now, track=track,
+                    agent=agent_id, count=len(offspring),
+                )
             self._pool_push(offspring)
             transactions += 1
             emit_generation(
@@ -188,6 +216,8 @@ class PooledEvolution(ParallelEngine):
                 generation=transactions,
                 best=float(self.global_best().require_fitness()),
             )
+            if frame is not None:
+                obs.spans.end(frame, self.cluster.sim.now)
             if self.problem.is_solved(self.global_best().require_fitness()):
                 self._stop = True
 
@@ -204,6 +234,7 @@ class PooledEvolution(ParallelEngine):
         for ind in self.pool:
             ind.fitness = self.problem.evaluate(ind.genome)
         self.evaluations += len(self.pool)
+        self._obs = current_obs()
         for a in range(self.cluster.n_nodes - 1):
             self.cluster.sim.process(self._agent(a), name=f"agent-{a}")
         self.cluster.run()

@@ -92,6 +92,8 @@ class IslandSupervisor:
         self._pending: dict[int, tuple[int, int]] = {}
         self.abandoned: set[int] = set()
         self.recoveries = 0
+        #: deme -> open observability span for an in-flight recovery
+        self._recover_spans: dict[int, object] = {}
 
     # -- deme-side hooks (called from deme coroutines) -------------------------
     def heartbeat(self, deme: int, incarnation: int) -> None:
@@ -187,6 +189,16 @@ class IslandSupervisor:
             incarnation=incarnation,
             generation=snap.generation,
         )
+        obs = getattr(model, "_obs", None)
+        if obs is not None:
+            now = model.cluster.sim.now
+            stale = self._recover_spans.pop(deme, None)
+            if stale is not None:
+                obs.spans.end(stale, now)
+            self._recover_spans[deme] = obs.spans.begin(
+                "recover", t0=now, track=f"supervisor/deme-{deme}",
+                deme=deme, node=spare, incarnation=incarnation,
+            )
         self._ship(deme)
 
     def _take_spare(self) -> int | None:
@@ -230,6 +242,11 @@ class IslandSupervisor:
             incarnation=incarnation,
             generation=snap.generation,
         )
+        obs = getattr(model, "_obs", None)
+        if obs is not None:
+            handle = self._recover_spans.pop(deme, None)
+            if handle is not None:
+                obs.spans.end(handle, model.cluster.sim.now)
         model.cluster.sim.process(
             model._deme_process(deme, incarnation=incarnation, resume=True),
             name=f"deme-{deme}-inc{incarnation}",

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.engine import FitnessEvaluator, SerialEvaluator
 from ..core.problem import Problem
+from ..obs.session import current_obs
 
 __all__ = ["FitnessCache", "MemoizingEvaluator"]
 
@@ -58,11 +59,16 @@ class FitnessCache:
     def get(self, genome: np.ndarray) -> float | None:
         key = _genome_key(genome)
         fitness = self._store.get(key)
+        session = current_obs()
         if fitness is None:
             self.misses += 1
+            if session is not None:
+                session.metrics.counter("cache.fitness_misses").inc()
             return None
         self._store.move_to_end(key)
         self.hits += 1
+        if session is not None:
+            session.metrics.counter("cache.fitness_hits").inc()
         return fitness
 
     def put(self, genome: np.ndarray, fitness: float) -> None:

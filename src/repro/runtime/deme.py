@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 
 from ..cluster.sim import Timeout
 from ..cluster.trace import Trace
+from ..obs.session import current_obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cluster.machine import SimulatedCluster
@@ -194,6 +195,7 @@ class TimedDemeRuntime:
         self._stop = False
         self._channel = None
         self._supervisor = None
+        self._obs = None
         # deme placement / liveness bookkeeping (rebuilt by _setup_runtime)
         self._deme_node = list(range(n_islands))
         self._incarnation = [0] * n_islands
@@ -266,6 +268,12 @@ class TimedDemeRuntime:
                     targets.append(d)
             self._routes[j] = targets
 
+    # -- observability -----------------------------------------------------------
+    def _obs_track(self, i: int, incarnation: int = 0) -> str:
+        """Timeline track of deme ``i``: recovered incarnations get their
+        own lane so a deme's pre- and post-crash lifetimes don't overlap."""
+        return f"deme-{i}" if incarnation == 0 else f"deme-{i}#inc{incarnation}"
+
     # -- deme lifecycle -----------------------------------------------------------
     def _record_deme_generation(self, i: int, incarnation: int = 0) -> None:
         deme = self.demes[i]
@@ -315,6 +323,13 @@ class TimedDemeRuntime:
             )
         else:
             src, migrants = item
+        if self._obs is not None:
+            now = self.cluster.sim.now
+            self._obs.spans.record(
+                "migrate-recv", now, now,
+                track=self._obs_track(i, self._incarnation[i]),
+                deme=i, src=src, count=len(migrants),
+            )
         self._integrate_parcel(i, src, migrants)
 
     def _integrate_parcel(self, i: int, src: int, migrants) -> None:
@@ -348,10 +363,19 @@ class TimedDemeRuntime:
                     kind="migration",
                 )
             self.migrants_sent += len(migrants)
+            if self._obs is not None:
+                now = self.cluster.sim.now
+                self._obs.spans.record(
+                    "migrate-send", now, now,
+                    track=self._obs_track(i, self._incarnation[i]),
+                    deme=i, dst=dst, count=len(migrants),
+                )
 
     def _deme_process(self, i: int, incarnation: int = 0, resume: bool = False):
         deme = self.demes[i]
         inbox = self._inboxes[i]
+        obs = self._obs
+        track = self._obs_track(i, incarnation)
         if resume:
             # restored from a checkpoint on a spare: announce liveness,
             # then pick the evolution up where the snapshot left it
@@ -361,22 +385,42 @@ class TimedDemeRuntime:
             before = deme.state.evaluations
             deme.initialize()
             self._after_step(i)
+            t0 = self.cluster.sim.now
             alive = yield from self._busy(
                 i, incarnation, self._step_work(i, deme.state.evaluations - before)
             )
             if not alive:
                 return
+            if obs is not None:
+                obs.spans.record(
+                    "evaluate", t0, self.cluster.sim.now, track=track,
+                    deme=i, generation=deme.state.generation, phase="init",
+                )
             self._after_generation(i, incarnation)
         while deme.state.generation < self.max_epochs and not self._stop:
+            frame = (
+                obs.spans.begin(
+                    "generation", t0=self.cluster.sim.now, track=track,
+                    deme=i, generation=deme.state.generation + 1,
+                )
+                if obs is not None
+                else None
+            )
             before = deme.state.evaluations
             deme.step()
             self._after_step(i)
             epoch = deme.state.generation
+            t0 = self.cluster.sim.now
             alive = yield from self._busy(
                 i, incarnation, self._step_work(i, deme.state.evaluations - before)
             )
             if not alive:
-                return
+                return  # frame left open; the session closes it at export
+            if frame is not None:
+                obs.spans.record(
+                    "evaluate", t0, self.cluster.sim.now, track=track,
+                    deme=i, generation=epoch,
+                )
             # drain any migrants that arrived while computing
             while len(inbox):
                 item = (yield inbox)
@@ -389,6 +433,8 @@ class TimedDemeRuntime:
                 stagnant_generations=deme.state.stagnant_generations,
             ):
                 self._send_migrants(i)
+            if frame is not None:
+                obs.spans.end(frame, self.cluster.sim.now)
             if self._deme_solved(i):
                 if self.stop_when_any_solves:
                     self._stop = True
@@ -409,6 +455,7 @@ class TimedDemeRuntime:
         from ..parallel.supervisor import IslandSupervisor
 
         n = self.n_islands
+        self._obs = current_obs()
         self._inboxes = [self.cluster.inbox(f"deme-{i}") for i in range(n)]
         self._finish_times = [0.0] * n
         self._deme_node = list(range(n))

@@ -45,6 +45,9 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from ..obs.export import timeline_doc
+from ..obs.session import current_obs, obs_session
+
 __all__ = [
     "Trial",
     "TrialCache",
@@ -246,6 +249,8 @@ class TrialRecord:
     cached: bool
     sim_events: int = 0
     evaluations: int = 0
+    #: span count of the trial's child observability session (0 when obs off)
+    obs_spans: int = 0
 
 
 @dataclass
@@ -260,6 +265,9 @@ class SweepTelemetry:
 
     trials: list[TrialRecord] = field(default_factory=list)
     sweeps: list[dict[str, Any]] = field(default_factory=list)
+    #: sweep-level observability roll-up (:func:`repro.obs.export.sweep_obs_summary`),
+    #: set by the CLI when a session is active; ``None`` keeps the artifact as-is
+    obs: dict[str, Any] | None = None
 
     def record_sweep(
         self,
@@ -293,7 +301,7 @@ class SweepTelemetry:
         }
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        doc = {
             "schema": "repro-sweep-bench/v1",
             "host": {
                 "platform": platform.platform(),
@@ -304,6 +312,9 @@ class SweepTelemetry:
             "sweeps": self.sweeps,
             "trials": [dataclasses.asdict(t) for t in self.trials],
         }
+        if self.obs is not None:
+            doc["obs"] = self.obs
+        return doc
 
     def write(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps(self.to_json(), indent=2) + "\n")
@@ -353,17 +364,34 @@ def sweep_context(
 # -- execution ---------------------------------------------------------------------
 
 
-def _execute_indexed(job: tuple[int, Trial]) -> tuple[int, Any, float, int, int]:
+def _execute_indexed(
+    job: tuple[int, Trial]
+) -> tuple[int, Any, float, int, int, dict[str, Any] | None]:
     """Run one trial (driver- or worker-side), measuring wall time and the
-    simulation-kernel / evaluation-stack counters around it."""
+    simulation-kernel / evaluation-stack counters around it.
+
+    When the driver had an ambient observability session open at dispatch
+    time (inherited across ``fork``, or simply still ambient on the serial
+    path), the trial runs inside its *own* child session whose exported
+    timeline doc rides back with the result — a plain-JSON payload that
+    crosses the process boundary where a live session object could not.
+    The driver folds the docs back in trial-index order, so the merged
+    parent timeline is identical no matter how trials interleaved.
+    """
     from ..cluster import sim as _sim
     from ..core import problem as _problem
 
     index, trial = job
     ev0 = _problem.evaluations_observed()
     si0 = _sim.events_dispatched()
+    obs_doc: dict[str, Any] | None = None
     start = time.perf_counter()
-    value = trial.call()
+    if current_obs() is not None:
+        with obs_session(label=f"trial-{index}") as child:
+            value = trial.call()
+        obs_doc = timeline_doc(child)
+    else:
+        value = trial.call()
     wall = time.perf_counter() - start
     return (
         index,
@@ -371,6 +399,7 @@ def _execute_indexed(job: tuple[int, Trial]) -> tuple[int, Any, float, int, int]
         wall,
         _sim.events_dispatched() - si0,
         _problem.evaluations_observed() - ev0,
+        obs_doc,
     )
 
 
@@ -423,10 +452,21 @@ def run_sweep(
                 continue
         pending.append(i)
 
-    def _absorb(index: int, value: Any, wall: float, sim_events: int, evals: int) -> None:
+    obs_docs: dict[int, dict[str, Any]] = {}
+
+    def _absorb(
+        index: int,
+        value: Any,
+        wall: float,
+        sim_events: int,
+        evals: int,
+        obs_doc: dict[str, Any] | None = None,
+    ) -> None:
         results[index] = value
         if cache is not None:
             cache.store(digests[index], value)
+        if obs_doc is not None:
+            obs_docs[index] = obs_doc
         if telemetry is not None:
             telemetry.trials.append(
                 TrialRecord(
@@ -438,6 +478,7 @@ def run_sweep(
                     cached=False,
                     sim_events=sim_events,
                     evaluations=evals,
+                    obs_spans=len(obs_doc["spans"]) if obs_doc is not None else 0,
                 )
             )
 
@@ -451,6 +492,18 @@ def run_sweep(
     else:
         for i in pending:
             _absorb(*_execute_indexed((i, trials[i])))
+
+    session = current_obs()
+    if session is not None:
+        # merge child timelines in trial-index order regardless of the
+        # (nondeterministic) pool completion order, so the parent timeline
+        # is reproducible; cached trials ran nothing, so they add no doc
+        for i in sorted(obs_docs):
+            session.merge_child(obs_docs[i], prefix=f"{experiment_id}/t{i}")
+        session.metrics.counter("sweep.trials").inc(len(trials))
+        session.metrics.counter("sweep.cache_hits").inc(cache_hits)
+        if cache is not None:
+            session.metrics.counter("sweep.cache_corrupt").inc(cache.corrupt)
 
     if telemetry is not None:
         telemetry.record_sweep(

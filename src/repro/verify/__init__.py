@@ -18,9 +18,15 @@ fault plan.  Four pieces:
 - :mod:`~repro.verify.fuzzer` — randomised scenario sampling + the
   fuzz driver (``python -m repro.verify fuzz --seed 0 --runs 25``).
 - :mod:`~repro.verify.engines` — generic contract audits (schema,
-  determinism, invariants) over every registered parallel engine
-  (``python -m repro.verify engines``).
+  determinism, invariants, observability transparency) over every
+  registered parallel engine (``python -m repro.verify engines``).
+
+The observability invariants themselves (spans nest properly; every
+trace-emitted generation is covered by a sim-time span) live in
+:mod:`repro.obs.validate` and are re-exported here for symmetry.
 """
+
+from ..obs.validate import check_generation_coverage, check_spans
 
 from .digest import AuditResult, audit_determinism, result_fingerprint, trace_digest
 from .engines import EngineAudit, audit_engine, audit_engines, contract_engine_names
@@ -62,6 +68,8 @@ __all__ = [
     "TraceChecker",
     "Violation",
     "check_trace",
+    "check_generation_coverage",
+    "check_spans",
     "default_rules",
     "SCENARIOS",
     "ReplaySpec",

@@ -13,7 +13,12 @@ can be audited generically —
   fingerprints and trace digests;
 * **invariants** — the emitted trace passes the streaming rules of
   :mod:`~repro.verify.invariants` (each registry entry may name its own
-  rule set and conserved message kinds).
+  rule set and conserved message kinds);
+* **observability** — a third run under an active
+  :func:`~repro.obs.session.obs_session` must be *transparent* (same
+  trace digest and result fingerprint as the unobserved runs), its spans
+  must nest properly, and every trace-emitted ``generation`` event must
+  be covered by a sim-time span (:mod:`repro.obs.validate`).
 
 The cross-engine contract test suite and ``python -m repro.verify
 engines`` are both thin wrappers over :func:`audit_engine`.
@@ -23,6 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.session import obs_session
+from ..obs.validate import check_generation_coverage, check_spans
 from ..parallel.base import ENGINE_REGISTRY, EngineInfo, RunReport, validate_report
 from .digest import result_fingerprint, trace_digest
 from .invariants import CheckContext, Violation, check_trace
@@ -40,10 +47,18 @@ class EngineAudit:
     deterministic: bool
     schema_problems: list[str] = field(default_factory=list)
     violations: list[Violation] = field(default_factory=list)
+    obs_problems: list[str] = field(default_factory=list)
+    #: span count of the observed run (0 for untimed engines)
+    span_count: int = 0
 
     @property
     def ok(self) -> bool:
-        return self.deterministic and not self.schema_problems and not self.violations
+        return (
+            self.deterministic
+            and not self.schema_problems
+            and not self.violations
+            and not self.obs_problems
+        )
 
     def describe(self) -> str:
         if self.ok:
@@ -53,6 +68,7 @@ class EngineAudit:
             parts.append("nondeterministic across same-seed runs")
         parts.extend(self.schema_problems)
         parts.extend(str(v) for v in self.violations)
+        parts.extend(self.obs_problems)
         return f"{self.engine}: FAILED — " + "; ".join(parts)
 
 
@@ -89,6 +105,7 @@ def audit_engine(name: str, seed: int = 0) -> EngineAudit:
     deterministic = fp_a == fp_b
     if trace_a is not None and trace_b is not None:
         deterministic = deterministic and trace_digest(trace_a) == trace_digest(trace_b)
+    obs_problems, span_count = _audit_observability(info, seed, trace_a, fp_a)
     return EngineAudit(
         engine=name,
         report=report_a,
@@ -96,7 +113,28 @@ def audit_engine(name: str, seed: int = 0) -> EngineAudit:
         deterministic=deterministic,
         schema_problems=validate_report(report_a, engine=name),
         violations=_check(info, trace_a, report_a),
+        obs_problems=obs_problems,
+        span_count=span_count,
     )
+
+
+def _audit_observability(
+    info: EngineInfo, seed: int, trace_plain, fingerprint_plain: str
+) -> tuple[list[str], int]:
+    """Third contract run with observability *enabled*: the run must be
+    behaviourally untouched and its span timeline structurally sound."""
+    with obs_session(label=f"audit-{info.name}") as session:
+        trace_obs, report_obs = info.contract(seed)
+    problems: list[str] = []
+    if result_fingerprint(report_obs) != fingerprint_plain:
+        problems.append("enabling observability changed the result fingerprint")
+    if trace_plain is not None and trace_obs is not None:
+        if trace_digest(trace_obs) != trace_digest(trace_plain):
+            problems.append("enabling observability changed the trace digest")
+    problems.extend(check_spans(session.spans))
+    if trace_obs is not None:
+        problems.extend(check_generation_coverage(session.spans, trace_obs))
+    return problems, len(session.spans)
 
 
 def audit_engines(

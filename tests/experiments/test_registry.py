@@ -76,5 +76,6 @@ class TestCLI:
     def test_main_unknown_experiment(self):
         from repro.experiments.__main__ import main
 
-        with pytest.raises(KeyError):
+        with pytest.raises(SystemExit) as exc:
             main(["E77", "--quick"])
+        assert exc.value.code == 2

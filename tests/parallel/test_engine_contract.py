@@ -102,6 +102,83 @@ def test_registry_exposes_engine_classes():
 
 
 # ---------------------------------------------------------------------------
+# observability contract: metrics snapshots and span-derived paper metrics
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_report_metrics_snapshot_matches_schema(name, audits):
+    from repro.obs import check_metrics, metrics_snapshot
+
+    report = audits[name].report
+    assert report.metrics, "every engine must snapshot its metrics"
+    assert check_metrics(report.metrics) == []
+    # the snapshot is a pure function of the report, not of any session
+    assert report.metrics == metrics_snapshot(report)
+    counters = report.metrics["counters"]
+    assert counters["comm.migrants_sent"] == report.migrants_sent
+    assert counters["comm.retransmits"] == report.retransmits
+    assert counters["comm.dup_discards"] == report.dup_discards
+    assert counters["progress.evaluations"] == report.evaluations
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_observability_is_transparent_and_spans_are_sound(name, audits):
+    """The third audit run (obs enabled) found no fingerprint drift, no
+    nesting violation and no uncovered generation event."""
+    audit = audits[name]
+    assert audit.obs_problems == []
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_timed_engines_emit_spans(name, audits):
+    audit = audits[name]
+    if audit.report.sim_time is not None:
+        assert audit.span_count > 0
+
+
+def test_span_derived_utilisation_matches_extras():
+    """Async master-slave: utilisation from spans equals the engine's own
+    ``extras["utilisation"]`` bookkeeping to within float tolerance."""
+    from repro.obs import obs_session, utilisation_by_track
+
+    info = ENGINE_REGISTRY["async-master-slave"]
+    with obs_session(label="util-check") as session:
+        _, report = info.contract(2)
+    derived = utilisation_by_track(session.spans, horizon=report.sim_time)
+    expected = report.extras["utilisation"]
+    assert len(expected) >= 1
+    for s, util in enumerate(expected):
+        assert derived[f"slave-{s + 1}"] == pytest.approx(util, abs=1e-9)
+
+
+def test_span_derived_comm_compute_matches_extras():
+    """Distributed cellular: per-phase span sums equal the engine's
+    ``compute_time``/``comm_time`` extras, and so does the ratio."""
+    from repro.obs import comm_compute_times, comm_fraction, obs_session
+
+    info = ENGINE_REGISTRY["distributed-cellular"]
+    with obs_session(label="comm-check") as session:
+        _, report = info.contract(2)
+    comm, compute = comm_compute_times(session.spans)
+    assert comm == pytest.approx(report.extras["comm_time"], abs=1e-9)
+    assert compute == pytest.approx(report.extras["compute_time"], abs=1e-9)
+    assert comm_fraction(session.spans) == pytest.approx(
+        report.comm_fraction, abs=1e-9
+    )
+
+
+def test_session_notes_every_run():
+    from repro.obs import obs_session
+
+    with obs_session(label="notes") as session:
+        _, report = ENGINE_REGISTRY["sim-island"].contract(1)
+    assert len(session.runs) == 1
+    assert session.runs[0]["engine"] == "sim-island"
+    assert session.runs[0]["metrics"] == report.metrics
+
+
+# ---------------------------------------------------------------------------
 # runtime capabilities from a non-island engine (the hybrid)
 # ---------------------------------------------------------------------------
 

@@ -187,3 +187,100 @@ class TestParallelModels:
     def test_island_sublinear_with_overhead(self):
         s = island_speedup_model(160, 8, 1e-3, migration_cost=1.0, evaluations_ratio=1.0)
         assert s < 8
+
+
+class TestClosedFormEdgeCases:
+    """Degenerate inputs every closed form must handle exactly."""
+
+    # -- takeover ---------------------------------------------------------------
+    def test_logistic_saturated_start_stays_saturated(self):
+        # p0 = 1: the best individual already owns the population
+        for t in (0.0, 1.0, 50.0):
+            assert logistic_growth(t, rate=1.0, n=10, p0=1.0) == pytest.approx(1.0)
+
+    def test_logistic_at_time_zero_is_p0(self):
+        assert logistic_growth(0.0, rate=0.8, n=64) == pytest.approx(1 / 64)
+        assert logistic_growth(0.0, rate=0.8, n=64, p0=0.25) == pytest.approx(0.25)
+
+    def test_smallest_panmictic_population(self):
+        t = panmictic_tournament_takeover(2, 2)
+        assert np.isfinite(t)
+        with pytest.raises(ValueError):
+            panmictic_tournament_takeover(1, 2)
+        with pytest.raises(ValueError):
+            panmictic_tournament_takeover(16, 1)
+
+    def test_single_cell_grid_takes_over_instantly(self):
+        assert cellular_takeover_bound(1, 1) == 0.0
+
+    def test_degenerate_grids(self):
+        # a 1xN strip is a ring: eccentricity N//2
+        assert cellular_takeover_bound(1, 8) == 4.0
+        assert cellular_takeover_bound(8, 1) == 4.0
+        with pytest.raises(ValueError):
+            cellular_takeover_bound(0, 8)
+        with pytest.raises(ValueError):
+            cellular_takeover_bound(4, 4, radius=0.0)
+
+    def test_single_deme_ring_needs_no_migration(self):
+        assert ring_takeover(1, migration_interval=100) == 0
+        with pytest.raises(ValueError):
+            ring_takeover(0, migration_interval=1)
+        with pytest.raises(ValueError):
+            ring_takeover(4, migration_interval=0)
+
+    def test_predicted_curve_shape_and_endpoints(self):
+        curve = predicted_growth_curve(20, rate=0.5, n=32)
+        assert curve.shape == (21,)
+        assert curve[0] == pytest.approx(1 / 32)
+        assert np.all((curve > 0) & (curve <= 1))
+
+    # -- parallel machine models ------------------------------------------------
+    def test_one_worker_speedup_is_exactly_one(self):
+        assert masterslave_speedup_model(100, 1, 0.1, 0.01) == pytest.approx(1.0)
+
+    def test_empty_generation_costs_only_setup(self):
+        assert masterslave_generation_time(0, 4, 0.1, 0.01) == pytest.approx(4 * 0.01)
+
+    def test_optimal_worker_count_square_root_rule(self):
+        # S* = sqrt(n Tf / Tc), exactly
+        assert optimal_worker_count(400, 0.01, 0.01) == pytest.approx(20.0)
+        assert optimal_worker_count(1, 1.0, 4.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            optimal_worker_count(0, 0.1, 0.01)
+        with pytest.raises(ValueError):
+            optimal_worker_count(10, 0.1, 0.0)
+
+    def test_empty_deme_epoch_is_migration_only(self):
+        assert island_epoch_time(0, 0.5, migration_cost=0.125) == pytest.approx(0.125)
+
+    def test_single_island_no_migration_matches_panmictic(self):
+        # one island, no migration, neutral algorithmic ratio: speedup 1
+        s = island_speedup_model(64, 1, 0.01, migration_cost=0.0, evaluations_ratio=1.0)
+        assert s == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            island_speedup_model(64, 0, 0.01)
+        with pytest.raises(ValueError):
+            island_speedup_model(64, 4, 0.01, evaluations_ratio=0.0)
+
+    # -- population sizing ------------------------------------------------------
+    def test_two_bit_trap_moments_by_hand(self):
+        # k=2: fitness 1 (00), 0 (01/10), 2 (11) with probs 1/4, 1/2, 1/4
+        # mean = 0.75, var = 0.6875
+        d, var = trap_signal_to_noise(2)
+        assert d == 1.0
+        assert var == pytest.approx(0.6875)
+
+    def test_single_deme_size_equals_panmictic_requirement(self):
+        assert deme_size_for_success(4, 8, 1) == gamblers_ruin_size(4, 8)
+
+    def test_size_floors_at_viable_minimum(self):
+        # a barely-confident single-block trap needs almost nothing; the
+        # estimator still returns a mixing-viable population
+        assert gamblers_ruin_size(2, 1, success_probability=0.02) == 4
+        assert deme_size_for_success(4, 8, 10_000) == 4
+
+    def test_explicit_signal_override_scales_size(self):
+        weak = gamblers_ruin_size(4, 10, signal=0.5)
+        strong = gamblers_ruin_size(4, 10, signal=2.0)
+        assert weak > gamblers_ruin_size(4, 10) > strong
