@@ -262,3 +262,79 @@ class TestObservabilityOverhead:
         )
         # enabled mode must also stay above the absolute floor
         assert on >= self.EVENTS_PER_SEC_FLOOR
+
+
+class TestVariationThroughput:
+    """ISSUE 7 acceptance floor: the vectorized selection-crossover-mutation
+    cycle must produce offspring >= 10x faster than the scalar per-Individual
+    cycle on a 1k-individual OneMax generation."""
+
+    POP = 1000
+    LENGTH = 128
+    FLOOR = 10.0
+
+    def _offspring_rates(self):
+        from repro.core.variation import make_offspring
+        from repro.core.vectorized import selection_kernel as _sk
+        from repro.core.vectorized import vector_offspring
+        from repro.core import Individual
+
+        problem = OneMax(self.LENGTH)
+        spec = problem.spec
+        cfg = GAConfig(population_size=self.POP).resolved_for(spec)
+        rng = np.random.default_rng(0)
+        genomes = np.stack(spec.sample_population(rng, self.POP))
+        inds = []
+        for g in genomes:
+            ind = Individual(genome=g)
+            ind.fitness = float(g.sum())
+            inds.append(ind)
+        fits = np.asarray([i.fitness for i in inds], dtype=float)
+        kernel = _sk(cfg.selection)
+
+        def scalar_generation():
+            parents = cfg.selection(rng, inds, self.POP, True)
+            make_offspring(rng, cfg, spec, parents, self.POP)
+
+        def vector_generation():
+            idx = kernel(rng, fits, self.POP, True)
+            vector_offspring(rng, cfg, spec, genomes[idx], self.POP)
+
+        # the scalar cycle is slow — small bursts keep the benchmark honest
+        # without dominating suite runtime
+        scalar_rate = _best_rate(scalar_generation, repeats=3, inner=2) * self.POP
+        vector_rate = _best_rate(vector_generation, repeats=5, inner=5) * self.POP
+        return scalar_rate, vector_rate
+
+    def test_vectorized_offspring_floor(self):
+        scalar_rate, vector_rate = self._offspring_rates()
+        ratio = vector_rate / scalar_rate
+        print(
+            f"variation throughput: scalar {scalar_rate:,.0f} vs vectorized "
+            f"{vector_rate:,.0f} offspring/s ({ratio:.1f}x)"
+        )
+        assert ratio >= self.FLOOR, (
+            f"vectorized variation only {ratio:.1f}x the scalar cycle "
+            f"(need >= {self.FLOOR}x)"
+        )
+
+    def test_vectorized_engine_step_beats_scalar(self):
+        """End-to-end: whole engine generations, evaluation included."""
+        scalar = GenerationalEngine(
+            OneMax(self.LENGTH), GAConfig(population_size=self.POP), seed=1
+        )
+        scalar.initialize()
+        vector = GenerationalEngine(
+            OneMax(self.LENGTH),
+            GAConfig(population_size=self.POP, vectorized_variation=True),
+            seed=1,
+        )
+        vector.initialize()
+        scalar_rate = _best_rate(scalar.step, repeats=3, inner=2)
+        vector_rate = _best_rate(vector.step, repeats=3, inner=2)
+        ratio = vector_rate / scalar_rate
+        print(f"engine step speedup with vectorized variation: {ratio:.1f}x")
+        assert ratio >= 3.0, (
+            f"vectorized engine step only {ratio:.1f}x scalar (need >= 3x "
+            f"with evaluation included)"
+        )

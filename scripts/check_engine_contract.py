@@ -35,6 +35,13 @@ copy-pasted per engine, and this check keeps them centralised:
    non-scalar payload justification) or become a first-class
    ``RunReport`` counter wired into the snapshot.
 
+5. **The vectorized fast path.**  ``repro/core/vectorized`` exists to
+   replace per-individual Python loops with whole-block NumPy kernels,
+   so its kernel modules must contain no ``for``/``while`` statements,
+   comprehensions or generator expressions.  ``population.py`` is exempt:
+   it is the object boundary that converts between ``Individual`` lists
+   and arrays, and looping is its job.
+
 Run from the repository root::
 
     python scripts/check_engine_contract.py
@@ -51,6 +58,21 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 PARALLEL = REPO / "src" / "repro" / "parallel"
 EXPERIMENTS = REPO / "src" / "repro" / "experiments"
+VECTORIZED = REPO / "src" / "repro" / "core" / "vectorized"
+
+#: vectorized modules allowed to loop: the Individual<->array boundary
+VECTORIZED_LOOP_ALLOWED = {"population.py"}
+
+#: AST nodes that mean "a Python-level loop over elements"
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
 
 #: modules that implement the wire protocol itself
 SEND_ALLOWED = {"reliable.py", "supervisor.py"}
@@ -201,6 +223,22 @@ def lint_experiment_file(path: Path) -> list[str]:
     return problems
 
 
+def lint_vectorized_file(path: Path) -> list[str]:
+    """Kernel modules must be loop-free: whole-block NumPy only (rule 5)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, _LOOP_NODES):
+            kind = type(node).__name__
+            problems.append(
+                f"{path.relative_to(REPO)}:{node.lineno}: {kind} in a "
+                "vectorized kernel module — express the operation as a "
+                "whole-block NumPy kernel (loops live behind the "
+                "population.py object boundary)"
+            )
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
     for path in sorted(PARALLEL.glob("*.py")):
@@ -208,6 +246,11 @@ def main() -> int:
     experiment_files = _experiment_modules()
     for path in experiment_files:
         problems.extend(lint_experiment_file(path))
+    vectorized_files = sorted(
+        p for p in VECTORIZED.glob("*.py") if p.name not in VECTORIZED_LOOP_ALLOWED
+    )
+    for path in vectorized_files:
+        problems.extend(lint_vectorized_file(path))
     for line in problems:
         print(line)
     if problems:
@@ -216,7 +259,8 @@ def main() -> int:
     n = len(list(PARALLEL.glob("*.py")))
     print(
         f"engine-contract lint: {n} engine modules + "
-        f"{len(experiment_files)} experiment modules clean"
+        f"{len(experiment_files)} experiment modules + "
+        f"{len(vectorized_files)} vectorized kernel modules clean"
     )
     return 0
 

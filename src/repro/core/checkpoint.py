@@ -26,7 +26,10 @@ __all__ = ["EngineSnapshot", "snapshot_engine", "restore_engine", "save_checkpoi
 
 # v2: adds best-individual provenance (birth_generation, origin) and the
 # History records, so resumed runs report the same trajectory they lived
-_FORMAT_VERSION = 2
+# v3: adds per-individual `origins`, so a resumed population keeps its
+# provenance tags instead of reporting every member as freshly initialized
+_FORMAT_VERSION = 3
+_OLDEST_SUPPORTED_VERSION = 2
 
 
 @dataclass
@@ -46,6 +49,9 @@ class EngineSnapshot:
     best_birth_generation: int = 0
     best_origin: str = "init"
     history_records: list[GenerationRecord] = field(default_factory=list)
+    # v3+ — absent (None after unpickling) in v2 files; restore falls back
+    # to the Individual default origin for every member
+    origins: list[str] | None = None
 
 
 def snapshot_engine(engine: EvolutionEngine) -> EngineSnapshot:
@@ -67,6 +73,7 @@ def snapshot_engine(engine: EvolutionEngine) -> EngineSnapshot:
         best_birth_generation=best.birth_generation,
         best_origin=best.origin,
         history_records=list(engine.history.records),
+        origins=[ind.origin for ind in engine.population],
     )
 
 
@@ -78,15 +85,25 @@ def restore_engine(engine: EvolutionEngine, snapshot: EngineSnapshot) -> None:
     engine's :class:`~repro.core.callbacks.History` picks up exactly where
     the snapshotted run's left off (pre-restore records are discarded).
     """
-    if snapshot.version != _FORMAT_VERSION:
+    if not _OLDEST_SUPPORTED_VERSION <= snapshot.version <= _FORMAT_VERSION:
         raise ValueError(
-            f"checkpoint format {snapshot.version} != supported {_FORMAT_VERSION}"
+            f"checkpoint format {snapshot.version} not in supported range "
+            f"[{_OLDEST_SUPPORTED_VERSION}, {_FORMAT_VERSION}]"
+        )
+    # v2 pickles predate per-member provenance: getattr because unpickling
+    # restores __dict__ directly, so the field is missing, not defaulted
+    origins = getattr(snapshot, "origins", None)
+    if origins is None:
+        origins = ["init"] * len(snapshot.genomes)
+    if len(origins) != len(snapshot.genomes):
+        raise ValueError(
+            f"checkpoint has {len(origins)} origins for {len(snapshot.genomes)} genomes"
         )
     individuals = []
-    for genome, fitness, birth in zip(
-        snapshot.genomes, snapshot.fitnesses, snapshot.birth_generations
+    for genome, fitness, birth, origin in zip(
+        snapshot.genomes, snapshot.fitnesses, snapshot.birth_generations, origins
     ):
-        ind = Individual(genome=genome.copy(), birth_generation=birth)
+        ind = Individual(genome=genome.copy(), birth_generation=birth, origin=origin)
         ind.fitness = fitness
         individuals.append(ind)
     engine.population = Population(individuals, maximize=engine.problem.maximize)

@@ -17,6 +17,7 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from ..obs.session import current_obs
 from .callbacks import Callback, CallbackList, History
 from .config import GAConfig
 from .individual import Individual
@@ -25,6 +26,7 @@ from .problem import Problem, stack_genomes
 from .rng import ensure_rng
 from .termination import EvolutionState, MaxGenerations, Termination
 from .variation import offspring_pair
+from .vectorized import selection_kernel, supports_vectorized_variation, vector_offspring
 
 __all__ = [
     "FitnessEvaluator",
@@ -93,6 +95,7 @@ class EvolutionEngine:
         self.population: Population | None = None
         self.state = EvolutionState(maximize=problem.maximize)
         self._best_so_far: Individual | None = None
+        self._vectorized_supported: bool | None = None
 
     # -- lifecycle -------------------------------------------------------------
     def initialize(self, individuals: list[Individual] | None = None) -> Population:
@@ -213,6 +216,56 @@ class EvolutionEngine:
             generation=self.state.generation + 1,
         )
 
+    # -- vectorized fast path -----------------------------------------------
+    def _use_vectorized(self) -> bool:
+        """Whether this generation runs on the array fast path.
+
+        Resolved once per engine: both variation operators must have batch
+        kernels.  When the toggle is on but an operator is unsupported the
+        engine stays scalar and counts ``variation.scalar_fallback``.
+        """
+        if not self.config.vectorized_variation:
+            return False
+        if self._vectorized_supported is None:
+            self._vectorized_supported = supports_vectorized_variation(self.config)
+            if not self._vectorized_supported:
+                obs = current_obs()
+                if obs is not None:
+                    obs.metrics.counter("variation.scalar_fallback").inc()
+        return self._vectorized_supported
+
+    def _select_indices(self, fitnesses: np.ndarray, n: int) -> np.ndarray:
+        """Select ``n`` parent row indices from the current population.
+
+        Uses the operator's index kernel when one exists; custom operators
+        fall back to the scalar call with picks mapped back to rows by
+        identity (selection returns references, never copies).
+        """
+        assert self.population is not None
+        kernel = selection_kernel(self.config.selection)
+        if kernel is not None:
+            return kernel(self.rng, fitnesses, n, self.problem.maximize)
+        members = self.population.individuals
+        picked = self.config.selection(self.rng, members, n, self.problem.maximize)
+        index_of = {id(ind): i for i, ind in enumerate(members)}
+        return np.asarray([index_of[id(ind)] for ind in picked], dtype=np.int64)
+
+    def _vector_offspring(self, parent_idx: np.ndarray, count: int) -> list[Individual]:
+        """Run the batched variation cycle and wrap the rows as Individuals."""
+        assert self.population is not None
+        members = self.population.individuals
+        parents = np.stack([members[int(i)].genome for i in parent_idx])
+        genomes, origins = vector_offspring(
+            self.rng, self.config, self.problem.spec, parents, count
+        )
+        gen = self.state.generation + 1
+        return [
+            Individual(
+                genome=genomes[i].copy(), birth_generation=gen, origin=str(origins[i])
+            )
+            for i in range(count)
+        ]
+
     def _advance(self) -> None:
         raise NotImplementedError
 
@@ -221,6 +274,9 @@ class GenerationalEngine(EvolutionEngine):
     """Whole-population replacement each generation, with elitism."""
 
     def _advance(self) -> None:
+        if self._use_vectorized():
+            self._advance_vectorized()
+            return
         assert self.population is not None
         cfg = self.config
         n = len(self.population)
@@ -232,7 +288,40 @@ class GenerationalEngine(EvolutionEngine):
         for i in range(0, len(parents) - 1, 2):
             a, b = self._make_offspring_pair(parents[i], parents[i + 1])
             offspring.extend((a, b))
+        # With odd `needed` the loop above builds one full extra pair and the
+        # slice discards a sibling whose crossover/mutation draws were already
+        # consumed.  That waste is deliberate: the rng draw order here is
+        # fingerprint-protected (tests pin the stream), so it must not change.
+        # The vectorized path produces exactly `needed` children instead.
         offspring = offspring[:needed]
+        obs = current_obs()
+        if obs is not None:
+            obs.metrics.counter("variation.offspring_scalar").inc(needed)
+        self._evaluate(offspring)
+        elite = [ind.copy() for ind in self.population.sorted()[: cfg.elitism]]
+        self.population.individuals = elite + offspring
+
+    def _advance_vectorized(self) -> None:
+        assert self.population is not None
+        cfg = self.config
+        obs = current_obs()
+        t0 = obs.wall_now() if obs is not None else 0.0
+        n = len(self.population)
+        needed = n - min(cfg.elitism, n)
+        fits = self.population.fitness_array()
+        parent_idx = self._select_indices(fits, needed + needed % 2)
+        offspring = self._vector_offspring(parent_idx, needed)
+        if obs is not None:
+            obs.spans.record(
+                "variation",
+                t0,
+                obs.wall_now(),
+                clock="wall",
+                track="variation",
+                engine="generational",
+                offspring=needed,
+            )
+            obs.metrics.counter("variation.offspring_vectorized").inc(needed)
         self._evaluate(offspring)
         elite = [ind.copy() for ind in self.population.sorted()[: cfg.elitism]]
         self.population.individuals = elite + offspring
@@ -247,6 +336,9 @@ class SteadyStateEngine(EvolutionEngine):
     """
 
     def _advance(self) -> None:
+        if self._use_vectorized():
+            self._advance_vectorized()
+            return
         assert self.population is not None
         cfg = self.config
         births_per_generation = len(self.population)
@@ -256,8 +348,50 @@ class SteadyStateEngine(EvolutionEngine):
                 self.rng, self.population.individuals, 2, self.problem.maximize
             )
             a, b = self._make_offspring_pair(parents[0], parents[1])
+            # A full sibling pair is always built; with offspring_per_step=1
+            # the second child (and its consumed mutation/repair draws) is
+            # discarded.  Deliberate: this rng draw order is
+            # fingerprint-protected (tests pin the stream).  The vectorized
+            # path below produces exactly the batch size instead.
             batch = [a, b][: min(cfg.offspring_per_step, births_per_generation - born)]
             self._evaluate(batch)
             for child in batch:
                 cfg.replacement(self.rng, self.population, child)
             born += len(batch)
+        obs = current_obs()
+        if obs is not None:
+            obs.metrics.counter("variation.offspring_scalar").inc(born)
+
+    def _advance_vectorized(self) -> None:
+        assert self.population is not None
+        cfg = self.config
+        obs = current_obs()
+        births_per_generation = len(self.population)
+        born = 0
+        spent = 0.0
+        while born < births_per_generation:
+            k = min(cfg.offspring_per_step, births_per_generation - born)
+            t0 = obs.wall_now() if obs is not None else 0.0
+            fits = self.population.fitness_array()
+            parent_idx = self._select_indices(fits, 2)
+            batch = self._vector_offspring(parent_idx, k)
+            if obs is not None:
+                spent += obs.wall_now() - t0
+            self._evaluate(batch)
+            for child in batch:
+                cfg.replacement(self.rng, self.population, child)
+            born += k
+        if obs is not None:
+            # one aggregated span per generation: duration = the summed
+            # variation fragments of all steady-state steps
+            now = obs.wall_now()
+            obs.spans.record(
+                "variation",
+                now - spent,
+                now,
+                clock="wall",
+                track="variation",
+                engine="steady-state",
+                offspring=born,
+            )
+            obs.metrics.counter("variation.offspring_vectorized").inc(born)

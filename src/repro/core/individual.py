@@ -8,6 +8,7 @@ deme an immigrant came from) and age (for steady-state replacement).
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -42,6 +43,17 @@ class Individual:
     origin: str = "init"
     attrs: dict[str, Any] = field(default_factory=dict)
     uid: int = field(default_factory=lambda: next(_id_counter))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Fitness flows straight into selection arithmetic; a NaN there
+        # silently wins every np.argmax tournament, so reject non-finite
+        # values at the source instead of corrupting selection later.
+        if name == "fitness" and value is not None and not math.isfinite(value):
+            raise ValueError(
+                f"fitness must be finite or None, got {value!r} "
+                f"(individual uid={getattr(self, 'uid', '?')})"
+            )
+        super().__setattr__(name, value)
 
     @property
     def evaluated(self) -> bool:

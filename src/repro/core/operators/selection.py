@@ -46,7 +46,14 @@ class Selection(Protocol):
 
 
 def _fitnesses(individuals: Sequence[Individual]) -> np.ndarray:
-    return np.asarray([ind.require_fitness() for ind in individuals], dtype=float)
+    f = np.asarray([ind.require_fitness() for ind in individuals], dtype=float)
+    # Defence in depth behind the Individual.fitness guard: np.argmax over a
+    # score matrix containing NaN returns the NaN's position, so one bad
+    # fitness would silently win every tournament it enters.
+    if not np.all(np.isfinite(f)):
+        bad = np.nonzero(~np.isfinite(f))[0].tolist()
+        raise ValueError(f"non-finite fitness in selection pool at positions {bad}")
+    return f
 
 
 def _sample_by_probs(

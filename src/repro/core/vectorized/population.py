@@ -1,0 +1,143 @@
+"""Array-backed population representation.
+
+:class:`ArrayPopulation` stores a whole population as one ``(n, L)``
+genome matrix plus parallel per-member vectors (fitness, evaluated mask,
+birth generation, origin tag, attrs).  It converts losslessly to and from
+the object representation in :mod:`repro.core.population` — "losslessly"
+meaning every field of every :class:`~repro.core.individual.Individual`
+round-trips except ``uid``, which is an identity (not state) and is
+regenerated on conversion back to objects.
+
+This module is the object boundary of the vectorized package: it is the
+one place allowed to loop over individuals, because converting between
+Python objects and arrays is inherently per-member work.  The kernels and
+the variation cycle (:mod:`.kernels`, :mod:`.variation`) stay loop-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..individual import Individual
+from ..population import Population
+
+__all__ = ["ArrayPopulation"]
+
+
+@dataclass
+class ArrayPopulation:
+    """A population as parallel arrays.
+
+    Attributes
+    ----------
+    genomes:
+        ``(n, L)`` matrix, one genome per row (shared dtype).
+    fitnesses:
+        ``(n,)`` float vector; rows where ``evaluated`` is False hold 0.0
+        placeholders and must not be read.
+    evaluated:
+        ``(n,)`` bool mask — the array analogue of ``fitness is None``.
+    birth_generations:
+        ``(n,)`` int64 vector of creation generations.
+    origins:
+        ``(n,)`` object array of provenance tags (``"init"``, ``"cx+mut"``, …).
+    maximize:
+        Direction of improvement, as on :class:`Population`.
+    attrs:
+        Per-member attribute dicts (usually all empty); kept as a list
+        because they are free-form Python objects.
+    """
+
+    genomes: np.ndarray
+    fitnesses: np.ndarray
+    evaluated: np.ndarray
+    birth_generations: np.ndarray
+    origins: np.ndarray
+    maximize: bool = True
+    attrs: list[dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = self.genomes.shape[0]
+        if self.genomes.ndim != 2:
+            raise ValueError(f"genomes must be 2-D (n, L), got ndim={self.genomes.ndim}")
+        for name in ("fitnesses", "evaluated", "birth_generations", "origins"):
+            vec = getattr(self, name)
+            if vec.shape != (n,):
+                raise ValueError(f"{name} must have shape ({n},), got {vec.shape}")
+        if not self.attrs:
+            self.attrs = [{} for _ in range(n)]
+        if len(self.attrs) != n:
+            raise ValueError(f"attrs must have {n} entries, got {len(self.attrs)}")
+        bad = self.evaluated & ~np.isfinite(self.fitnesses)
+        if np.any(bad):
+            raise ValueError(
+                f"non-finite fitness for evaluated members at rows {np.nonzero(bad)[0].tolist()}"
+            )
+
+    def __len__(self) -> int:
+        return self.genomes.shape[0]
+
+    @property
+    def genome_length(self) -> int:
+        return self.genomes.shape[1]
+
+    # -- conversions ---------------------------------------------------------
+    @classmethod
+    def from_individuals(
+        cls, individuals: Sequence[Individual], *, maximize: bool = True
+    ) -> "ArrayPopulation":
+        """Pack individuals into arrays (genomes are copied)."""
+        if not individuals:
+            raise ValueError("cannot build ArrayPopulation from zero individuals")
+        genomes = np.stack([ind.genome for ind in individuals])
+        evaluated = np.asarray([ind.evaluated for ind in individuals], dtype=bool)
+        fitnesses = np.asarray(
+            [ind.fitness if ind.evaluated else 0.0 for ind in individuals], dtype=float
+        )
+        birth = np.asarray([ind.birth_generation for ind in individuals], dtype=np.int64)
+        origins = np.asarray([ind.origin for ind in individuals], dtype=object)
+        attrs = [dict(ind.attrs) for ind in individuals]
+        return cls(
+            genomes=genomes,
+            fitnesses=fitnesses,
+            evaluated=evaluated,
+            birth_generations=birth,
+            origins=origins,
+            maximize=maximize,
+            attrs=attrs,
+        )
+
+    @classmethod
+    def from_population(cls, population: Population) -> "ArrayPopulation":
+        return cls.from_individuals(population.individuals, maximize=population.maximize)
+
+    def to_individuals(self) -> list[Individual]:
+        """Unpack into fresh Individuals (new uids; all other state kept)."""
+        return [
+            Individual(
+                genome=self.genomes[i].copy(),
+                fitness=float(self.fitnesses[i]) if self.evaluated[i] else None,
+                birth_generation=int(self.birth_generations[i]),
+                origin=str(self.origins[i]),
+                attrs=dict(self.attrs[i]),
+            )
+            for i in range(len(self))
+        ]
+
+    def to_population(self) -> Population:
+        return Population(self.to_individuals(), maximize=self.maximize)
+
+    # -- array-level helpers --------------------------------------------------
+    def require_fitnesses(self) -> np.ndarray:
+        """All fitness values; raises if any member is unevaluated."""
+        if not bool(np.all(self.evaluated)):
+            missing = np.nonzero(~self.evaluated)[0].tolist()
+            raise ValueError(f"unevaluated members at rows {missing}")
+        return self.fitnesses
+
+    def best_index(self) -> int:
+        f = self.require_fitnesses()
+        return int(np.argmax(f) if self.maximize else np.argmin(f))

@@ -153,3 +153,75 @@ class TestProvenanceAndHistory:
         snap.version = 1
         with pytest.raises(ValueError, match="checkpoint format"):
             restore_engine(fresh_engine(), snap)
+
+
+class TestPerMemberProvenance:
+    """Format v3 regression: v2 persisted only birth_generations, so every
+    member of a restored population reported origin='init'."""
+
+    def test_population_origins_round_trip(self):
+        eng = fresh_engine(seed=11)
+        eng.run(6)
+        originals = [ind.origin for ind in eng.population]
+        # a real evolved population carries variation provenance, not just init
+        assert set(originals) - {"init"}
+        snap = snapshot_engine(eng)
+        resumed = fresh_engine(seed=11)
+        restore_engine(resumed, snap)
+        assert [ind.origin for ind in resumed.population] == originals
+
+    def test_migrant_style_tags_survive_file_round_trip(self, tmp_path):
+        eng = fresh_engine(seed=12)
+        eng.run(3)
+        eng.population[0].origin = "migrant:3"
+        path = save_checkpoint(eng, tmp_path / "ck.pkl")
+        resumed = load_checkpoint(fresh_engine(seed=12), path)
+        assert resumed.population[0].origin == "migrant:3"
+
+    def test_v2_snapshot_loads_with_default_origins(self):
+        """Backward compatibility: a v2 pickle has no `origins` attribute at
+        all (pickle restores __dict__ directly), and must still restore."""
+        eng = fresh_engine(seed=13)
+        eng.run(4)
+        snap = snapshot_engine(eng)
+        snap.version = 2
+        del snap.__dict__["origins"]  # exactly what unpickling a v2 file yields
+        v2_bytes = pickle.dumps(snap)
+        resumed = fresh_engine(seed=13)
+        restore_engine(resumed, pickle.loads(v2_bytes))
+        assert all(ind.origin == "init" for ind in resumed.population)
+        assert resumed.state.generation == 4
+
+    def test_v2_resume_continues_identically(self):
+        """Dropping origins must not perturb the resumed trajectory."""
+        eng = fresh_engine(seed=14)
+        eng.run(4)
+        snap_v3 = snapshot_engine(eng)
+        snap_v2 = pickle.loads(pickle.dumps(snap_v3))
+        snap_v2.version = 2
+        del snap_v2.__dict__["origins"]
+
+        a = fresh_engine(seed=14)
+        restore_engine(a, snap_v3)
+        a.run(10)
+        b = fresh_engine(seed=14)
+        restore_engine(b, snap_v2)
+        b.run(10)
+        assert a.best_so_far.fitness == b.best_so_far.fitness
+        assert [i.fitness for i in a.population] == [i.fitness for i in b.population]
+
+    def test_origin_count_mismatch_rejected(self):
+        eng = fresh_engine(seed=15)
+        eng.run(2)
+        snap = snapshot_engine(eng)
+        snap.origins = snap.origins[:-1]
+        with pytest.raises(ValueError, match="origins"):
+            restore_engine(fresh_engine(seed=15), snap)
+
+    def test_future_format_version_rejected(self):
+        eng = fresh_engine(seed=16)
+        eng.run(2)
+        snap = snapshot_engine(eng)
+        snap.version = 99
+        with pytest.raises(ValueError, match="checkpoint format"):
+            restore_engine(fresh_engine(seed=16), snap)

@@ -205,3 +205,38 @@ class TestRepairIntegration:
 
         res = GenerationalEngine(Bounded(), GAConfig(population_size=10), seed=1).run(10)
         assert res.generations == 10
+
+
+class TestScalarStreamPins:
+    """Pin the scalar rng draw order, including the deliberate
+    discarded-sibling draws (odd `needed` in the generational engine,
+    offspring_per_step=1 in the steady-state engine).  These values were
+    recorded before the vectorized path existed; if they move, every
+    experiment fingerprint moves with them."""
+
+    def test_generational_odd_needed_stream_pin(self):
+        # population 10, elitism 1 -> needed=9 (odd): one sibling per
+        # generation is built, draws consumed, then discarded
+        eng = GenerationalEngine(
+            OneMax(32), GAConfig(population_size=10, elitism=1), seed=123
+        )
+        result = eng.run(5)
+        assert result.best_fitness == 25.0
+        assert [i.fitness for i in eng.population] == [
+            25.0, 21.0, 20.0, 19.0, 21.0, 24.0, 19.0, 23.0, 21.0, 22.0,
+        ]
+        # position of the generator after the run is the real invariant
+        assert eng.rng.random() == 0.6815664837107825
+
+    def test_steady_state_single_offspring_stream_pin(self):
+        # offspring_per_step=1: every step builds a pair and discards the
+        # second child after consuming its mutation/repair draws
+        eng = SteadyStateEngine(
+            OneMax(32), GAConfig(population_size=10, offspring_per_step=1), seed=321
+        )
+        result = eng.run(3)
+        assert result.best_fitness == 24.0
+        assert [i.fitness for i in eng.population] == [
+            24.0, 22.0, 23.0, 24.0, 23.0, 23.0, 23.0, 24.0, 22.0, 21.0,
+        ]
+        assert eng.rng.random() == 0.7672571797607679

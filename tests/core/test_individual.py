@@ -76,3 +76,37 @@ class TestComparisons:
         a, b = ind(1.0), ind(1.0)
         out = sort_by_fitness([a, b], True)
         assert out[0] is a and out[1] is b
+
+
+class TestFitnessGuard:
+    """Non-finite fitness must be rejected at the source: a NaN that reaches
+    selection silently wins every np.argmax tournament it enters."""
+
+    def test_nan_assignment_rejected(self):
+        i = Individual(genome=np.zeros(3))
+        with pytest.raises(ValueError, match="finite"):
+            i.fitness = float("nan")
+        assert i.fitness is None  # failed assignment leaves state untouched
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf"), np.nan, np.inf])
+    def test_all_nonfinite_values_rejected(self, bad):
+        i = Individual(genome=np.zeros(3))
+        with pytest.raises(ValueError, match="finite"):
+            i.fitness = bad
+
+    def test_nan_at_construction_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Individual(genome=np.zeros(3), fitness=float("nan"))
+
+    def test_none_and_finite_values_still_allowed(self):
+        i = Individual(genome=np.zeros(3))
+        i.fitness = 3.5
+        assert i.fitness == 3.5
+        i.fitness = None
+        assert not i.evaluated
+        i.invalidate()  # re-invalidation of None stays fine
+
+    def test_numpy_floats_allowed(self):
+        i = Individual(genome=np.zeros(3))
+        i.fitness = np.float64(2.0)
+        assert float(i.fitness) == 2.0

@@ -133,3 +133,48 @@ class TestEdgeCases:
             BoltzmannSelection(temperature=0.0)
         with pytest.raises(ValueError):
             LinearRankSelection(sp=2.5)
+
+
+def smuggle_nan(pop, index):
+    """Plant a NaN fitness behind the Individual guard's back, as a buggy
+    evaluator writing through object.__setattr__ (or old pickles) could."""
+    object.__setattr__(pop.individuals[index], "fitness", float("nan"))
+
+
+class TestNonFiniteFitnessRegression:
+    """Regression for the NaN-wins-every-tournament bug: np.argmax over a
+    contestant score matrix returns the NaN position, so one corrupted
+    fitness used to dominate selection silently."""
+
+    def test_tournament_rejects_nan_pool(self):
+        pop = make_population([1.0, 2.0, 3.0, 4.0])
+        smuggle_nan(pop, 1)
+        with pytest.raises(ValueError, match="non-finite"):
+            TournamentSelection(2)(np.random.default_rng(0), pop.individuals, 8, True)
+
+    def test_roulette_rejects_nan_pool(self):
+        pop = make_population([1.0, 2.0, 3.0, 4.0])
+        smuggle_nan(pop, 2)
+        with pytest.raises(ValueError, match="non-finite"):
+            RouletteWheelSelection()(np.random.default_rng(0), pop.individuals, 8, True)
+
+    def test_sus_rejects_nan_pool(self):
+        pop = make_population([1.0, 2.0, 3.0, 4.0])
+        smuggle_nan(pop, 3)
+        with pytest.raises(ValueError, match="non-finite"):
+            StochasticUniversalSampling()(
+                np.random.default_rng(0), pop.individuals, 8, True
+            )
+
+    def test_infinite_fitness_also_rejected(self):
+        pop = make_population([1.0, 2.0, 3.0, 4.0])
+        object.__setattr__(pop.individuals[0], "fitness", float("inf"))
+        with pytest.raises(ValueError, match="non-finite"):
+            TournamentSelection(2)(np.random.default_rng(0), pop.individuals, 8, True)
+
+    def test_error_names_offending_positions(self):
+        pop = make_population([1.0, 2.0, 3.0, 4.0])
+        smuggle_nan(pop, 1)
+        smuggle_nan(pop, 3)
+        with pytest.raises(ValueError, match=r"\[1, 3\]"):
+            RouletteWheelSelection()(np.random.default_rng(0), pop.individuals, 4, True)
