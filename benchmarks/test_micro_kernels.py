@@ -7,6 +7,7 @@ the bottlenecks are variation, selection, fitness and the event loop).
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -338,3 +339,80 @@ class TestVariationThroughput:
             f"vectorized engine step only {ratio:.1f}x scalar (need >= 3x "
             f"with evaluation included)"
         )
+
+
+def _pool_bench_task(n: int) -> float:
+    """A few milliseconds of real NumPy work — the amortized-task regime
+    the supervised pool is designed for (one trial >> one pipe hop)."""
+    rng = np.random.default_rng(n)
+    x = rng.random(n)
+    total = 0.0
+    for _ in range(40):
+        total += float(np.sum(np.sqrt(x) * np.sin(x)))
+    return total
+
+
+@pytest.mark.skipif(os.name != "posix", reason="pool benchmark forks workers")
+class TestSupervisedPoolOverhead:
+    """ISSUE 8 acceptance: the supervision layer (explicit workers, one
+    pipe round-trip and deadline bookkeeping per task) must stay within
+    5% of a bare ``multiprocessing.Pool`` on fault-free runs with
+    amortized trial-scale tasks.  Measured: ~0.93x — at this task size
+    one-task-at-a-time dispatch balances the batch tail *better* than
+    ``Pool.map``'s chunked dispatch, more than paying for the extra pipe
+    hop (see docs/resilient_execution.md)."""
+
+    JOBS = 4
+    TASKS = 32
+    PAYLOAD = 60_000
+    CEILING = 1.05
+
+    def _bare_seconds(self) -> float:
+        from multiprocessing import get_context
+
+        payloads = [self.PAYLOAD] * self.TASKS
+        best = float("inf")
+        ctx = get_context("fork")
+        with ctx.Pool(self.JOBS) as pool:
+            for _ in range(3):
+                start = time.perf_counter()
+                pool.map(_pool_bench_task, payloads)
+                best = min(best, time.perf_counter() - start)
+        return best
+
+    def _supervised_seconds(self) -> float:
+        from repro.runtime.resilient import SupervisedPool
+
+        payloads = [self.PAYLOAD] * self.TASKS
+        best = float("inf")
+        with SupervisedPool(_pool_bench_task, self.JOBS) as pool:
+            for _ in range(3):
+                start = time.perf_counter()
+                pool.run_batch(payloads)
+                best = min(best, time.perf_counter() - start)
+        return best
+
+    def test_fault_free_overhead_within_ceiling(self):
+        bare = self._bare_seconds()
+        supervised = self._supervised_seconds()
+        ratio = supervised / bare
+        print(
+            f"supervised pool overhead: bare {bare * 1e3:.1f}ms vs "
+            f"supervised {supervised * 1e3:.1f}ms ({ratio:.3f}x)"
+        )
+        assert ratio <= self.CEILING, (
+            f"supervised pool {ratio:.2f}x the bare pool on fault-free "
+            f"amortized tasks (ceiling {self.CEILING}x)"
+        )
+
+    def test_results_identical_to_bare_pool(self):
+        from multiprocessing import get_context
+
+        from repro.runtime.resilient import SupervisedPool
+
+        payloads = [self.PAYLOAD + i for i in range(8)]
+        with get_context("fork").Pool(2) as pool:
+            bare = pool.map(_pool_bench_task, payloads)
+        with SupervisedPool(_pool_bench_task, 2) as pool:
+            supervised = pool.run_batch(payloads)
+        assert supervised == bare

@@ -42,6 +42,13 @@ copy-pasted per engine, and this check keeps them centralised:
    it is the object boundary that converts between ``Individual`` lists
    and arrays, and looping is its job.
 
+6. **The supervised pool.**  Real-process fan-out must go through
+   :class:`repro.runtime.resilient.SupervisedPool` — a bare
+   ``multiprocessing`` ``Pool(...)`` / ``.imap_unordered(...)`` hangs
+   forever on a worker death and deadlocks on ``close(); join()`` with a
+   hung worker.  Only ``repro/runtime/resilient.py`` (the layer itself)
+   may touch the raw primitives.
+
 Run from the repository root::
 
     python scripts/check_engine_contract.py
@@ -56,9 +63,17 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
 PARALLEL = REPO / "src" / "repro" / "parallel"
 EXPERIMENTS = REPO / "src" / "repro" / "experiments"
 VECTORIZED = REPO / "src" / "repro" / "core" / "vectorized"
+
+#: the one module allowed to build on the raw multiprocessing pool
+#: primitives (it replaces them with supervised workers)
+POOL_OWNER = SRC / "runtime" / "resilient.py"
+
+#: bare-pool constructions/methods rule 6 forbids outside POOL_OWNER
+_BARE_POOL_NAMES = {"Pool", "imap_unordered", "imap", "map_async"}
 
 #: vectorized modules allowed to loop: the Individual<->array boundary
 VECTORIZED_LOOP_ALLOWED = {"population.py"}
@@ -223,6 +238,31 @@ def lint_experiment_file(path: Path) -> list[str]:
     return problems
 
 
+def lint_bare_pool_file(path: Path) -> list[str]:
+    """No bare multiprocessing pools outside the resilient layer (rule 6)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name) and func.id in _BARE_POOL_NAMES:
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr in _BARE_POOL_NAMES:
+            # skip ThreadPoolExecutor-style names: only the bare names bite
+            name = func.attr
+        if name is None:
+            continue
+        problems.append(
+            f"{path.relative_to(REPO)}:{node.lineno}: bare pool primitive "
+            f"{name}() — real-process fan-out must go through "
+            "repro.runtime.resilient.SupervisedPool (worker-death "
+            "detection, deadlines, bounded shutdown)"
+        )
+    return problems
+
+
 def lint_vectorized_file(path: Path) -> list[str]:
     """Kernel modules must be loop-free: whole-block NumPy only (rule 5)."""
     tree = ast.parse(path.read_text(), filename=str(path))
@@ -251,6 +291,9 @@ def main() -> int:
     )
     for path in vectorized_files:
         problems.extend(lint_vectorized_file(path))
+    pool_files = sorted(p for p in SRC.rglob("*.py") if p != POOL_OWNER)
+    for path in pool_files:
+        problems.extend(lint_bare_pool_file(path))
     for line in problems:
         print(line)
     if problems:
@@ -260,7 +303,8 @@ def main() -> int:
     print(
         f"engine-contract lint: {n} engine modules + "
         f"{len(experiment_files)} experiment modules + "
-        f"{len(vectorized_files)} vectorized kernel modules clean"
+        f"{len(vectorized_files)} vectorized kernel modules + "
+        f"{len(pool_files)} bare-pool-free modules clean"
     )
     return 0
 

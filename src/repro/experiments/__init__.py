@@ -25,6 +25,7 @@ from . import (
     e13_island_resilience,
     table1,
 )
+from ..runtime.resilient import ResilienceConfig
 from ..runtime.sweep import SweepTelemetry, sweep_context
 from .report import Expectation, ExperimentReport, SeriesSpec, TableSpec
 
@@ -63,6 +64,8 @@ def run_experiment(
     jobs: int = 1,
     cache_dir: str | None = None,
     telemetry: SweepTelemetry | None = None,
+    resilience: ResilienceConfig | None = None,
+    resume: bool = False,
 ) -> ExperimentReport:
     """Run one experiment by id ('E1' … 'E13').
 
@@ -70,6 +73,10 @@ def run_experiment(
     pool and ``cache_dir`` enables the content-addressed trial cache (see
     :mod:`repro.runtime.sweep`); both default to the hermetic serial,
     uncached configuration.  ``telemetry`` collects per-trial timing.
+    ``resilience`` sets the fork pool's supervision policy (per-trial
+    deadline, retry/backoff, chaos plan) and ``resume=True`` replays the
+    completion journal of a crashed run (see
+    :mod:`repro.runtime.resilient`).
 
     With ``audit=True`` the runner executes *twice* and a
     ``determinism-audit`` expectation is appended comparing the two
@@ -84,13 +91,19 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; choose from {sorted(REGISTRY)}"
         )
-    with sweep_context(jobs=jobs, cache_dir=cache_dir, telemetry=telemetry):
+    with sweep_context(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        telemetry=telemetry,
+        resilience=resilience,
+        resume=resume,
+    ):
         report = REGISTRY[key](quick=quick)
     if audit:
         from ..verify.digest import result_fingerprint
 
         first = result_fingerprint(report)
-        with sweep_context(jobs=jobs, cache_dir=None):
+        with sweep_context(jobs=jobs, cache_dir=None, resilience=resilience):
             second = result_fingerprint(REGISTRY[key](quick=quick))
         report.expect(
             "determinism-audit",
@@ -108,6 +121,8 @@ def run_all(
     jobs: int = 1,
     cache_dir: str | None = None,
     telemetry: SweepTelemetry | None = None,
+    resilience: ResilienceConfig | None = None,
+    resume: bool = False,
 ) -> list[ExperimentReport]:
     """Run every experiment (or a subset) and return the reports in order."""
     keys = [k.upper() for k in ids] if ids else list(REGISTRY)
@@ -119,6 +134,8 @@ def run_all(
             jobs=jobs,
             cache_dir=cache_dir,
             telemetry=telemetry,
+            resilience=resilience,
+            resume=resume,
         )
         for k in keys
     ]

@@ -28,6 +28,8 @@ import os
 import sys
 
 from ..obs import obs_session, sweep_obs_summary, write_chrome_trace, write_timeline
+from ..runtime.chaos import ChaosPlan
+from ..runtime.resilient import ResilienceConfig
 from ..runtime.sweep import SweepTelemetry
 from . import REGISTRY, run_experiment
 
@@ -89,7 +91,38 @@ def main(argv: list[str] | None = None) -> int:
         "--bench-out",
         metavar="FILE",
         help="write per-trial telemetry (wall time, simulated events, "
-        "evaluations, cache hits) to FILE as JSON",
+        "evaluations, cache hits) to FILE as JSON; flushed after every "
+        "sweep and on interrupt, so a killed run leaves partial telemetry",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trial wall-clock deadline on the fork pool: a worker "
+        "stalled past it is killed and the trial retried (default: none)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="K",
+        help="retries per trial after a worker death, timeout or raise "
+        "before the trial is quarantined as poison (default: 2)",
+    )
+    parser.add_argument(
+        "--chaos-plan",
+        metavar="FILE",
+        help="inject the deterministic fault plan (repro-chaos-plan/v1 "
+        "JSON) into pool workers — for testing the resilience layer; "
+        "only applies with --jobs > 1 (the serial path never faults)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a sweep killed mid-flight: trials journalled by the "
+        "crashed run are served from the cache and counted as resumed "
+        "(requires the trial cache)",
     )
     parser.add_argument(
         "--obs-out",
@@ -106,6 +139,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.deadline is not None and args.deadline <= 0:
+        parser.error("--deadline must be > 0")
     raw_ids = list(args.ids)
     # tolerate an explicit `run` verb (``python -m repro.experiments run e03``)
     if raw_ids and raw_ids[0].lower() == "run":
@@ -117,7 +154,28 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown experiment ids {unknown}; choose from {', '.join(REGISTRY)}"
         )
     cache_dir = None if args.no_cache else args.cache_dir
+    if args.resume and cache_dir is None:
+        parser.error("--resume requires the trial cache (drop --no-cache)")
+    chaos = None
+    if args.chaos_plan:
+        try:
+            chaos = ChaosPlan.load(args.chaos_plan)
+        except (OSError, ValueError) as exc:
+            parser.error(f"--chaos-plan {args.chaos_plan}: {exc}")
+        if args.jobs < 2:
+            print(
+                "[chaos] warning: --chaos-plan has no effect with --jobs 1 "
+                "(faults only apply inside pool workers)",
+                file=sys.stderr,
+            )
+    resilience = ResilienceConfig(
+        deadline_s=args.deadline,
+        max_retries=args.max_retries,
+        chaos=chaos,
+    )
     telemetry = SweepTelemetry() if args.bench_out else None
+    if telemetry is not None:
+        telemetry.autoflush_path = args.bench_out
     obs_requested = bool(args.obs_out or args.obs_trace)
     any_failed = False
 
@@ -131,6 +189,8 @@ def main(argv: list[str] | None = None) -> int:
                 jobs=args.jobs,
                 cache_dir=cache_dir,
                 telemetry=telemetry,
+                resilience=resilience,
+                resume=args.resume,
             )
             print(report.render())
             print()
@@ -138,19 +198,28 @@ def main(argv: list[str] | None = None) -> int:
                 failed = True
         return failed
 
-    if obs_requested:
-        with obs_session(label="+".join(ids)) as session:
+    try:
+        if obs_requested:
+            with obs_session(label="+".join(ids)) as session:
+                any_failed = _run_all()
+            if args.obs_out:
+                write_timeline(session, args.obs_out)
+                print(f"[obs] timeline -> {args.obs_out}", file=sys.stderr)
+            if args.obs_trace:
+                write_chrome_trace(session, args.obs_trace)
+                print(f"[obs] chrome trace -> {args.obs_trace}", file=sys.stderr)
+            if telemetry is not None:
+                telemetry.obs = sweep_obs_summary(session)
+        else:
             any_failed = _run_all()
-        if args.obs_out:
-            write_timeline(session, args.obs_out)
-            print(f"[obs] timeline -> {args.obs_out}", file=sys.stderr)
-        if args.obs_trace:
-            write_chrome_trace(session, args.obs_trace)
-            print(f"[obs] chrome trace -> {args.obs_trace}", file=sys.stderr)
+    except KeyboardInterrupt:
+        # run_sweep already flushed journal + partial telemetry; make sure
+        # an interrupt *between* sweeps persists telemetry too
         if telemetry is not None:
-            telemetry.obs = sweep_obs_summary(session)
-    else:
-        any_failed = _run_all()
+            telemetry.flush()
+            print(f"[sweep] interrupted; partial telemetry -> {args.bench_out}",
+                  file=sys.stderr)
+        return 130
 
     if telemetry is not None and args.bench_out:
         telemetry.write(args.bench_out)

@@ -1,13 +1,27 @@
-"""Engine runtime: executors behind the evaluator seam, and the shared
-deme lifecycle every parallel model runs on (:mod:`repro.runtime.deme`)."""
+"""Engine runtime: executors behind the evaluator seam, the shared deme
+lifecycle every parallel model runs on (:mod:`repro.runtime.deme`), and
+the supervised real-process execution layer both process backends share
+(:mod:`repro.runtime.resilient` + :mod:`repro.runtime.chaos`)."""
 
 from .cache import FitnessCache, MemoizingEvaluator
+from .chaos import ChaosError, ChaosPlan
 from .deme import EpochLoop, RuntimeCapabilities, TimedDemeRuntime, emit_generation
 from .executor import (
     MultiprocessingExecutor,
     SerialExecutor,
     ThreadExecutor,
     chunk_indices,
+)
+from .journal import SweepJournal
+from .resilient import (
+    PoolStats,
+    QuarantinedTask,
+    QuarantineError,
+    ResilienceConfig,
+    SupervisedPool,
+    TaskFailure,
+    WorkerTaskError,
+    backoff_delay,
 )
 from .sweep import (
     SweepConfig,
@@ -25,6 +39,7 @@ __all__ = [
     "TrialCache",
     "SweepConfig",
     "SweepTelemetry",
+    "SweepJournal",
     "run_sweep",
     "sweep_context",
     "kernel_digest",
@@ -39,4 +54,14 @@ __all__ = [
     "chunk_indices",
     "FitnessCache",
     "MemoizingEvaluator",
+    "ResilienceConfig",
+    "SupervisedPool",
+    "PoolStats",
+    "TaskFailure",
+    "QuarantinedTask",
+    "QuarantineError",
+    "WorkerTaskError",
+    "backoff_delay",
+    "ChaosPlan",
+    "ChaosError",
 ]

@@ -1,0 +1,174 @@
+"""Deterministic chaos injection for the supervised real-process pool.
+
+The survey's perspective sections treat worker failure on commodity
+clusters as the normal case, not the exception — but failure paths that
+only trigger on real hardware faults are failure paths that never run in
+CI.  This module makes them reproducible: a :class:`ChaosPlan` is a
+seeded map from ``(task key, attempt)`` pairs to one of four faults,
+executed *inside the worker process* just before the task body runs:
+
+``raise``
+    Raise :class:`ChaosError` — a clean application-level failure that
+    travels back to the driver as an exception.
+``hang``
+    Sleep past any sane deadline (``hang_s``, default one hour) so the
+    supervisor's per-task timeout fires and the worker is killed.
+``kill``
+    ``SIGKILL`` the worker's own process — the OOM-killer scenario.  No
+    exception, no goodbye; the driver sees the pipe close.
+``exit``
+    ``os._exit`` — a hard interpreter death (native-extension crash /
+    segfault stand-in) that likewise skips all cleanup.
+
+Because the plan is pure data keyed by ``(key, attempt)`` and the
+retry/backoff schedule is itself seeded, an entire failure-and-recovery
+history replays bit-identically from ``(plan, seed)``.  Plans are only
+ever executed in pool *workers*: the serial in-process paths (and the
+supervised pool's serial-degradation mode) never apply chaos, so a
+chaos run that eventually succeeds is fingerprint-identical to a clean
+serial run — which is exactly what the CI chaos-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = ["CHAOS_SCHEMA", "ACTIONS", "ChaosError", "ChaosPlan"]
+
+CHAOS_SCHEMA = "repro-chaos-plan/v1"
+
+#: recognised fault actions, in the order seeded sampling assigns them
+ACTIONS = ("raise", "hang", "kill", "exit")
+
+
+class ChaosError(RuntimeError):
+    """The exception injected by a ``raise`` fault."""
+
+
+def _u01(seed: int, key: int, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one (key, attempt) pair.
+
+    Hash-based rather than stream-based so the draw for a pair never
+    depends on how many other pairs were sampled before it.
+    """
+    blob = hashlib.sha256(f"chaos|{seed}|{key}|{attempt}".encode()).digest()
+    return int.from_bytes(blob[:8], "big") / 2**64
+
+
+@dataclass
+class ChaosPlan:
+    """A reproducible fault schedule: ``(task key, attempt) -> action``.
+
+    ``faults`` maps each afflicted pair to one of :data:`ACTIONS`; pairs
+    absent from the map run normally.  Task keys are assigned by the
+    caller of the supervised pool (the sweep uses the trial's declared
+    index, the executor its chunk index), so a plan written for a sweep
+    names trials stably across serial/parallel/cached executions.
+    """
+
+    faults: dict[tuple[int, int], str] = field(default_factory=dict)
+    #: how long a ``hang`` fault sleeps; must exceed the pool deadline
+    hang_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        for pair, action in self.faults.items():
+            if action not in ACTIONS:
+                raise ValueError(
+                    f"unknown chaos action {action!r} for {pair}; "
+                    f"choose from {ACTIONS}"
+                )
+
+    def fault_for(self, key: int, attempt: int) -> str | None:
+        return self.faults.get((int(key), int(attempt)))
+
+    def execute(self, key: int, attempt: int) -> None:
+        """Apply the planned fault for this pair, if any (worker-side)."""
+        action = self.fault_for(key, attempt)
+        if action is None:
+            return
+        if action == "raise":
+            raise ChaosError(
+                f"chaos: injected failure for task {key} attempt {attempt}"
+            )
+        if action == "hang":
+            time.sleep(self.hang_s)
+            return
+        if action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if action == "exit":
+            os._exit(23)
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        keys: int | Iterable[int],
+        *,
+        p_raise: float = 0.0,
+        p_hang: float = 0.0,
+        p_kill: float = 0.0,
+        p_exit: float = 0.0,
+        attempts: int = 1,
+        hang_s: float = 3600.0,
+    ) -> "ChaosPlan":
+        """Sample a plan: each (key, attempt < ``attempts``) pair draws one
+        deterministic uniform and picks a fault by cumulative probability.
+
+        Faulting only the first ``attempts`` attempts (default 1) leaves
+        retries clean, so a run under the plan still converges to the
+        fault-free result — the property the chaos tests pin.
+        """
+        total = p_raise + p_hang + p_kill + p_exit
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(f"fault probabilities sum to {total}, not within [0, 1]")
+        key_list = list(range(keys)) if isinstance(keys, int) else [int(k) for k in keys]
+        faults: dict[tuple[int, int], str] = {}
+        for key in key_list:
+            for attempt in range(attempts):
+                r = _u01(seed, key, attempt)
+                cut = 0.0
+                for action, p in zip(ACTIONS, (p_raise, p_hang, p_kill, p_exit)):
+                    cut += p
+                    if r < cut:
+                        faults[(key, attempt)] = action
+                        break
+        return cls(faults=faults, hang_s=hang_s)
+
+    # -- (de)serialisation ---------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": CHAOS_SCHEMA,
+            "hang_s": self.hang_s,
+            "faults": [
+                {"key": key, "attempt": attempt, "action": action}
+                for (key, attempt), action in sorted(self.faults.items())
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "ChaosPlan":
+        schema = doc.get("schema")
+        if schema != CHAOS_SCHEMA:
+            raise ValueError(f"not a chaos plan: schema {schema!r} != {CHAOS_SCHEMA!r}")
+        faults = {
+            (int(f["key"]), int(f["attempt"])): str(f["action"])
+            for f in doc.get("faults", [])
+        }
+        return cls(faults=faults, hang_s=float(doc.get("hang_s", 3600.0)))
+
+    def dump(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_json(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ChaosPlan":
+        return cls.from_json(json.loads(Path(path).read_text()))

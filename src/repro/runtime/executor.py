@@ -18,12 +18,12 @@ import hashlib
 import os
 import pickle
 from concurrent.futures import ThreadPoolExecutor
-from multiprocessing import get_context
 from typing import Sequence
 
 import numpy as np
 
 from ..core.problem import CountingProblem, Problem, stack_genomes
+from .resilient import QuarantinedTask, QuarantineError, ResilienceConfig, SupervisedPool
 
 __all__ = [
     "SerialExecutor",
@@ -135,7 +135,11 @@ class MultiprocessingExecutor:
 
     The objective is broadcast to each worker once at pool start-up (like an
     MPI ``bcast``), so per-generation traffic is genome arrays out /
-    fitnesses back only.
+    fitnesses back only.  The pool is a
+    :class:`~repro.runtime.resilient.SupervisedPool`: a worker that is
+    OOM-killed, segfaults or stalls past ``resilience.deadline_s`` no
+    longer hangs the evaluation — the chunk is retried on a respawned
+    worker (``resilience.max_retries``) or the original error raises.
 
     Parameters
     ----------
@@ -149,20 +153,37 @@ class MultiprocessingExecutor:
         driver-side.
     workers:
         Pool size; defaults to the CPU count.
+    resilience:
+        Supervision policy.  The default (no deadline, no retries) keeps
+        the bare pool's semantics — first evaluation error raises — while
+        worker death raises instead of hanging forever.
     """
 
-    def __init__(self, problem: Problem, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        problem: Problem,
+        workers: int | None = None,
+        resilience: ResilienceConfig | None = None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         _, payload = _objective_payload(problem)
         self._objective_digest = hashlib.sha256(payload).hexdigest()
-        ctx = get_context("fork" if os.name == "posix" else "spawn")
-        self._pool = ctx.Pool(
-            processes=self.workers,
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self._pool = SupervisedPool(
+            _eval_chunk,
+            self.workers,
+            config=self.resilience,
             initializer=_init_worker,
             initargs=(payload,),
+            label="executor",
         )
+
+    @property
+    def stats(self):
+        """Supervision counters (retries/timeouts/worker deaths/respawns)."""
+        return self._pool.stats
 
     def evaluate(
         self, problem: Problem, genomes: Sequence[np.ndarray] | np.ndarray
@@ -189,19 +210,25 @@ class MultiprocessingExecutor:
                 chunks = [np.ascontiguousarray(batch[a:b]) for a, b in spans]
             else:
                 chunks = [list(genomes[a:b]) for a, b in spans]
-            results = self._pool.map(_eval_chunk, chunks)
+            results = self._pool.run_batch(chunks)
         except BaseException:
             if counting is not None:
                 counting.refund(n)
             raise
+        quarantined = [r for r in results if isinstance(r, QuarantinedTask)]
+        if quarantined:
+            if counting is not None:
+                counting.refund(n)
+            raise QuarantineError(quarantined)
         out: list[float] = []
         for r in results:
             out.extend(r)
         return out
 
-    def shutdown(self) -> None:
-        self._pool.close()
-        self._pool.join()
+    def shutdown(self, timeout: float | None = None) -> None:
+        """Bounded shutdown: a hung worker is terminated after the grace
+        period instead of deadlocking context-manager exit."""
+        self._pool.shutdown(timeout=timeout)
 
     def __enter__(self) -> "MultiprocessingExecutor":
         return self

@@ -1,0 +1,110 @@
+"""Crash-safe sweep resume: an append-only journal of completed trials.
+
+The content-addressed :class:`~repro.runtime.sweep.TrialCache` already
+makes a *re-run* cheap — every completed trial answers from disk.  What
+it cannot tell a restarted orchestrator is *which* of those hits belong
+to a sweep that was killed mid-flight, so the restart could neither
+report how much work it skipped nor rebuild the partial telemetry the
+dead run never got to flush.  The journal closes that gap: one
+``jsonl`` file per sweep (keyed by the sweep's full trial-digest set,
+so a changed grid or edited kernel starts a fresh journal), one line
+appended — flushed and fsynced — after each trial's result is safely in
+the cache.
+
+A line is written *after* the cache entry it describes, so every
+journal line points at a durable result; a crash between the two at
+worst demotes one resumed trial to an ordinary cache hit.  Torn final
+lines from a crashed writer are detected by JSON parse failure and
+skipped.  When a sweep completes, its journal is deleted — there is
+nothing left to resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["SweepJournal"]
+
+
+class SweepJournal:
+    """Append-only completion log for one sweep's trials."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    @staticmethod
+    def path_for(
+        cache_root: str | Path, experiment_id: str, digests: Iterable[str]
+    ) -> Path:
+        """Journal location for one sweep, next to the trial cache.
+
+        The filename keys on the *entire* ordered digest set, so a sweep
+        over a different grid (or after a kernel edit, which changes
+        every digest) never resumes from the wrong journal.
+        """
+        h = hashlib.sha256(experiment_id.encode())
+        for d in digests:
+            h.update(b"|")
+            h.update(str(d).encode())
+        return (
+            Path(cache_root)
+            / "journal"
+            / f"{experiment_id}-{h.hexdigest()[:16]}.jsonl"
+        )
+
+    def load(self) -> dict[str, dict[str, Any]]:
+        """Completed-trial records from a previous (crashed) run, by digest.
+
+        A torn or corrupt line — the possible tail of a killed writer —
+        is skipped, never trusted.
+        """
+        records: dict[str, dict[str, Any]] = {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return records
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+                digest = doc["digest"]
+            except (ValueError, KeyError, TypeError):
+                continue  # torn final line from a crashed writer
+            records[str(digest)] = doc
+        return records
+
+    def append(self, digest: str, record: dict[str, Any] | None = None) -> None:
+        """Durably log one completed trial (flush + fsync per line)."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        doc = {"digest": digest, **(record or {})}
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def complete(self) -> None:
+        """The sweep finished: nothing left to resume, drop the journal."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import pickle
@@ -39,7 +40,6 @@ import platform
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
@@ -47,6 +47,13 @@ import numpy as np
 
 from ..obs.export import timeline_doc
 from ..obs.session import current_obs, obs_session
+from .journal import SweepJournal
+from .resilient import (
+    QuarantinedTask,
+    QuarantineError,
+    ResilienceConfig,
+    SupervisedPool,
+)
 
 __all__ = [
     "Trial",
@@ -179,6 +186,22 @@ def trial_digest(
 _MAGIC = b"RSWEEP1\n"
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # PermissionError et al.: it exists, just not ours
+        return True
+    return True
+
+
+#: per-process uniquifier for temp names — two stores of the same digest
+#: in one process can never collide on their temp file
+_TMP_SEQ = itertools.count()
+
+
 class TrialCache:
     """Content-addressed on-disk store of trial results.
 
@@ -186,8 +209,11 @@ class TrialCache:
     magic header, the hex sha256 of the payload, and the pickled payload.
     A short, damaged or tampered entry fails the checksum (or unpickling)
     and is treated as a miss — the trial recomputes and the entry is
-    rewritten.  Writes are atomic (temp file + rename), so a crashed
-    writer can at worst leave a corrupt entry, never a half-trusted one.
+    rewritten.  Writes are atomic (unique temp file + rename, unlinked on
+    failure), so a crashed writer can at worst leave a corrupt entry,
+    never a half-trusted one; temp files orphaned by a *killed* writer
+    (no chance to unlink) are swept on the next cache open, guarded by a
+    pid-liveness probe so a concurrent writer's live temp survives.
     """
 
     def __init__(self, root: str | Path) -> None:
@@ -195,6 +221,22 @@ class TrialCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self._sweep_stale_temps()
+
+    def _sweep_stale_temps(self) -> None:
+        if not self.root.is_dir():
+            return
+        for tmp in self.root.glob("*/*.tmp.*"):
+            tail = tmp.name.partition(".tmp.")[2]
+            try:
+                pid = int(tail.split(".", 1)[0])
+            except ValueError:
+                pid = None
+            if pid is None or not _pid_alive(pid):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
 
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest[2:]}.pkl"
@@ -229,9 +271,16 @@ class TrialCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         blob = _MAGIC + hashlib.sha256(payload).hexdigest().encode("ascii") + b"\n" + payload
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(blob)
-        os.replace(tmp, path)
+        tmp = path.parent / f"{path.name}.tmp.{os.getpid()}.{next(_TMP_SEQ)}"
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
 
 # -- telemetry ---------------------------------------------------------------------
@@ -251,6 +300,11 @@ class TrialRecord:
     evaluations: int = 0
     #: span count of the trial's child observability session (0 when obs off)
     obs_spans: int = 0
+    #: True when this cache hit was journalled by a crashed run of the
+    #: same sweep (its wall/sim/eval columns are restored from the journal)
+    resumed: bool = False
+    #: True when the trial was quarantined as poison after K failed attempts
+    quarantined: bool = False
 
 
 @dataclass
@@ -268,6 +322,10 @@ class SweepTelemetry:
     #: sweep-level observability roll-up (:func:`repro.obs.export.sweep_obs_summary`),
     #: set by the CLI when a session is active; ``None`` keeps the artifact as-is
     obs: dict[str, Any] | None = None
+    #: when set, :meth:`flush` rewrites this file — the sweep driver
+    #: flushes after every sweep and on KeyboardInterrupt, so a killed
+    #: invocation still leaves partial telemetry on disk
+    autoflush_path: str | Path | None = None
 
     def record_sweep(
         self,
@@ -278,6 +336,9 @@ class SweepTelemetry:
         cache_corrupt: int,
         jobs: int,
         wall_s: float,
+        resumed: int = 0,
+        quarantined: int = 0,
+        interrupted: bool = False,
     ) -> None:
         self.sweeps.append(
             {
@@ -287,6 +348,9 @@ class SweepTelemetry:
                 "cache_corrupt": cache_corrupt,
                 "jobs": jobs,
                 "wall_s": round(wall_s, 6),
+                "resumed": resumed,
+                "quarantined": quarantined,
+                "interrupted": interrupted,
             }
         )
 
@@ -319,6 +383,11 @@ class SweepTelemetry:
     def write(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps(self.to_json(), indent=2) + "\n")
 
+    def flush(self) -> None:
+        """Persist partial telemetry to ``autoflush_path`` (no-op unset)."""
+        if self.autoflush_path is not None:
+            self.write(self.autoflush_path)
+
 
 # -- ambient configuration ---------------------------------------------------------
 
@@ -329,11 +398,21 @@ class SweepConfig:
 
     ``cache_dir=None`` disables the cache (the library default, keeping
     programmatic runs hermetic); the CLI opts into ``.sweep_cache``.
+
+    ``resilience`` is the supervision policy for the fork pool (deadline,
+    retry/backoff, chaos plan — :class:`repro.runtime.resilient.ResilienceConfig`);
+    the sweep always runs it in quarantine mode, so one poison trial
+    cannot abort the rest of the grid.  ``resume=True`` (requires the
+    cache) replays the completion journal of a crashed run of the same
+    sweep: journalled trials are served from the cache, counted as
+    ``resumed``, and their telemetry is restored from the journal.
     """
 
     jobs: int = 1
     cache_dir: str | Path | None = None
     telemetry: SweepTelemetry | None = None
+    resilience: ResilienceConfig | None = None
+    resume: bool = False
 
 
 _ACTIVE = SweepConfig()
@@ -348,13 +427,21 @@ def sweep_context(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     telemetry: SweepTelemetry | None = None,
+    resilience: ResilienceConfig | None = None,
+    resume: bool = False,
 ) -> Iterator[SweepConfig]:
     """Install an ambient :class:`SweepConfig` for the enclosed runners."""
     global _ACTIVE
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     prev = _ACTIVE
-    _ACTIVE = SweepConfig(jobs=int(jobs), cache_dir=cache_dir, telemetry=telemetry)
+    _ACTIVE = SweepConfig(
+        jobs=int(jobs),
+        cache_dir=cache_dir,
+        telemetry=telemetry,
+        resilience=resilience,
+        resume=bool(resume),
+    )
     try:
         yield _ACTIVE
     finally:
@@ -413,10 +500,19 @@ def run_sweep(
     """Execute ``trials`` and return their results in declared order.
 
     Cache hits are answered from disk; the remaining trials run serially
-    (``jobs == 1``) or on a process pool.  The returned list is ordered
-    exactly like ``trials`` regardless of completion order, so reports
-    built from it are fingerprint-identical across serial, parallel and
-    cached executions.
+    (``jobs == 1``) or on a supervised process pool
+    (:class:`repro.runtime.resilient.SupervisedPool`: worker-death
+    detection, per-trial deadlines, seeded retry/backoff — see
+    ``cfg.resilience``).  The returned list is ordered exactly like
+    ``trials`` regardless of completion order, so reports built from it
+    are fingerprint-identical across serial, parallel, cached and
+    chaos-injected executions.
+
+    Trials that stay poison after every allowed attempt are quarantined:
+    all other trials still complete (and are cached/journalled), then a
+    :class:`~repro.runtime.resilient.QuarantineError` is raised naming
+    them.  ``KeyboardInterrupt`` flushes the journal and telemetry
+    before re-raising, so an interrupted sweep loses no absorbed work.
     """
     cfg = config if config is not None else _ACTIVE
     trials = list(trials)
@@ -425,6 +521,7 @@ def run_sweep(
     telemetry = cfg.telemetry
     sweep_start = time.perf_counter()
     cache_hits = 0
+    resumed_trials = 0
 
     pending: list[int] = []
     digests: list[str | None] = [None] * len(trials)
@@ -432,12 +529,22 @@ def run_sweep(
         kernel = kernel_digest()
         for i, trial in enumerate(trials):
             digests[i] = trial_digest(experiment_id, trial, quick=quick, kernel=kernel)
+    journal: SweepJournal | None = None
+    prior: dict[str, dict[str, Any]] = {}
+    if cache is not None and cfg.resume:
+        journal = SweepJournal(
+            SweepJournal.path_for(cache.root, experiment_id, digests)
+        )
+        prior = journal.load()
     for i, trial in enumerate(trials):
         if cache is not None:
             hit, value = cache.load(digests[i])
             if hit:
                 results[i] = value
                 cache_hits += 1
+                rec = prior.get(digests[i])
+                if rec is not None:
+                    resumed_trials += 1
                 if telemetry is not None:
                     telemetry.trials.append(
                         TrialRecord(
@@ -445,8 +552,11 @@ def run_sweep(
                             fn=trial.fn_id,
                             seed=trial.seed,
                             digest=digests[i][:16],
-                            wall_s=0.0,
+                            wall_s=float(rec.get("wall_s", 0.0)) if rec else 0.0,
                             cached=True,
+                            sim_events=int(rec.get("sim_events", 0)) if rec else 0,
+                            evaluations=int(rec.get("evaluations", 0)) if rec else 0,
+                            resumed=rec is not None,
                         )
                     )
                 continue
@@ -465,6 +575,15 @@ def run_sweep(
         results[index] = value
         if cache is not None:
             cache.store(digests[index], value)
+        if journal is not None:
+            journal.append(
+                digests[index],
+                {
+                    "wall_s": round(wall, 6),
+                    "sim_events": sim_events,
+                    "evaluations": evals,
+                },
+            )
         if obs_doc is not None:
             obs_docs[index] = obs_doc
         if telemetry is not None:
@@ -482,16 +601,67 @@ def run_sweep(
                 )
             )
 
-    jobs = min(cfg.jobs, len(pending))
-    if jobs > 1:
-        ctx = get_context("fork" if os.name == "posix" else "spawn")
-        with ctx.Pool(processes=jobs) as pool:
-            payloads = [(i, trials[i]) for i in pending]
-            for out in pool.imap_unordered(_execute_indexed, payloads):
-                _absorb(*out)
-    else:
-        for i in pending:
-            _absorb(*_execute_indexed((i, trials[i])))
+    quarantined: list[QuarantinedTask] = []
+    try:
+        jobs = min(cfg.jobs, len(pending))
+        if jobs > 1:
+            resilience = (
+                cfg.resilience if cfg.resilience is not None else ResilienceConfig()
+            )
+            # quarantine mode: one poison trial must not abort the grid
+            resilience = dataclasses.replace(resilience, quarantine=True)
+            with SupervisedPool(
+                _execute_indexed,
+                jobs,
+                config=resilience,
+                label=f"sweep/{experiment_id}",
+            ) as pool:
+                payloads = [(i, trials[i]) for i in pending]
+                batch = pool.run_batch(
+                    payloads,
+                    keys=pending,  # chaos/backoff key = declared trial index
+                    on_result=lambda _slot, out: _absorb(*out),
+                )
+            for slot, value in zip(pending, batch):
+                if isinstance(value, QuarantinedTask):
+                    quarantined.append(value)
+                    if telemetry is not None:
+                        telemetry.trials.append(
+                            TrialRecord(
+                                experiment=experiment_id,
+                                fn=trials[slot].fn_id,
+                                seed=trials[slot].seed,
+                                digest=(digests[slot] or "")[:16],
+                                wall_s=0.0,
+                                cached=False,
+                                quarantined=True,
+                            )
+                        )
+        else:
+            # the serial path runs in-process: chaos plans (worker-only by
+            # design) never apply here, which is what makes it the clean
+            # reference the chaos runs are compared against
+            for i in pending:
+                _absorb(*_execute_indexed((i, trials[i])))
+    except KeyboardInterrupt:
+        # crash-safe exit: everything absorbed so far is already durable
+        # (cache entries + journal lines); flush partial telemetry too
+        if telemetry is not None:
+            telemetry.record_sweep(
+                experiment=experiment_id,
+                n_trials=len(trials),
+                cache_hits=cache_hits,
+                cache_corrupt=cache.corrupt if cache is not None else 0,
+                jobs=cfg.jobs,
+                wall_s=time.perf_counter() - sweep_start,
+                resumed=resumed_trials,
+                interrupted=True,
+            )
+            telemetry.flush()
+        raise
+    finally:
+        if journal is not None:
+            journal.close()
 
     session = current_obs()
     if session is not None:
@@ -502,6 +672,7 @@ def run_sweep(
             session.merge_child(obs_docs[i], prefix=f"{experiment_id}/t{i}")
         session.metrics.counter("sweep.trials").inc(len(trials))
         session.metrics.counter("sweep.cache_hits").inc(cache_hits)
+        session.metrics.counter("sweep.resumed_trials").inc(resumed_trials)
         if cache is not None:
             session.metrics.counter("sweep.cache_corrupt").inc(cache.corrupt)
 
@@ -513,5 +684,14 @@ def run_sweep(
             cache_corrupt=cache.corrupt if cache is not None else 0,
             jobs=cfg.jobs,
             wall_s=time.perf_counter() - sweep_start,
+            resumed=resumed_trials,
+            quarantined=len(quarantined),
         )
+        telemetry.flush()
+    if quarantined:
+        # every healthy trial completed (and is cached/journalled); the
+        # journal is kept so a re-run after fixing the poison resumes
+        raise QuarantineError(quarantined)
+    if journal is not None:
+        journal.complete()
     return results

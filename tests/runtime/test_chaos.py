@@ -1,0 +1,103 @@
+"""Tests for the deterministic chaos-plan format (repro.runtime.chaos)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.chaos import ACTIONS, CHAOS_SCHEMA, ChaosError, ChaosPlan
+
+
+class TestPlanBasics:
+    def test_fault_for_hit_and_miss(self):
+        plan = ChaosPlan({(3, 0): "raise"})
+        assert plan.fault_for(3, 0) == "raise"
+        assert plan.fault_for(3, 1) is None
+        assert plan.fault_for(4, 0) is None
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos action"):
+            ChaosPlan({(0, 0): "explode"})
+
+    def test_execute_raise(self):
+        plan = ChaosPlan({(1, 0): "raise"})
+        with pytest.raises(ChaosError, match="task 1 attempt 0"):
+            plan.execute(1, 0)
+
+    def test_execute_clean_pair_is_noop(self):
+        ChaosPlan({(1, 0): "raise"}).execute(2, 5)
+
+    def test_hang_sleeps_hang_s(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr("repro.runtime.chaos.time.sleep", slept.append)
+        ChaosPlan({(0, 0): "hang"}, hang_s=42.0).execute(0, 0)
+        assert slept == [42.0]
+
+
+class TestSeededPlans:
+    def test_same_seed_same_plan(self):
+        a = ChaosPlan.seeded(7, 20, p_kill=0.3, p_raise=0.2, attempts=2)
+        b = ChaosPlan.seeded(7, 20, p_kill=0.3, p_raise=0.2, attempts=2)
+        assert a.faults == b.faults
+
+    def test_different_seed_different_plan(self):
+        a = ChaosPlan.seeded(1, 50, p_kill=0.5)
+        b = ChaosPlan.seeded(2, 50, p_kill=0.5)
+        assert a.faults != b.faults
+
+    def test_probability_one_faults_everything(self):
+        plan = ChaosPlan.seeded(0, 10, p_raise=1.0, attempts=3)
+        assert len(plan.faults) == 30
+        assert set(plan.faults.values()) == {"raise"}
+
+    def test_probability_zero_faults_nothing(self):
+        assert ChaosPlan.seeded(0, 10).faults == {}
+
+    def test_explicit_key_list(self):
+        plan = ChaosPlan.seeded(0, [5, 9], p_kill=1.0)
+        assert set(plan.faults) == {(5, 0), (9, 0)}
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            ChaosPlan.seeded(0, 5, p_kill=0.8, p_raise=0.5)
+
+    def test_draw_independent_of_other_keys(self):
+        # hash-based draws: key 3's fault is the same whether the plan
+        # sampled 5 or 50 keys
+        small = ChaosPlan.seeded(0, [3], p_kill=0.5)
+        big = ChaosPlan.seeded(0, range(50), p_kill=0.5)
+        assert small.fault_for(3, 0) == big.fault_for(3, 0)
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        plan = ChaosPlan({(0, 0): "kill", (4, 1): "hang"}, hang_s=12.5)
+        doc = plan.to_json()
+        assert doc["schema"] == CHAOS_SCHEMA
+        back = ChaosPlan.from_json(doc)
+        assert back.faults == plan.faults
+        assert back.hang_s == plan.hang_s
+
+    def test_file_round_trip(self, tmp_path):
+        plan = ChaosPlan.seeded(3, 12, p_raise=0.4, p_kill=0.2)
+        path = tmp_path / "plan.json"
+        plan.dump(path)
+        assert ChaosPlan.load(path).faults == plan.faults
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="not a chaos plan"):
+            ChaosPlan.from_json({"schema": "something-else/v9"})
+
+    def test_ci_plan_is_valid(self):
+        # the committed fixture the chaos-smoke CI job injects
+        from pathlib import Path
+
+        plan_path = Path(__file__).parents[2] / "scripts" / "ci_chaos_plan.json"
+        plan = ChaosPlan.load(plan_path)
+        # faults only on attempt 0, so retries always converge
+        assert all(attempt == 0 for (_, attempt) in plan.faults)
+        assert set(plan.faults.values()) <= set(ACTIONS)
+
+    def test_json_faults_sorted(self):
+        plan = ChaosPlan({(9, 0): "kill", (1, 1): "raise", (1, 0): "exit"})
+        keys = [(f["key"], f["attempt"]) for f in plan.to_json()["faults"]]
+        assert keys == sorted(keys)

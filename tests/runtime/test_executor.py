@@ -1,14 +1,22 @@
 """Unit tests for the real-parallelism executors."""
 
+import os
+import time
+
 import numpy as np
 import pytest
 
 from repro.core import GAConfig, GenerationalEngine
+from repro.core.problem import CountingProblem
 from repro.problems import OneMax, Sphere
 from repro.runtime import (
+    ChaosPlan,
     MultiprocessingExecutor,
+    QuarantineError,
+    ResilienceConfig,
     SerialExecutor,
     ThreadExecutor,
+    WorkerTaskError,
     chunk_indices,
 )
 
@@ -121,3 +129,66 @@ class TestMultiprocessingExecutor:
             ).run(8)
         assert serial.best_fitness == pooled.best_fitness
         assert serial.evaluations == pooled.evaluations
+
+
+@pytest.mark.skipif(os.name != "posix", reason="chaos faults need fork workers")
+class TestSupervisedExecutor:
+    """The executor's resilience seam: chunk keys are chunk indices."""
+
+    FAST = dict(backoff_base_s=0.001, backoff_cap_s=0.01)
+
+    def test_worker_kill_retried_matches_serial(self):
+        p = OneMax(16)
+        genomes = _genomes(p, 9)
+        res = ResilienceConfig(
+            max_retries=2, chaos=ChaosPlan({(0, 0): "kill"}), **self.FAST
+        )
+        with MultiprocessingExecutor(p, workers=2, resilience=res) as ex:
+            out = ex.evaluate(p, genomes)
+            assert ex.stats.worker_deaths >= 1
+            assert ex.stats.retries >= 1
+        assert out == [p.evaluate(g) for g in genomes]
+
+    def test_worker_death_raises_instead_of_hanging(self):
+        # the bare-Pool pathology this layer fixes: Pool.map blocks
+        # forever when a worker is killed mid-task
+        p = OneMax(8)
+        res = ResilienceConfig(chaos=ChaosPlan({(0, 0): "kill"}), **self.FAST)
+        t0 = time.monotonic()
+        with MultiprocessingExecutor(p, workers=1, resilience=res) as ex:
+            with pytest.raises(WorkerTaskError, match="worker-death"):
+                ex.evaluate(p, _genomes(p, 4))
+        assert time.monotonic() - t0 < 60.0
+
+    def test_hang_killed_by_deadline_and_retried(self):
+        p = OneMax(16)
+        genomes = _genomes(p, 6)
+        res = ResilienceConfig(
+            deadline_s=0.5,
+            max_retries=1,
+            chaos=ChaosPlan({(1, 0): "hang"}, hang_s=60.0),
+            **self.FAST,
+        )
+        with MultiprocessingExecutor(p, workers=2, resilience=res) as ex:
+            out = ex.evaluate(p, genomes)
+            assert ex.stats.timeouts == 1
+        assert out == [p.evaluate(g) for g in genomes]
+
+    def test_quarantine_mode_raises_quarantine_error_and_refunds(self):
+        counting = CountingProblem(OneMax(8))
+        res = ResilienceConfig(
+            quarantine=True,
+            chaos=ChaosPlan({(0, 0): "raise"}),
+            **self.FAST,
+        )
+        with MultiprocessingExecutor(counting, workers=1, resilience=res) as ex:
+            with pytest.raises(QuarantineError):
+                ex.evaluate(counting, _genomes(counting, 5))
+        # the failed batch must not charge the evaluation budget
+        assert counting.evaluations == 0
+
+    def test_shutdown_twice_is_safe(self):
+        p = OneMax(8)
+        ex = MultiprocessingExecutor(p, workers=2)
+        ex.shutdown(timeout=2.0)
+        ex.shutdown(timeout=2.0)

@@ -153,6 +153,61 @@ class TestTrialCache:
         assert not hit and cache.corrupt == 1
 
 
+class TestTrialCacheTempHygiene:
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        for i in range(3):
+            cache.store(f"{i:02d}" + "0" * 62, i)
+        assert list(tmp_path.glob("*/*.tmp.*")) == []
+
+    def test_failed_store_unlinks_its_temp(self, tmp_path, monkeypatch):
+        import os as os_mod
+
+        cache = TrialCache(tmp_path)
+
+        def _boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os_mod, "replace", _boom)
+        with pytest.raises(OSError, match="disk full"):
+            cache.store("ab" + "0" * 62, 1)
+        assert list(tmp_path.glob("*/*.tmp.*")) == []
+
+    def test_stale_temp_from_dead_writer_swept_on_open(self, tmp_path):
+        import subprocess
+        import sys
+
+        # a real pid that is guaranteed dead: a reaped child's
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        (tmp_path / "ab").mkdir()
+        stale = tmp_path / "ab" / f"{'0' * 62}.pkl.tmp.{proc.pid}.0"
+        stale.write_bytes(b"partial")
+        TrialCache(tmp_path)
+        assert not stale.exists()
+
+    def test_unparseable_temp_swept_on_open(self, tmp_path):
+        (tmp_path / "cd").mkdir()
+        junk = tmp_path / "cd" / "entry.pkl.tmp.notapid"
+        junk.write_bytes(b"junk")
+        TrialCache(tmp_path)
+        assert not junk.exists()
+
+    def test_live_writer_temp_survives_open(self, tmp_path):
+        import os as os_mod
+
+        (tmp_path / "ef").mkdir()
+        live = tmp_path / "ef" / f"entry.pkl.tmp.{os_mod.getpid()}.7"
+        live.write_bytes(b"in flight")
+        TrialCache(tmp_path)
+        assert live.exists()
+
+    def test_finished_entries_untouched_by_sweep(self, tmp_path):
+        digest = "ab" + "4" * 62
+        TrialCache(tmp_path).store(digest, "keep me")
+        assert TrialCache(tmp_path).load(digest) == (True, "keep me")
+
+
 class TestRunSweep:
     def test_results_in_declared_order(self):
         trials = [Trial(_square, dict(x=float(i)), seed=0) for i in range(7)]

@@ -1,0 +1,274 @@
+"""Integration tests: sweeps under chaos, quarantine, crash resume, interrupt.
+
+These drive :func:`repro.runtime.sweep.run_sweep` end-to-end through the
+supervised fork pool with deterministic fault plans, and exercise the
+crash-safe journal with a real SIGKILLed orchestrator process.
+
+The trial functions read environment variables to decide whether to
+fail or how long to sleep — deliberately: the environment is *not* part
+of a trial's content digest, so a "crashed" run and its "fixed" resume
+run address the same cache entries, exactly like a real crash/restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import obs_session
+from repro.runtime.chaos import ChaosPlan
+from repro.runtime.journal import SweepJournal
+from repro.runtime.resilient import QuarantineError, ResilienceConfig
+from repro.runtime.sweep import (
+    SweepConfig,
+    SweepTelemetry,
+    Trial,
+    TrialCache,
+    run_sweep,
+    trial_digest,
+)
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="resilience integration tests fork real processes"
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_FAIL_ENV = "REPRO_TEST_FAIL_X"
+_SLEEP_ENV = "REPRO_TEST_TRIAL_SLEEP"
+
+#: fast retry schedule for chaos runs
+FAST = dict(backoff_base_s=0.001, backoff_cap_s=0.01)
+
+
+def _square(*, x: int, seed: int) -> int:
+    return x * x + seed
+
+
+def _slow_square(*, x: int, seed: int) -> int:
+    time.sleep(float(os.environ.get(_SLEEP_ENV, "0")))
+    return x * x + seed
+
+
+def _gated_square(*, x: int, seed: int) -> int:
+    if os.environ.get(_FAIL_ENV) == str(x):
+        raise RuntimeError(f"injected failure for x={x}")
+    return x * x + seed
+
+
+def _interrupting_square(*, x: int, seed: int) -> int:
+    if os.environ.get(_FAIL_ENV) == str(x):
+        raise KeyboardInterrupt
+    return x * x + seed
+
+
+def _trials(fn, n: int = 6) -> list[Trial]:
+    return [Trial(fn, dict(x=i), seed=i) for i in range(n)]
+
+
+def _crash_child(cache_dir: str) -> None:
+    """Entry point for the SIGKILL test's victim orchestrator process."""
+    run_sweep(
+        "EKILL",
+        _trials(_slow_square),
+        config=SweepConfig(cache_dir=cache_dir, resume=True),
+    )
+
+
+class TestChaosMatrix:
+    def test_one_fault_of_each_kind_matches_clean_serial(self):
+        trials = _trials(_square, 6)
+        serial = run_sweep("ECHAOS", trials, config=SweepConfig(jobs=1))
+        plan = ChaosPlan(
+            {(0, 0): "kill", (2, 0): "raise", (4, 0): "hang", (5, 0): "exit"},
+            hang_s=60.0,
+        )
+        res = ResilienceConfig(deadline_s=1.0, max_retries=3, chaos=plan, **FAST)
+        chaotic = run_sweep(
+            "ECHAOS", trials, config=SweepConfig(jobs=2, resilience=res)
+        )
+        assert chaotic == serial
+
+    def test_seeded_plan_matches_clean_serial(self):
+        trials = _trials(_square, 8)
+        serial = run_sweep("ESEED", trials, config=SweepConfig(jobs=1))
+        plan = ChaosPlan.seeded(11, 8, p_kill=0.25, p_raise=0.25, attempts=1)
+        assert plan.faults  # the seed must actually fault something
+        res = ResilienceConfig(max_retries=3, chaos=plan, **FAST)
+        chaotic = run_sweep(
+            "ESEED", trials, config=SweepConfig(jobs=3, resilience=res)
+        )
+        assert chaotic == serial
+
+    def test_supervision_counters_reach_obs(self):
+        trials = _trials(_square, 6)
+        plan = ChaosPlan(
+            {(0, 0): "kill", (2, 0): "raise", (4, 0): "hang", (5, 0): "exit"},
+            hang_s=60.0,
+        )
+        res = ResilienceConfig(deadline_s=1.0, max_retries=3, chaos=plan, **FAST)
+        with obs_session(label="chaos-test") as session:
+            run_sweep("EOBS", trials, config=SweepConfig(jobs=2, resilience=res))
+        counters = session.metrics
+        assert counters.counter("executor.retries").value == 4
+        assert counters.counter("executor.worker_deaths").value == 2  # kill + exit
+        assert counters.counter("executor.timeouts").value == 1  # the hang
+        assert counters.counter("sweep.trials").value == 6
+        # every retry waits out a recorded backoff span on the supervisor track
+        backoffs = [s for s in session.spans.spans if s.name == "retry-backoff"]
+        assert len(backoffs) == 4
+        assert all(s.track == "sweep/EOBS/supervisor" for s in backoffs)
+
+
+class TestQuarantine:
+    def test_poison_trial_quarantined_healthy_trials_cached(self, tmp_path):
+        trials = _trials(_square, 4)
+        digests = [trial_digest("EQ", t, quick=False) for t in trials]
+        plan = ChaosPlan({(1, 0): "raise", (1, 1): "raise"})
+        res = ResilienceConfig(max_retries=1, chaos=plan, **FAST)
+        tele = SweepTelemetry()
+        cfg = SweepConfig(
+            jobs=2, cache_dir=tmp_path, resume=True, telemetry=tele, resilience=res
+        )
+        with pytest.raises(QuarantineError) as excinfo:
+            run_sweep("EQ", trials, config=cfg)
+        assert [q.key for q in excinfo.value.quarantined] == [1]
+        assert "2 attempts" in str(excinfo.value)
+        # healthy trials completed and are durable; the poison one is not
+        cache = TrialCache(tmp_path)
+        assert [cache.load(d)[0] for d in digests] == [True, False, True, True]
+        # the journal survives a quarantined sweep so a fixed re-run resumes
+        journal_path = SweepJournal.path_for(tmp_path, "EQ", digests)
+        assert journal_path.exists()
+        assert sum(1 for t in tele.trials if t.quarantined) == 1
+        assert tele.sweeps[0]["quarantined"] == 1
+
+        # re-run without the fault: journalled trials resume, poison recomputes
+        tele2 = SweepTelemetry()
+        out = run_sweep(
+            "EQ",
+            trials,
+            config=SweepConfig(
+                jobs=2, cache_dir=tmp_path, resume=True, telemetry=tele2
+            ),
+        )
+        assert out == [i * i + i for i in range(4)]
+        assert sum(1 for t in tele2.trials if t.resumed) == 3
+        assert not journal_path.exists()  # completed: nothing left to resume
+
+
+class TestCrashResume:
+    def test_mid_sweep_error_then_resume_recomputes_nothing_journalled(
+        self, tmp_path, monkeypatch
+    ):
+        trials = _trials(_gated_square)
+        digests = [trial_digest("ER", t, quick=False) for t in trials]
+        journal_path = SweepJournal.path_for(tmp_path, "ER", digests)
+        monkeypatch.setenv(_FAIL_ENV, "3")
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_sweep(
+                "ER", trials, config=SweepConfig(cache_dir=tmp_path, resume=True)
+            )
+        assert len(SweepJournal(journal_path).load()) == 3  # trials 0..2 landed
+
+        monkeypatch.delenv(_FAIL_ENV)
+        tele = SweepTelemetry()
+        with obs_session(label="resume-test") as session:
+            out = run_sweep(
+                "ER",
+                trials,
+                config=SweepConfig(cache_dir=tmp_path, resume=True, telemetry=tele),
+            )
+        assert out == [i * i + i for i in range(6)]
+        resumed = [t for t in tele.trials if t.resumed]
+        assert len(resumed) == 3 and all(t.cached for t in resumed)
+        assert sum(1 for t in tele.trials if not t.cached) == 3
+        assert tele.sweeps[0]["resumed"] == 3
+        assert session.metrics.counter("sweep.resumed_trials").value == 3
+        assert not journal_path.exists()
+
+    def test_sigkilled_orchestrator_resumes_from_journal(self, tmp_path, monkeypatch):
+        trials = _trials(_slow_square)
+        digests = [trial_digest("EKILL", t, quick=False) for t in trials]
+        journal_path = SweepJournal.path_for(tmp_path, "EKILL", digests)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        )
+        env[_SLEEP_ENV] = "0.4"
+        code = (
+            f"from {_crash_child.__module__} import _crash_child; "
+            f"_crash_child({str(tmp_path)!r})"
+        )
+        child = subprocess.Popen([sys.executable, "-c", code], env=env)
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if len(SweepJournal(journal_path).load()) >= 2:
+                    break
+                if child.poll() is not None:
+                    break
+                time.sleep(0.02)
+            assert child.poll() is None, "victim sweep finished before the kill"
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.wait(timeout=30)
+
+        completed = len(SweepJournal(journal_path).load())
+        assert 2 <= completed < len(trials)
+
+        monkeypatch.setenv(_SLEEP_ENV, "0")
+        tele = SweepTelemetry()
+        out = run_sweep(
+            "EKILL",
+            trials,
+            config=SweepConfig(cache_dir=tmp_path, resume=True, telemetry=tele),
+        )
+        assert out == [i * i + i for i in range(len(trials))]
+        # every journalled trial is served from the cache, recomputing zero
+        resumed = [t for t in tele.trials if t.resumed]
+        assert len(resumed) == completed and all(t.cached for t in resumed)
+        # a kill between cache.store and journal.append can leave at most
+        # unjournalled cache hits — never a journalled recompute
+        assert sum(1 for t in tele.trials if not t.cached) <= len(trials) - completed
+        assert not journal_path.exists()
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_flushes_journal_and_telemetry(self, tmp_path, monkeypatch):
+        bench = tmp_path / "bench.json"
+        cache_dir = tmp_path / "cache"
+        trials = _trials(_interrupting_square, 4)
+        digests = [trial_digest("EKI", t, quick=False) for t in trials]
+        journal_path = SweepJournal.path_for(cache_dir, "EKI", digests)
+        tele = SweepTelemetry(autoflush_path=bench)
+        monkeypatch.setenv(_FAIL_ENV, "2")
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                "EKI",
+                trials,
+                config=SweepConfig(cache_dir=cache_dir, resume=True, telemetry=tele),
+            )
+        # partial telemetry hit the disk before the interrupt propagated
+        doc = json.loads(bench.read_text())
+        assert doc["sweeps"][0]["interrupted"] is True
+        assert doc["totals"]["trials"] == 2
+        assert len(SweepJournal(journal_path).load()) == 2
+
+        monkeypatch.delenv(_FAIL_ENV)
+        tele2 = SweepTelemetry()
+        out = run_sweep(
+            "EKI",
+            trials,
+            config=SweepConfig(cache_dir=cache_dir, resume=True, telemetry=tele2),
+        )
+        assert out == [i * i + i for i in range(4)]
+        assert sum(1 for t in tele2.trials if t.resumed) == 2
