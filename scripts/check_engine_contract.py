@@ -49,6 +49,17 @@ copy-pasted per engine, and this check keeps them centralised:
    hung worker.  Only ``repro/runtime/resilient.py`` (the layer itself)
    may touch the raw primitives.
 
+7. **Declarative runs.**  Experiment modules must not construct engines
+   inline — no calls to engine class constructors
+   (``IslandModel(...)``, ``GenerationalEngine(...)``, …) and no
+   ``.partitioned(...)`` calls.  Runs are :class:`repro.spec.RunSpec`
+   documents dispatched through spec-backed trials (see
+   ``docs/run_specs.md``); importing an engine class for typing or
+   docs is fine, *calling* one bypasses the registry, the spec digest
+   cache key and the ``runspec`` replay path.  The allowlist below
+   names the deliberate exceptions (trials whose construction depends
+   on results only known at execution time).
+
 Run from the repository root::
 
     python scripts/check_engine_contract.py
@@ -193,6 +204,24 @@ def _experiment_modules() -> list[Path]:
     )
 
 
+#: engine class constructors rule 7 forbids experiment modules to call —
+#: every name registered in repro.spec.engines (parallel + sequential)
+ENGINE_CLASS_NAMES = {
+    "IslandModel", "SimulatedIslandModel",
+    "SimulatedMasterSlave", "SimulatedAsyncMasterSlave",
+    "PooledEvolution", "DistributedCellularGA", "HierarchicalGA",
+    "SpecializedIslandModel", "SimulatedSpecializedIslandModel",
+    "CellularIslandModel", "MasterSlaveIslandModel",
+    "SimulatedMasterSlaveIslandModel",
+    "GenerationalEngine", "SteadyStateEngine",
+}
+
+#: (file, class) pairs excepted from rule 7: the single-phase control of
+#: E11's registration arm sizes its budget from the two-phase run's
+#: evaluation count, so the engine can only exist at trial runtime
+ENGINE_CALL_ALLOWED = {("e11_applications.py", "GenerationalEngine")}
+
+
 def lint_experiment_file(path: Path) -> list[str]:
     """Experiment runners must use the sweep API, not bare seed loops."""
     tree = ast.parse(path.read_text(), filename=str(path))
@@ -235,6 +264,25 @@ def lint_experiment_file(path: Path) -> list[str]:
                     "a loop — hoist the execution into a module-level trial "
                     "function and dispatch it through run_sweep"
                 )
+
+    # rule 7: no inline engine construction — runs are RunSpec documents
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name) and func.id in ENGINE_CLASS_NAMES:
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "partitioned":
+            name = f"{getattr(func.value, 'id', '?')}.partitioned"
+        if name is None or (path.name, name) in ENGINE_CALL_ALLOWED:
+            continue
+        problems.append(
+            f"{path.relative_to(REPO)}:{node.lineno}: inline engine "
+            f"construction {name}(...) — describe the run as a "
+            "repro.spec.RunSpec and dispatch it through a spec-backed "
+            "Trial (docs/run_specs.md)"
+        )
     return problems
 
 

@@ -33,27 +33,49 @@ __all__ = [
     "REGISTRY",
     "run_experiment",
     "run_all",
+    "experiment_specs",
     "ExperimentReport",
     "TableSpec",
     "SeriesSpec",
     "Expectation",
 ]
 
-REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
-    "E1": table1.run,
-    "E2": e02_masterslave.run,
-    "E3": e03_island_speedup.run,
-    "E4": e04_migration_policy.run,
-    "E5": e05_cellular_pressure.run,
-    "E6": e06_cantupaz_design.run,
-    "E7": e07_hierarchical.run,
-    "E8": e08_sim_scenarios.run,
-    "E9": e09_fault_tolerance.run,
-    "E10": e10_punctuated.run,
-    "E11": e11_applications.run,
-    "E12": e12_stock_reactor.run,
-    "E13": e13_island_resilience.run,
+_MODULES = {
+    "E1": table1,
+    "E2": e02_masterslave,
+    "E3": e03_island_speedup,
+    "E4": e04_migration_policy,
+    "E5": e05_cellular_pressure,
+    "E6": e06_cantupaz_design,
+    "E7": e07_hierarchical,
+    "E8": e08_sim_scenarios,
+    "E9": e09_fault_tolerance,
+    "E10": e10_punctuated,
+    "E11": e11_applications,
+    "E12": e12_stock_reactor,
+    "E13": e13_island_resilience,
 }
+
+REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
+    key: module.run for key, module in _MODULES.items()
+}
+
+
+def experiment_specs(experiment_id: str, quick: bool = False) -> list:
+    """The declarative :class:`~repro.spec.RunSpec` list an experiment
+    dispatches, in dispatch order.
+
+    Experiments whose trials are raw callables (E1's literature table has
+    no runs at all) contribute an empty list; the rest expose a
+    ``trial_specs(quick)`` hook covering every spec-backed trial.
+    """
+    key = experiment_id.upper()
+    if key not in _MODULES:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(_MODULES)}"
+        )
+    hook = getattr(_MODULES[key], "trial_specs", None)
+    return list(hook(quick=quick)) if hook is not None else []
 
 
 def run_experiment(

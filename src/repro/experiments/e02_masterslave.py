@@ -14,34 +14,62 @@ generations, so simulated-time ratios measure the farm alone.
 
 from __future__ import annotations
 
-from ..cluster.machine import SimulatedCluster
-from ..cluster.network import Network
-from ..core.config import GAConfig
 from ..metrics.speedup import amdahl_speedup, speedup_curve
-from ..parallel.master_slave import SimulatedMasterSlave
-from ..problems.binary import OneMax
 from ..runtime.sweep import Trial, run_sweep
+from ..spec import RunSpec, cluster, engine, ga_config, problem
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
 
 
-def _farm_time(
+def _farm_spec(
     workers: int, eval_cost: float, *, generations: int, pop: int, latency: float
-) -> float:
-    cluster = SimulatedCluster(
-        workers + 1, network=Network(workers + 1, latency=latency, bandwidth=1e6)
-    )
-    ms = SimulatedMasterSlave(
-        OneMax(64),
-        GAConfig(population_size=pop),
-        cluster=cluster,
-        eval_cost=eval_cost,
-        chunks_per_worker=2,
+) -> RunSpec:
+    return RunSpec(
+        engine=engine(
+            "sim-master-slave",
+            problem=problem("onemax", length=64),
+            config=ga_config(population_size=pop),
+            cluster=cluster(workers + 1, latency=latency, bandwidth=1e6),
+            eval_cost=eval_cost,
+            chunks_per_worker=2,
+        ),
         seed=42,
+        run={"termination": generations},
     )
-    report = ms.run(generations)
+
+
+def _farm_time(report) -> float:
     return report.sim_time
+
+
+def _grid(quick: bool) -> tuple[list[int], dict[str, float], list[Trial]]:
+    worker_counts = [1, 2, 4, 8, 16] if quick else [1, 2, 4, 8, 16, 32, 64]
+    generations = 5 if quick else 10
+    pop = 64 if quick else 128
+    latency = 1e-3
+    scenarios = {
+        "expensive-eval (0.1s)": 0.1,
+        "moderate-eval (10ms)": 1e-2,
+        "cheap-eval (0.1ms)": 1e-4,
+    }
+    trials = [
+        Trial(
+            _farm_time,
+            spec=_farm_spec(
+                w, cost, generations=generations, pop=pop, latency=latency
+            ),
+        )
+        for cost in scenarios.values()
+        for w in worker_counts
+    ]
+    return worker_counts, scenarios, trials
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb)."""
+    _, _, trials = _grid(quick)
+    return [s for t in trials for s in t.specs]
 
 
 def run(quick: bool = False) -> ExperimentReport:
@@ -49,16 +77,8 @@ def run(quick: bool = False) -> ExperimentReport:
         experiment_id="E2",
         title="Master-slave speedup: growth, saturation and the cheap-fitness bottleneck",
     )
-    worker_counts = [1, 2, 4, 8, 16] if quick else [1, 2, 4, 8, 16, 32, 64]
-    generations = 5 if quick else 10
-    pop = 64 if quick else 128
-    latency = 1e-3
+    worker_counts, scenarios, trials = _grid(quick)
 
-    scenarios = {
-        "expensive-eval (0.1s)": 0.1,
-        "moderate-eval (10ms)": 1e-2,
-        "cheap-eval (0.1ms)": 1e-4,
-    }
     table = TableSpec(
         title="Speedup vs workers (simulated time, identical genetics)",
         columns=["workers"] + [f"S [{k}]" for k in scenarios] + ["Amdahl f=0.02"],
@@ -66,14 +86,6 @@ def run(quick: bool = False) -> ExperimentReport:
     fig = SeriesSpec(
         title="Master-slave speedup curves", x_label="workers", y_label="speedup"
     )
-    trials = [
-        Trial(
-            _farm_time,
-            dict(workers=w, eval_cost=cost, generations=generations, pop=pop, latency=latency),
-        )
-        for cost in scenarios.values()
-        for w in worker_counts
-    ]
     farm_times = run_sweep("E2", trials, quick=quick)
     curves = {}
     for k, name in enumerate(scenarios):

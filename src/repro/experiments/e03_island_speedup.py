@@ -19,52 +19,92 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cluster.machine import SimulatedCluster
-from ..core.config import GAConfig
-from ..core.termination import MaxEvaluations
-from ..migration.policy import MigrationPolicy
-from ..migration.schedule import PeriodicSchedule
-from ..parallel.island import IslandModel, SimulatedIslandModel
-from ..problems.binary import DeceptiveTrap
 from ..runtime.sweep import Trial, run_sweep
+from ..spec import RunSpec, cluster, engine, ga_config, operator, problem
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
+
+_TRAP = problem("deceptive-trap", blocks=8, k=4)
+_POLICY = operator(
+    "migration-policy", rate=1, selection="best", replacement="worst-if-better"
+)
 
 
-def _evals_to_solution(
-    n_islands: int, total_pop: int, seed: int, *, budget: int
-) -> tuple[int, bool]:
-    problem = DeceptiveTrap(blocks=8, k=4)
-    model = IslandModel.partitioned(
-        problem,
-        total_pop,
-        n_islands,
-        GAConfig(elitism=1, crossover_prob=0.9),
-        policy=MigrationPolicy(rate=1, selection="best", replacement="worst-if-better"),
-        schedule=PeriodicSchedule(4),
+def _evals_spec(n_islands: int, total_pop: int, seed: int, *, budget: int) -> RunSpec:
+    return RunSpec(
+        engine=engine(
+            "island",
+            problem=_TRAP,
+            n_islands=n_islands,
+            total_population=total_pop,
+            config=ga_config(elitism=1, crossover_prob=0.9),
+            policy=_POLICY,
+            schedule=operator("periodic", interval=4),
+        ),
+        seed=seed,
+        run={"termination": operator("max-evaluations", limit=budget)},
+    )
+
+
+def _evals_to_solution(report) -> tuple[int, bool]:
+    return report.evaluations, report.solved
+
+
+def _time_spec(n_islands: int, total_pop: int, seed: int, *, max_epochs: int) -> RunSpec:
+    return RunSpec(
+        engine=engine(
+            "sim-island",
+            problem=_TRAP,
+            n_islands=n_islands,
+            config=ga_config(
+                elitism=1, population_size=max(2, total_pop // n_islands)
+            ),
+            cluster=cluster(n_islands),
+            eval_cost=1e-3,
+            max_epochs=max_epochs,
+            policy=operator("migration-policy", rate=1, selection="best"),
+            schedule=operator("periodic", interval=4),
+        ),
         seed=seed,
     )
-    res = model.run(MaxEvaluations(budget))
-    return res.evaluations, res.solved
 
 
-def _time_to_solution(n_islands: int, total_pop: int, seed: int, *, max_epochs: int) -> tuple[float, bool]:
-    problem = DeceptiveTrap(blocks=8, k=4)
-    cluster = SimulatedCluster(n_islands)
-    model = SimulatedIslandModel(
-        problem,
-        n_islands,
-        GAConfig(elitism=1).with_population_size(max(2, total_pop // n_islands)),
-        cluster=cluster,
-        eval_cost=1e-3,
-        max_epochs=max_epochs,
-        policy=MigrationPolicy(rate=1, selection="best"),
-        schedule=PeriodicSchedule(4),
-        seed=seed,
-    )
-    res = model.run()
-    return res.sim_time, res.solved
+def _time_to_solution(report) -> tuple[float, bool]:
+    return report.sim_time, report.solved
+
+
+def _grid(quick: bool) -> tuple[list[int], int, list[Trial], list[Trial]]:
+    island_counts = [1, 2, 4, 8] if quick else [1, 2, 4, 8, 16]
+    total_pop = 160
+    seeds = range(3) if quick else range(7)
+    budget = 150_000 if quick else 400_000
+    max_epochs = 300 if quick else 800
+    eval_trials = [
+        Trial(
+            _evals_to_solution,
+            spec=_evals_spec(n, total_pop, 1000 + s, budget=budget),
+            seed=1000 + s,
+        )
+        for n in island_counts
+        for s in seeds
+    ]
+    time_trials = [
+        Trial(
+            _time_to_solution,
+            spec=_time_spec(n, total_pop, 2000 + s, max_epochs=max_epochs),
+            seed=2000 + s,
+        )
+        for n in island_counts
+        for s in seeds
+    ]
+    return island_counts, len(seeds), eval_trials, time_trials
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb)."""
+    _, _, eval_trials, time_trials = _grid(quick)
+    return [s for t in eval_trials + time_trials for s in t.specs]
 
 
 def run(quick: bool = False) -> ExperimentReport:
@@ -72,11 +112,7 @@ def run(quick: bool = False) -> ExperimentReport:
         experiment_id="E3",
         title="Island model: linear and super-linear speedup to solution",
     )
-    island_counts = [1, 2, 4, 8] if quick else [1, 2, 4, 8, 16]
-    total_pop = 160
-    seeds = range(3) if quick else range(7)
-    budget = 150_000 if quick else 400_000
-    max_epochs = 300 if quick else 800
+    island_counts, n_seeds, eval_trials, time_trials = _grid(quick)
 
     table = TableSpec(
         title="Evaluations & simulated time to optimum (medians over seeds)",
@@ -95,17 +131,6 @@ def run(quick: bool = False) -> ExperimentReport:
         x_label="islands",
         y_label="speedup",
     )
-    n_seeds = len(seeds)
-    eval_trials = [
-        Trial(_evals_to_solution, dict(n_islands=n, total_pop=total_pop, budget=budget), seed=1000 + s)
-        for n in island_counts
-        for s in seeds
-    ]
-    time_trials = [
-        Trial(_time_to_solution, dict(n_islands=n, total_pop=total_pop, max_epochs=max_epochs), seed=2000 + s)
-        for n in island_counts
-        for s in seeds
-    ]
     eval_results = run_sweep("E3", eval_trials, quick=quick)
     time_results = run_sweep("E3", time_trials, quick=quick)
     med_evals, med_times, eval_hits, time_hits = {}, {}, {}, {}

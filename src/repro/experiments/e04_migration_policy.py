@@ -17,69 +17,115 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.config import GAConfig
-from ..core.termination import MaxEvaluations
-from ..migration.policy import MigrationPolicy
-from ..migration.schedule import NeverSchedule, PeriodicSchedule
-from ..parallel.island import IslandModel
 from ..problems import spectrum
 from ..runtime.sweep import Trial, run_sweep
+from ..spec import RunSpec, engine, ga_config, operator, problem
 from .report import ExperimentReport, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
 
 N_ISLANDS = 8
 
 
-def _run_config(
-    problem,
-    *,
-    interval: int | None,
-    selection: str,
-    engine: str,
-    seed: int,
-    budget: int,
-    pop: int,
-) -> float:
-    """Best fitness (normalised to optimum where known) after the budget."""
-    schedule = NeverSchedule() if interval is None else PeriodicSchedule(interval)
-    model = IslandModel(
-        problem,
-        N_ISLANDS,
-        GAConfig(population_size=pop, elitism=1),
-        policy=MigrationPolicy(rate=1, selection=selection, replacement="worst-if-better"),
-        schedule=schedule,
-        engine=engine,
-        seed=seed,
-    )
-    res = model.run(MaxEvaluations(budget))
-    best = res.best_fitness
-    if problem.optimum is not None and problem.optimum != 0:
-        return best / problem.optimum if problem.maximize else problem.optimum / best
-    return best
-
-
-def _run_named(
+def _policy_spec(
     problem_name: str,
     *,
     interval: int | None,
     selection: str,
-    engine: str,
+    loop: str,
     seed: int,
     budget: int,
     pop: int,
-) -> float:
-    """Sweep-friendly trial: rebuild the (seeded, deterministic) spectrum
-    problem by name so only plain data crosses the process boundary."""
-    return _run_config(
-        spectrum(seed=7)[problem_name],
-        interval=interval,
-        selection=selection,
-        engine=engine,
-        seed=seed,
-        budget=budget,
-        pop=pop,
+) -> RunSpec:
+    schedule = (
+        operator("never") if interval is None else operator("periodic", interval=interval)
     )
+    return RunSpec(
+        engine=engine(
+            "island",
+            problem=problem("spectrum", name=problem_name, seed=7),
+            n_islands=N_ISLANDS,
+            config=ga_config(population_size=pop, elitism=1),
+            policy=operator(
+                "migration-policy",
+                rate=1,
+                selection=selection,
+                replacement="worst-if-better",
+            ),
+            schedule=schedule,
+            engine=loop,
+        ),
+        seed=seed,
+        run={"termination": operator("max-evaluations", limit=budget)},
+    )
+
+
+def _normalised_best(report, *, problem_name: str) -> float:
+    """Best fitness (normalised to optimum where known) after the budget.
+
+    The (seeded, deterministic) spectrum problem is rebuilt by name so only
+    plain data crosses the process boundary."""
+    prob = spectrum(seed=7)[problem_name]
+    best = report.best_fitness
+    if prob.optimum is not None and prob.optimum != 0:
+        return best / prob.optimum if prob.maximize else prob.optimum / best
+    return best
+
+
+_INTERVALS: list[int | None] = [1, 4, 16, None]  # None = isolated demes
+_SELECTIONS = ["best", "random", "worst"]
+_LOOPS = ("generational", "steady-state")
+
+
+def _grid(quick: bool) -> tuple[list[str], int, list[Trial], list[Trial], list[Trial]]:
+    seeds = range(2) if quick else range(5)
+    budget = 20_000 if quick else 60_000
+    pop = 20 if quick else 32
+    names = list(spectrum(seed=7))
+    if quick:
+        names = [k for k in names if k in ("easy", "deceptive", "np-complete")]
+
+    def trial(name, *, interval, selection, loop, seed):
+        return Trial(
+            _normalised_best,
+            dict(problem_name=name),
+            spec=_policy_spec(
+                name,
+                interval=interval,
+                selection=selection,
+                loop=loop,
+                seed=seed,
+                budget=budget,
+                pop=pop,
+            ),
+            seed=seed,
+        )
+
+    freq_trials = [
+        trial(name, interval=interval, selection="best", loop="generational", seed=300 + s)
+        for name in names
+        for interval in _INTERVALS
+        for s in seeds
+    ]
+    sel_trials = [
+        trial(name, interval=4, selection=sel, loop="generational", seed=400 + s)
+        for name in names
+        for sel in _SELECTIONS
+        for s in seeds
+    ]
+    loop_trials = [
+        trial(name, interval=4, selection="best", loop=loop, seed=500 + s)
+        for name in names
+        for loop in _LOOPS
+        for s in seeds
+    ]
+    return names, len(seeds), freq_trials, sel_trials, loop_trials
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb)."""
+    _, _, freq_trials, sel_trials, loop_trials = _grid(quick)
+    return [s for t in freq_trials + sel_trials + loop_trials for s in t.specs]
 
 
 def run(quick: bool = False) -> ExperimentReport:
@@ -88,77 +134,38 @@ def run(quick: bool = False) -> ExperimentReport:
         title="Migration frequency, migrant selection and reproduction loop "
         "across the problem spectrum",
     )
-    seeds = range(2) if quick else range(5)
-    budget = 20_000 if quick else 60_000
-    pop = 20 if quick else 32
-    problems = spectrum(seed=7)
-    if quick:
-        problems = {k: problems[k] for k in ("easy", "deceptive", "np-complete")}
+    names, n_seeds, freq_trials, sel_trials, loop_trials = _grid(quick)
 
     # --- frequency sweep (best-migrant, generational) -----------------------------
-    intervals: list[int | None] = [1, 4, 16, None]  # None = isolated demes
+    intervals = _INTERVALS
     freq_table = TableSpec(
         title="Mean normalised best fitness vs migration interval "
         "(ring of 8, best-migrant, generational)",
         columns=["problem"] + [("isolated" if i is None else f"every {i}") for i in intervals],
     )
-    freq_trials = [
-        Trial(
-            _run_named,
-            dict(
-                problem_name=name,
-                interval=interval,
-                selection="best",
-                engine="generational",
-                budget=budget,
-                pop=pop,
-            ),
-            seed=300 + s,
-        )
-        for name in problems
-        for interval in intervals
-        for s in seeds
-    ]
     freq_vals = iter(run_sweep("E4", freq_trials, quick=quick))
     freq_scores: dict[str, dict[int | None, float]] = {}
-    for name in problems:
+    for name in names:
         row: dict[int | None, float] = {}
         for interval in intervals:
-            vals = [next(freq_vals) for _ in seeds]
+            vals = [next(freq_vals) for _ in range(n_seeds)]
             row[interval] = float(np.mean(vals))
         freq_scores[name] = row
         freq_table.add_row(name, *[round(row[i], 4) for i in intervals])
     report.tables.append(freq_table)
 
     # --- migrant selection sweep (interval 4) ---------------------------------------
-    selections = ["best", "random", "worst"]
+    selections = _SELECTIONS
     sel_table = TableSpec(
         title="Mean normalised best fitness vs migrant selection (interval 4)",
         columns=["problem"] + selections,
     )
-    sel_trials = [
-        Trial(
-            _run_named,
-            dict(
-                problem_name=name,
-                interval=4,
-                selection=sel,
-                engine="generational",
-                budget=budget,
-                pop=pop,
-            ),
-            seed=400 + s,
-        )
-        for name in problems
-        for sel in selections
-        for s in seeds
-    ]
     sel_vals = iter(run_sweep("E4", sel_trials, quick=quick))
     sel_scores: dict[str, dict[str, float]] = {}
-    for name in problems:
+    for name in names:
         row2: dict[str, float] = {}
         for sel in selections:
-            vals = [next(sel_vals) for _ in seeds]
+            vals = [next(sel_vals) for _ in range(n_seeds)]
             row2[sel] = float(np.mean(vals))
         sel_scores[name] = row2
         sel_table.add_row(name, *[round(row2[s], 4) for s in selections])
@@ -169,30 +176,13 @@ def run(quick: bool = False) -> ExperimentReport:
         title="Generational vs steady-state islands (interval 4, best-migrant)",
         columns=["problem", "generational", "steady-state"],
     )
-    loop_trials = [
-        Trial(
-            _run_named,
-            dict(
-                problem_name=name,
-                interval=4,
-                selection="best",
-                engine=engine,
-                budget=budget,
-                pop=pop,
-            ),
-            seed=500 + s,
-        )
-        for name in problems
-        for engine in ("generational", "steady-state")
-        for s in seeds
-    ]
     loop_vals = iter(run_sweep("E4", loop_trials, quick=quick))
     loop_scores: dict[str, dict[str, float]] = {}
-    for name in problems:
+    for name in names:
         row3: dict[str, float] = {}
-        for engine in ("generational", "steady-state"):
-            vals = [next(loop_vals) for _ in seeds]
-            row3[engine] = float(np.mean(vals))
+        for loop in _LOOPS:
+            vals = [next(loop_vals) for _ in range(n_seeds)]
+            row3[loop] = float(np.mean(vals))
         loop_scores[name] = row3
         loop_table.add_row(
             name, round(row3["generational"], 4), round(row3["steady-state"], 4)

@@ -25,9 +25,10 @@ from ..metrics.pressure import (
 )
 from ..parallel.cellular import UPDATE_POLICIES
 from ..runtime.sweep import Trial, run_sweep
+from ..spec import RunSpec, cluster, engine, ga_config, problem
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
 
 
 def _growth(*, rows: int, cols: int, update: str, max_steps: int, seed: int) -> GrowthCurve:
@@ -38,20 +39,43 @@ def _panmictic(*, population: int, max_steps: int, seed: int) -> GrowthCurve:
     return panmictic_growth_curve(population, seed=seed, max_steps=max_steps)
 
 
-def _strip_scalability(*, nodes: int, grid: int, max_sweeps: int, seed: int) -> tuple[float, float]:
-    from ..cluster.machine import SimulatedCluster
-    from ..cluster.network import Network
-    from ..core.config import GAConfig
-    from ..parallel.cellular_distributed import DistributedCellularGA
-    from ..problems.binary import OneMax
-
-    cluster = SimulatedCluster(nodes, network=Network(nodes, latency=1e-4, bandwidth=1e6))
-    d = DistributedCellularGA(
-        OneMax(32), GAConfig(), rows=grid, cols=grid,
-        cluster=cluster, eval_cost=1e-3, seed=seed,
+def _strip_spec(nodes: int, grid: int, *, max_sweeps: int, seed: int) -> RunSpec:
+    return RunSpec(
+        engine=engine(
+            "distributed-cellular",
+            problem=problem("onemax", length=32),
+            config=ga_config(),
+            rows=grid,
+            cols=grid,
+            cluster=cluster(nodes, latency=1e-4, bandwidth=1e6),
+            eval_cost=1e-3,
+        ),
+        seed=seed,
+        run={"max_sweeps": max_sweeps},
     )
-    rep = d.run(max_sweeps=max_sweeps)
-    return rep.sim_time, rep.comm_fraction
+
+
+def _strip_scalability(report) -> tuple[float, float]:
+    return report.sim_time, report.comm_fraction
+
+
+def _strip_trials(quick: bool) -> tuple[list[int], int, list[Trial]]:
+    node_counts = [1, 4, 8, 16] if quick else [1, 4, 8, 16, 32, 64]
+    grid_rows = 32 if quick else 64
+    trials = [
+        Trial(_strip_scalability, spec=_strip_spec(n, grid_rows, max_sweeps=8, seed=1), seed=1)
+        for n in node_counts
+    ]
+    return node_counts, grid_rows, trials
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb).
+
+    The takeover growth curves are operator-level measurements (no engine),
+    so only the strip-scalability sweep is spec-backed."""
+    _, _, trials = _strip_trials(quick)
+    return [s for t in trials for s in t.specs]
 
 
 def run(quick: bool = False) -> ExperimentReport:
@@ -135,17 +159,13 @@ def run(quick: bool = False) -> ExperimentReport:
     )
 
     # -- fine-grained scalability (Pelikan et al. 2002) -----------------------------
-    node_counts = [1, 4, 8, 16] if quick else [1, 4, 8, 16, 32, 64]
-    grid_rows = grid_cols = 32 if quick else 64
+    node_counts, grid_rows, strip_trials = _strip_trials(quick)
+    grid_cols = grid_rows
     scal = TableSpec(
         title=f"Strip-distributed cellular GA scalability ({grid_rows}x{grid_cols} "
         "grid, fixed sweeps)",
         columns=["nodes", "sim time", "speedup", "efficiency", "comm fraction"],
     )
-    strip_trials = [
-        Trial(_strip_scalability, dict(nodes=n, grid=grid_rows, max_sweeps=8), seed=1)
-        for n in node_counts
-    ]
     times = dict(zip(node_counts, run_sweep("E5", strip_trials, quick=quick)))
     base = times[node_counts[0]][0]
     for n in node_counts:

@@ -21,62 +21,126 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.config import GAConfig
-from ..core.termination import MaxEvaluations
-from ..migration.policy import MigrationPolicy
-from ..migration.schedule import PeriodicSchedule
-from ..parallel.island import IslandModel
 from ..problems.binary import DeceptiveTrap
 from ..runtime.sweep import Trial, run_sweep
-from ..topology import topology_by_name
+from ..spec import RunSpec, engine, ga_config, operator, problem, topology
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
+
+_POLICY = operator(
+    "migration-policy", rate=1, selection="best", replacement="worst-if-better"
+)
 
 
-def _problem() -> DeceptiveTrap:
-    return DeceptiveTrap(blocks=8, k=4)
-
-
-def _quality(
+def _quality_spec(
     n_islands: int,
     pop_per_deme: int,
     topology_name: str,
     seed: int,
     *,
     budget: int,
-) -> tuple[float, bool]:
-    problem = _problem()
-    model = IslandModel(
-        problem,
-        n_islands,
-        GAConfig(population_size=pop_per_deme, elitism=1),
-        topology=topology_by_name(topology_name, n_islands),
-        policy=MigrationPolicy(rate=1, selection="best", replacement="worst-if-better"),
-        schedule=PeriodicSchedule(4),
+) -> RunSpec:
+    return RunSpec(
+        engine=engine(
+            "island",
+            problem=problem("deceptive-trap", blocks=8, k=4),
+            n_islands=n_islands,
+            config=ga_config(population_size=pop_per_deme, elitism=1),
+            topology=topology(topology_name, size=n_islands),
+            policy=_POLICY,
+            schedule=operator("periodic", interval=4),
+        ),
         seed=seed,
+        run={"termination": operator("max-evaluations", limit=budget)},
     )
-    res = model.run(MaxEvaluations(budget))
-    return res.best_fitness / problem.optimum, res.solved
 
 
-def _epochs_to_solve_onemax(topology_name: str, seed: int, *, max_epochs: int = 120) -> int:
+def _quality(report) -> tuple[float, bool]:
+    return report.best_fitness / DeceptiveTrap(blocks=8, k=4).optimum, report.solved
+
+
+def _speed_spec(topology_name: str, seed: int, *, max_epochs: int = 120) -> RunSpec:
     """Convergence-speed probe: epochs a deme ensemble needs to solve OneMax."""
-    from ..core.termination import MaxGenerations
-    from ..problems.binary import OneMax
-
-    problem = OneMax(48)
-    model = IslandModel(
-        problem,
-        8,
-        GAConfig(population_size=16, elitism=1),
-        topology=topology_by_name(topology_name, 8),
-        policy=MigrationPolicy(rate=1, selection="best", replacement="worst-if-better"),
-        schedule=PeriodicSchedule(2),
+    return RunSpec(
+        engine=engine(
+            "island",
+            problem=problem("onemax", length=48),
+            n_islands=8,
+            config=ga_config(population_size=16, elitism=1),
+            topology=topology(topology_name, size=8),
+            policy=_POLICY,
+            schedule=operator("periodic", interval=2),
+        ),
         seed=seed,
+        run={"termination": operator("max-generations", limit=max_epochs)},
     )
-    res = model.run(MaxGenerations(max_epochs))
-    return res.epochs if res.solved else max_epochs
+
+
+def _epochs_to_solve_onemax(report, *, max_epochs: int = 120) -> int:
+    return report.epochs if report.solved else max_epochs
+
+
+_TOPO_NAMES = ["isolated", "ring", "grid", "complete"]
+_TOTAL_POP = 160
+
+
+def _grid(quick: bool) -> dict:
+    seeds = range(3) if quick else range(8)
+    budget = 25_000 if quick else 60_000
+    deme_counts = [1, 2, 4, 8, 16] if quick else [1, 2, 4, 8, 16, 32]
+    sizes = [40, 80, 160] if quick else [40, 80, 160, 320]
+    return {
+        "n_seeds": len(seeds),
+        "budget": budget,
+        "deme_counts": deme_counts,
+        "sizes": sizes,
+        "quality_trials": [
+            Trial(
+                _quality,
+                spec=_quality_spec(8, 20, name, 600 + s, budget=budget),
+                seed=600 + s,
+            )
+            for name in _TOPO_NAMES
+            for s in seeds
+        ],
+        "speed_trials": [
+            Trial(_epochs_to_solve_onemax, spec=_speed_spec(name, 600 + s), seed=600 + s)
+            for name in _TOPO_NAMES
+            for s in seeds
+        ],
+        "trade_trials": [
+            Trial(
+                _quality,
+                spec=_quality_spec(
+                    n,
+                    _TOTAL_POP // n,
+                    "ring" if n > 1 else "isolated",
+                    700 + s,
+                    budget=budget,
+                ),
+                seed=700 + s,
+            )
+            for n in deme_counts
+            for s in seeds
+        ],
+        "sizing_trials": [
+            Trial(
+                _quality,
+                spec=_quality_spec(8, max(2, total // 8), "ring", 800 + s, budget=budget),
+                seed=800 + s,
+            )
+            for total in sizes
+            for s in seeds
+        ],
+    }
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb)."""
+    g = _grid(quick)
+    trials = g["quality_trials"] + g["speed_trials"] + g["trade_trials"] + g["sizing_trials"]
+    return [s for t in trials for s in t.specs]
 
 
 def run(quick: bool = False) -> ExperimentReport:
@@ -84,12 +148,11 @@ def run(quick: bool = False) -> ExperimentReport:
         experiment_id="E6",
         title="Cantú-Paz design principles: topology, deme sizing, population sizing",
     )
-    seeds = range(3) if quick else range(8)
-    budget = 25_000 if quick else 60_000
+    g = _grid(quick)
+    budget = g["budget"]
 
     # (a) topology sweep ------------------------------------------------------------
-    topo_names = ["isolated", "ring", "grid", "complete"]
-    n_islands = 8
+    topo_names = _TOPO_NAMES
     topo_table = TableSpec(
         title="Topology sweep (8 demes x 20): trap quality + OneMax convergence speed",
         columns=["topology", "mean quality (trap)", "hit rate (trap)", "median epochs to solve OneMax"],
@@ -97,23 +160,9 @@ def run(quick: bool = False) -> ExperimentReport:
     topo_quality: dict[str, float] = {}
     topo_hits: dict[str, float] = {}
     topo_speed: dict[str, float] = {}
-    n_seeds = len(seeds)
-    quality_trials = [
-        Trial(
-            _quality,
-            dict(n_islands=n_islands, pop_per_deme=20, topology_name=name, budget=budget),
-            seed=600 + s,
-        )
-        for name in topo_names
-        for s in seeds
-    ]
-    speed_trials = [
-        Trial(_epochs_to_solve_onemax, dict(topology_name=name), seed=600 + s)
-        for name in topo_names
-        for s in seeds
-    ]
-    quality_results = run_sweep("E6", quality_trials, quick=quick)
-    speed_results = run_sweep("E6", speed_trials, quick=quick)
+    n_seeds = g["n_seeds"]
+    quality_results = run_sweep("E6", g["quality_trials"], quick=quick)
+    speed_results = run_sweep("E6", g["speed_trials"], quick=quick)
     for j, name in enumerate(topo_names):
         per_topo = quality_results[j * n_seeds : (j + 1) * n_seeds]
         epochs = speed_results[j * n_seeds : (j + 1) * n_seeds]
@@ -131,8 +180,8 @@ def run(quick: bool = False) -> ExperimentReport:
     report.tables.append(topo_table)
 
     # (b) deme count/size trade-off ----------------------------------------------------
-    total_pop = 160
-    deme_counts = [1, 2, 4, 8, 16] if quick else [1, 2, 4, 8, 16, 32]
+    total_pop = _TOTAL_POP
+    deme_counts = g["deme_counts"]
     trade_table = TableSpec(
         title=f"Deme count vs size at constant total population ({total_pop})",
         columns=["demes", "deme size", "mean quality", "hit rate"],
@@ -143,21 +192,7 @@ def run(quick: bool = False) -> ExperimentReport:
         y_label="mean normalised quality",
     )
     trade_quality: dict[int, float] = {}
-    trade_trials = [
-        Trial(
-            _quality,
-            dict(
-                n_islands=n,
-                pop_per_deme=total_pop // n,
-                topology_name="ring" if n > 1 else "isolated",
-                budget=budget,
-            ),
-            seed=700 + s,
-        )
-        for n in deme_counts
-        for s in seeds
-    ]
-    trade_results = run_sweep("E6", trade_trials, quick=quick)
+    trade_results = run_sweep("E6", g["trade_trials"], quick=quick)
     for j, n in enumerate(deme_counts):
         size = total_pop // n
         per_n = trade_results[j * n_seeds : (j + 1) * n_seeds]
@@ -170,28 +205,14 @@ def run(quick: bool = False) -> ExperimentReport:
     report.series.append(fig)
 
     # (c) population sizing --------------------------------------------------------------
-    sizes = [40, 80, 160] if quick else [40, 80, 160, 320]
+    sizes = g["sizes"]
     sizing_table = TableSpec(
         title="Population sizing: quality/efficacy vs total population (8 ring demes)",
         columns=["total population", "mean quality", "hit rate"],
     )
     sizing_hits: dict[int, float] = {}
     sizing_quality: dict[int, float] = {}
-    sizing_trials = [
-        Trial(
-            _quality,
-            dict(
-                n_islands=8,
-                pop_per_deme=max(2, total // 8),
-                topology_name="ring",
-                budget=budget,
-            ),
-            seed=800 + s,
-        )
-        for total in sizes
-        for s in seeds
-    ]
-    sizing_results = run_sweep("E6", sizing_trials, quick=quick)
+    sizing_results = run_sweep("E6", g["sizing_trials"], quick=quick)
     for j, total in enumerate(sizes):
         per_total = sizing_results[j * n_seeds : (j + 1) * n_seeds]
         vals = [q for q, _ in per_total]

@@ -17,46 +17,53 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.config import GAConfig
-from ..migration.policy import MigrationPolicy
-from ..migration.schedule import PeriodicSchedule
-from ..parallel.hierarchical import HierarchicalGA
-from ..parallel.island import IslandModel
 from ..problems.applications.wing import TransonicWingDesign
 from ..runtime.sweep import Trial, run_sweep
+from ..spec import RunSpec, engine, ga_config, operator, problem
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
 
 
-def _hga_curve(seed: int, *, epochs: int, pop: int) -> tuple[list[float], list[float]]:
+def _hga_spec(seed: int, *, epochs: int, pop: int) -> RunSpec:
+    return RunSpec(
+        engine=engine(
+            "hierarchical",
+            problem=problem("transonic-wing"),
+            config=ga_config(population_size=pop, elitism=1),
+            layers=3,
+            branching=2,
+            migration_interval=3,
+        ),
+        seed=seed,
+        run={"max_epochs": epochs},
+    )
+
+
+def _hga_curve(report) -> tuple[list[float], list[float]]:
     """(work_units, best) curves for the hierarchical run."""
-    problem = TransonicWingDesign()
-    hga = HierarchicalGA(
-        problem,
-        GAConfig(population_size=pop, elitism=1),
-        layers=3,
-        branching=2,
-        migration_interval=3,
-        seed=seed,
-    )
-    hga.run(max_epochs=epochs)
-    return hga.work_curve, hga.best_curve
+    return report.extras["work_curve"], report.extras["best_curve"]
 
 
-def _complex_curve(seed: int, *, epochs: int, pop: int) -> tuple[list[float], list[float]]:
+def _complex_spec(seed: int, *, pop: int) -> RunSpec:
     """Same deme count (7), all at the truth fidelity."""
-    problem = TransonicWingDesign()
-    truth = problem.view(problem.highest_fidelity())
-    model = IslandModel(
-        truth,
-        7,
-        GAConfig(population_size=pop, elitism=1),
-        policy=MigrationPolicy(rate=1, selection="best"),
-        schedule=PeriodicSchedule(3),
+    return RunSpec(
+        engine=engine(
+            "island",
+            problem=problem("transonic-wing-truth"),
+            n_islands=7,
+            config=ga_config(population_size=pop, elitism=1),
+            policy=operator("migration-policy", rate=1, selection="best"),
+            schedule=operator("periodic", interval=3),
+        ),
         seed=seed,
     )
-    cost = float(problem.costs[-1])
+
+
+def _complex_curve(model, *, epochs: int) -> tuple[list[float], list[float]]:
+    """Drive the all-truth ensemble epoch by epoch, pricing every
+    evaluation at the highest-fidelity cost."""
+    cost = float(TransonicWingDesign().costs[-1])
     works, bests = [], []
     model.initialize()
     works.append(model.total_evaluations() * cost)
@@ -76,21 +83,39 @@ def _work_to_reach(works: list[float], bests: list[float], target: float) -> flo
     return float("inf")
 
 
+def _grid(quick: bool) -> tuple[list[Trial], list[Trial]]:
+    seeds = range(2) if quick else range(5)
+    epochs = 20 if quick else 50
+    pop = 16 if quick else 24
+    hga_trials = [
+        Trial(_hga_curve, spec=_hga_spec(900 + s, epochs=epochs, pop=pop), seed=900 + s)
+        for s in seeds
+    ]
+    complex_trials = [
+        Trial(
+            _complex_curve,
+            dict(epochs=epochs),
+            spec=_complex_spec(900 + s, pop=pop),
+            mode="engine",
+            seed=900 + s,
+        )
+        for s in seeds
+    ]
+    return hga_trials, complex_trials
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb)."""
+    hga_trials, complex_trials = _grid(quick)
+    return [s for t in hga_trials + complex_trials for s in t.specs]
+
+
 def run(quick: bool = False) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E7",
         title="Hierarchical multi-fidelity GA vs all-complex-model ensemble",
     )
-    seeds = range(2) if quick else range(5)
-    epochs = 20 if quick else 50
-    pop = 16 if quick else 24
-
-    hga_trials = [
-        Trial(_hga_curve, dict(epochs=epochs, pop=pop), seed=900 + s) for s in seeds
-    ]
-    complex_trials = [
-        Trial(_complex_curve, dict(epochs=epochs, pop=pop), seed=900 + s) for s in seeds
-    ]
+    hga_trials, complex_trials = _grid(quick)
     hga_curves = run_sweep("E7", hga_trials, quick=quick)
     complex_curves = run_sweep("E7", complex_trials, quick=quick)
 

@@ -17,29 +17,33 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.config import GAConfig
-from ..parallel.specialized import SpecializedIslandModel, standard_scenarios
-from ..problems.multiobjective import ZDT1
+from ..parallel.specialized import standard_scenarios
 from ..runtime.sweep import Trial, run_sweep
+from ..spec import RunSpec, engine, ga_config, operator, problem
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
 
 HV_REFERENCE = (1.1, 7.0)  # safely dominates random ZDT1 objective vectors
 
 
-def _run_scenario(
-    *, scenario_index: int, pop: int, epochs: int, dims: int, seed: int
-) -> dict:
-    scen = standard_scenarios()[scenario_index]
-    model = SpecializedIslandModel(
-        ZDT1(dims=dims),
-        scen,
-        GAConfig(population_size=pop, elitism=1),
-        hv_reference=HV_REFERENCE,
+def _scenario_spec(
+    scenario_index: int, *, pop: int, epochs: int, dims: int, seed: int
+) -> RunSpec:
+    return RunSpec(
+        engine=engine(
+            "specialized",
+            problem=problem("zdt1", dims=dims),
+            scenario=operator("standard-scenario", index=scenario_index),
+            config=ga_config(population_size=pop, elitism=1),
+            hv_reference=HV_REFERENCE,
+        ),
         seed=seed,
+        run={"epochs": epochs},
     )
-    res = model.run(epochs=epochs)
+
+
+def _run_scenario(res) -> dict:
     return {
         "hypervolume": res.hypervolume,
         "evaluations": res.evaluations,
@@ -48,15 +52,35 @@ def _run_scenario(
     }
 
 
+def _grid(quick: bool) -> tuple[int, list[Trial]]:
+    seeds = range(2) if quick else range(4)
+    epochs = 12 if quick else 30
+    pop = 24 if quick else 40
+    dims = 10 if quick else 20
+    trials = [
+        Trial(
+            _run_scenario,
+            spec=_scenario_spec(i, pop=pop, epochs=epochs, dims=dims, seed=1100 + s),
+            seed=1100 + s,
+        )
+        for i in range(len(standard_scenarios()))
+        for s in seeds
+    ]
+    return len(seeds), trials
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb)."""
+    _, trials = _grid(quick)
+    return [s for t in trials for s in t.specs]
+
+
 def run(quick: bool = False) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E8",
         title="Specialized island model: seven scenarios on ZDT1",
     )
-    seeds = range(2) if quick else range(4)
-    epochs = 12 if quick else 30
-    pop = 24 if quick else 40
-    dims = 10 if quick else 20
+    n_seeds, scen_trials = _grid(quick)
 
     table = TableSpec(
         title="Scenario comparison (hypervolume w.r.t. (1.1, 7.0), means over seeds)",
@@ -70,12 +94,6 @@ def run(quick: bool = False) -> ExperimentReport:
     hv: dict[str, float] = {}
     extremes: dict[str, tuple[float, float]] = {}  # (min f1, min f2) over seeds
     scenarios = standard_scenarios()
-    n_seeds = len(seeds)
-    scen_trials = [
-        Trial(_run_scenario, dict(scenario_index=i, pop=pop, epochs=epochs, dims=dims), seed=1100 + s)
-        for i in range(len(scenarios))
-        for s in seeds
-    ]
     scen_results = run_sweep("E8", scen_trials, quick=quick)
     for i, scen in enumerate(scenarios):
         per_scen = scen_results[i * n_seeds : (i + 1) * n_seeds]

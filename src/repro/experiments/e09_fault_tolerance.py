@@ -24,15 +24,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster.faults import sample_fault_plan
-from ..cluster.machine import SimulatedCluster
-from ..cluster.network import Network
-from ..core.config import GAConfig
-from ..parallel.master_slave import SimulatedMasterSlave
-from ..problems.binary import OneMax
 from ..runtime.sweep import Trial, run_sweep
+from ..spec import RunSpec, cluster, engine, ga_config, problem, run_spec
 from .report import ExperimentReport, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
 
 EVAL_COST = 5e-3
 N_NODES = 9  # master + 8 slaves; the island arm is costed analytically
@@ -48,29 +44,42 @@ def _hetero_speeds(seed: int) -> np.ndarray:
     return speeds
 
 
-def _masterslave_time(
-    *, speeds, fault_plan=None, fault_tolerant=True, generations: int, pop: int, seed: int
-) -> tuple[float, int, int]:
-    cluster = SimulatedCluster(
-        N_NODES,
-        speeds=speeds,
-        network=Network(N_NODES, latency=1e-3, bandwidth=1e6),
-        fault_plan=fault_plan,
-    )
-    ms = SimulatedMasterSlave(
-        OneMax(64),
-        GAConfig(population_size=pop),
-        cluster=cluster,
-        eval_cost=EVAL_COST,
-        chunks_per_worker=3,
-        fault_tolerant=fault_tolerant,
+def _farm_spec(
+    speeds_seed: int,
+    *,
+    fault_plan=None,
+    fault_tolerant: bool = True,
+    generations: int,
+    pop: int,
+    seed: int,
+) -> RunSpec:
+    return RunSpec(
+        engine=engine(
+            "sim-master-slave",
+            problem=problem("onemax", length=64),
+            config=ga_config(population_size=pop),
+            cluster=cluster(
+                N_NODES,
+                speeds=_hetero_speeds(speeds_seed).tolist(),
+                latency=1e-3,
+                bandwidth=1e6,
+                fault_plan=fault_plan,
+            ),
+            eval_cost=EVAL_COST,
+            chunks_per_worker=3,
+            fault_tolerant=fault_tolerant,
+        ),
         seed=seed,
+        run={"termination": generations},
     )
-    rep = ms.run(generations)
+
+
+def _masterslave_time(spec: RunSpec) -> tuple[float, int, int]:
+    rep = run_spec(spec)
     return rep.sim_time, rep.redispatches, rep.lost_chunks
 
 
-def _island_time(*, speeds, generations: int, pop: int, seed: int) -> float:
+def _island_time(*, speeds, generations: int, pop: int) -> float:
     """Barrier-equivalent island cost: every epoch waits for the slowest node.
 
     The simulated island driver is asynchronous, so for the adaptivity
@@ -86,13 +95,12 @@ def _island_time(*, speeds, generations: int, pop: int, seed: int) -> float:
 
 
 def _adapt_case(
-    *, speeds_seed: int, generations: int, pop: int, seed: int
+    report, *, speeds_seed: int, generations: int, pop: int
 ) -> tuple[float, float]:
     """One adaptivity comparison: (farm time, lock-step island time)."""
     speeds = _hetero_speeds(speeds_seed)
-    t_ms, _, _ = _masterslave_time(speeds=speeds, generations=generations, pop=pop, seed=seed)
-    t_is = _island_time(speeds=speeds, generations=generations, pop=pop, seed=seed)
-    return t_ms, t_is
+    t_is = _island_time(speeds=speeds, generations=generations, pop=pop)
+    return report.sim_time, t_is
 
 
 def _robust_case(
@@ -100,12 +108,12 @@ def _robust_case(
 ) -> tuple[float, float, int, int]:
     """One robustness comparison: (baseline, FT time, redispatches, lost chunks).
 
-    Bundled into one trial because the fault plan's horizon is sized from
-    the baseline run's completion time.
+    Bundled into one raw-callable trial because the fault plan's horizon is
+    sized from the baseline run's completion time — the follow-up specs
+    only exist once the first result is known.
     """
-    speeds = _hetero_speeds(speeds_seed)
     t_base, _, _ = _masterslave_time(
-        speeds=speeds, generations=generations, pop=pop, seed=seed
+        _farm_spec(speeds_seed, generations=generations, pop=pop, seed=seed)
     )
     # failures sized to hit mid-run: horizon from the baseline time
     plan = sample_fault_plan(
@@ -116,22 +124,59 @@ def _robust_case(
         seed=plan_seed,
     )
     t_ft, redisp, _ = _masterslave_time(
-        speeds=speeds,
-        fault_plan=plan,
-        fault_tolerant=True,
-        generations=generations,
-        pop=pop,
-        seed=seed,
+        _farm_spec(
+            speeds_seed,
+            fault_plan=plan,
+            fault_tolerant=True,
+            generations=generations,
+            pop=pop,
+            seed=seed,
+        )
     )
     _, _, lost = _masterslave_time(
-        speeds=speeds,
-        fault_plan=plan,
-        fault_tolerant=False,
-        generations=generations,
-        pop=pop,
-        seed=seed,
+        _farm_spec(
+            speeds_seed,
+            fault_plan=plan,
+            fault_tolerant=False,
+            generations=generations,
+            pop=pop,
+            seed=seed,
+        )
     )
     return t_base, t_ft, redisp, lost
+
+
+def _grid(quick: bool) -> tuple[range, int, int, list[Trial], list[Trial]]:
+    generations = 8 if quick else 20
+    pop = 96 if quick else 160
+    seeds = range(2) if quick else range(5)
+    adapt_trials = [
+        Trial(
+            _adapt_case,
+            dict(speeds_seed=2200 + s, generations=generations, pop=pop),
+            spec=_farm_spec(2200 + s, generations=generations, pop=pop, seed=50 + s),
+            seed=50 + s,
+        )
+        for s in seeds
+    ]
+    robust_trials = [
+        Trial(
+            _robust_case,
+            dict(speeds_seed=2200 + s, plan_seed=70 + s, generations=generations, pop=pop),
+            seed=60 + s,
+        )
+        for s in seeds
+    ]
+    return seeds, generations, pop, adapt_trials, robust_trials
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb).
+
+    Only the adaptivity arm is statically spec-backed; the robustness
+    trials derive their fault plans from a baseline run at execution time."""
+    _, _, _, adapt_trials, _ = _grid(quick)
+    return [s for t in adapt_trials for s in t.specs]
 
 
 def run(quick: bool = False) -> ExperimentReport:
@@ -139,19 +184,13 @@ def run(quick: bool = False) -> ExperimentReport:
         experiment_id="E9",
         title="Fault-tolerant master-slave vs islands on heterogeneous clusters",
     )
-    generations = 8 if quick else 20
-    pop = 96 if quick else 160
-    seeds = range(2) if quick else range(5)
+    seeds, generations, pop, adapt_trials, robust_trials = _grid(quick)
 
     # (1) adaptivity on heterogeneous speeds, no failures -----------------------------
     adapt = TableSpec(
         title="Time to complete the same genetic workload (heterogeneous nodes)",
         columns=["seed", "master-slave farm", "lock-step islands", "farm advantage"],
     )
-    adapt_trials = [
-        Trial(_adapt_case, dict(speeds_seed=2200 + s, generations=generations, pop=pop), seed=50 + s)
-        for s in seeds
-    ]
     advantages = []
     for s, (t_ms, t_is) in zip(seeds, run_sweep("E9", adapt_trials, quick=quick)):
         advantages.append(t_is / t_ms)
@@ -170,14 +209,6 @@ def run(quick: bool = False) -> ExperimentReport:
             "non-FT lost chunks",
         ],
     )
-    robust_trials = [
-        Trial(
-            _robust_case,
-            dict(speeds_seed=2200 + s, plan_seed=70 + s, generations=generations, pop=pop),
-            seed=60 + s,
-        )
-        for s in seeds
-    ]
     overheads, all_redispatch, all_lost = [], [], []
     for s, (t_base, t_ft, redisp, lost) in zip(
         seeds, run_sweep("E9", robust_trials, quick=quick)

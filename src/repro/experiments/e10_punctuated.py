@@ -21,29 +21,34 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.config import GAConfig
 from ..core.termination import MaxGenerations
 from ..metrics.diversity import between_deme_divergence, gene_entropy
-from ..migration.policy import MigrationPolicy
-from ..migration.schedule import NeverSchedule, PeriodicSchedule
-from ..parallel.island import IslandModel
-from ..problems.binary import DeceptiveTrap
 from ..runtime.sweep import Trial, run_sweep
+from ..spec import RunSpec, engine, ga_config, operator, problem
 from .report import ExperimentReport, SeriesSpec, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
 
 MIGRATION_INTERVAL = 12
 
 
-def _model(schedule, seed: int, n_islands: int = 6, pop: int = 24) -> IslandModel:
-    return IslandModel(
-        DeceptiveTrap(blocks=10, k=4),
-        n_islands,
-        GAConfig(population_size=pop, elitism=1),
-        policy=MigrationPolicy(rate=2, selection="best", replacement="worst"),
-        schedule=schedule,
+def _model_spec(
+    interval: int | None, seed: int, *, epochs: int, n_islands: int = 6, pop: int = 24
+) -> RunSpec:
+    schedule = (
+        operator("never") if interval is None else operator("periodic", interval=interval)
+    )
+    return RunSpec(
+        engine=engine(
+            "island",
+            problem=problem("deceptive-trap", blocks=10, k=4),
+            n_islands=n_islands,
+            config=ga_config(population_size=pop, elitism=1),
+            policy=operator("migration-policy", rate=2, selection="best", replacement="worst"),
+            schedule=schedule,
+        ),
         seed=seed,
+        run={"termination": operator("max-generations", limit=epochs)},
     )
 
 
@@ -63,8 +68,8 @@ def _improvement_epochs(records, burn_in: int = MIGRATION_INTERVAL) -> list[int]
     return out
 
 
-def _divergence_case(*, epochs: int, seed: int) -> tuple[int, float, float]:
-    model = _model(NeverSchedule(), seed)
+def _divergence_case(model, *, epochs: int) -> tuple[int, float, float]:
+    """Engine-mode trial: needs the deme populations after the run."""
     model.run(MaxGenerations(epochs))
     genomes = {tuple(d.population.best().genome.tolist()) for d in model.demes}
     div = between_deme_divergence([d.population for d in model.demes])
@@ -72,9 +77,7 @@ def _divergence_case(*, epochs: int, seed: int) -> tuple[int, float, float]:
     return len(genomes), float(div), entropy
 
 
-def _burst_case(*, epochs: int, seed: int) -> dict:
-    model = _model(PeriodicSchedule(MIGRATION_INTERVAL), seed)
-    res = model.run(MaxGenerations(epochs))
+def _burst_case(res) -> dict:
     return {
         "improvements": _improvement_epochs(res.records),
         "curve_epochs": [r.epoch for r in res.records],
@@ -82,10 +85,50 @@ def _burst_case(*, epochs: int, seed: int) -> dict:
     }
 
 
-def _quality_case(*, epochs: int, seed: int) -> tuple[float, float]:
-    iso = _model(NeverSchedule(), seed).run(MaxGenerations(epochs))
-    mig = _model(PeriodicSchedule(MIGRATION_INTERVAL), seed).run(MaxGenerations(epochs))
+def _quality_case(results) -> tuple[float, float]:
+    iso, mig = results
     return iso.best_fitness, mig.best_fitness
+
+
+def _grid(quick: bool) -> tuple[range, int, list[Trial], list[Trial], list[Trial]]:
+    seeds = range(3) if quick else range(6)
+    epochs = 60 if quick else 120
+    div_trials = [
+        Trial(
+            _divergence_case,
+            dict(epochs=epochs),
+            spec=_model_spec(None, 3000 + s, epochs=epochs),
+            mode="engine",
+            seed=3000 + s,
+        )
+        for s in seeds
+    ]
+    burst_trials = [
+        Trial(
+            _burst_case,
+            spec=_model_spec(MIGRATION_INTERVAL, 3100 + s, epochs=epochs),
+            seed=3100 + s,
+        )
+        for s in seeds
+    ]
+    quality_trials = [
+        Trial(
+            _quality_case,
+            spec=(
+                _model_spec(None, 3200 + s, epochs=epochs),
+                _model_spec(MIGRATION_INTERVAL, 3200 + s, epochs=epochs),
+            ),
+            seed=3200 + s,
+        )
+        for s in seeds
+    ]
+    return seeds, epochs, div_trials, burst_trials, quality_trials
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb)."""
+    _, _, div_trials, burst_trials, quality_trials = _grid(quick)
+    return [s for t in div_trials + burst_trials + quality_trials for s in t.specs]
 
 
 def run(quick: bool = False) -> ExperimentReport:
@@ -93,8 +136,7 @@ def run(quick: bool = False) -> ExperimentReport:
         experiment_id="E10",
         title="Punctuated equilibria: divergence, bursts after migration, recombination",
     )
-    seeds = range(3) if quick else range(6)
-    epochs = 60 if quick else 120
+    seeds, epochs, div_trials, burst_trials, quality_trials = _grid(quick)
 
     # (1) isolated demes converge to different solutions --------------------------------
     div_table = TableSpec(
@@ -106,7 +148,6 @@ def run(quick: bool = False) -> ExperimentReport:
             "mean within-deme entropy",
         ],
     )
-    div_trials = [Trial(_divergence_case, dict(epochs=epochs), seed=3000 + s) for s in seeds]
     distinct_counts, divergences = [], []
     for s, (n_distinct, div, entropy) in zip(seeds, run_sweep("E10", div_trials, quick=quick)):
         distinct_counts.append(n_distinct)
@@ -125,7 +166,6 @@ def run(quick: bool = False) -> ExperimentReport:
         x_label="epoch",
         y_label="global best fitness",
     )
-    burst_trials = [Trial(_burst_case, dict(epochs=epochs), seed=3100 + s) for s in seeds]
     burst_fracs, chance_rates = [], []
     for s, burst in zip(seeds, run_sweep("E10", burst_trials, quick=quick)):
         improvements = burst["improvements"]
@@ -154,7 +194,6 @@ def run(quick: bool = False) -> ExperimentReport:
         title="Final quality: migrating vs isolated ensemble (same budget)",
         columns=["seed", "isolated best", "migrating best"],
     )
-    quality_trials = [Trial(_quality_case, dict(epochs=epochs), seed=3200 + s) for s in seeds]
     iso_bests, mig_bests = [], []
     for s, (iso_best, mig_best) in zip(seeds, run_sweep("E10", quality_trials, quick=quick)):
         iso_bests.append(iso_best)

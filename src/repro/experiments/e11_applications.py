@@ -20,12 +20,7 @@ import numpy as np
 
 from ..core.config import GAConfig
 from ..core.engine import GenerationalEngine
-from ..core.operators.crossover import OrderCrossover
-from ..core.operators.mutation import InversionMutation
 from ..core.termination import MaxEvaluations
-from ..migration.policy import MigrationPolicy
-from ..migration.schedule import PeriodicSchedule
-from ..parallel.island import IslandModel
 from ..problems.applications.feature_selection import FeatureSelection
 from ..problems.applications.image_registration import (
     ImageRegistration,
@@ -33,9 +28,10 @@ from ..problems.applications.image_registration import (
 )
 from ..problems.combinatorial import TravelingSalesman
 from ..runtime.sweep import Trial, run_sweep
+from ..spec import RunSpec, engine, ga_config, operator, problem
 from .report import ExperimentReport, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
 
 
 def _registration_case(
@@ -94,30 +90,54 @@ def _registration_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
     return table, float(np.mean(hits2)), float(np.mean(hits1))
 
 
-def _feature_case(
-    *, n_features: int, budget: int, problem_seed: int, seed: int
-) -> tuple[float, float, int]:
-    problem = FeatureSelection.synthetic(
+def _feature_problem_params(n_features: int, problem_seed: int) -> dict:
+    return dict(
         n_features=n_features,
         n_informative=max(5, n_features // 20),
         seed=problem_seed,
         feature_cost=5e-4,       # pruning pressure: accuracy minus cost
         initial_density=0.1,     # sparse start, Moser-style
     )
-    model = IslandModel(
-        problem,
-        8,
-        GAConfig(population_size=16, elitism=1),
-        policy=MigrationPolicy(rate=1, selection="best"),
-        schedule=PeriodicSchedule(4),
+
+
+def _feature_spec(*, n_features: int, budget: int, problem_seed: int, seed: int) -> RunSpec:
+    return RunSpec(
+        engine=engine(
+            "island",
+            problem=problem(
+                "feature-selection-synthetic",
+                **_feature_problem_params(n_features, problem_seed),
+            ),
+            n_islands=8,
+            config=ga_config(population_size=16, elitism=1),
+            policy=operator("migration-policy", rate=1, selection="best"),
+            schedule=operator("periodic", interval=4),
+        ),
         seed=seed,
+        run={"termination": operator("max-evaluations", limit=budget)},
     )
-    res = model.run(MaxEvaluations(budget))
+
+
+def _feature_case(res, *, n_features: int, problem_seed: int) -> tuple[float, float, int]:
+    prob = FeatureSelection.synthetic(**_feature_problem_params(n_features, problem_seed))
     return (
         res.best_fitness,
-        problem.informative_recall(res.best.genome),
-        problem.selected_count(res.best.genome),
+        prob.informative_recall(res.best.genome),
+        prob.selected_count(res.best.genome),
     )
+
+
+def _feature_trials(dims, budget: int, seeds) -> list[Trial]:
+    return [
+        Trial(
+            _feature_case,
+            dict(n_features=d, problem_seed=4300 + s),
+            spec=_feature_spec(n_features=d, budget=budget, problem_seed=4300 + s, seed=s),
+            seed=s,
+        )
+        for d in dims
+        for s in seeds
+    ]
 
 
 def _feature_rows(seeds, quick: bool) -> tuple[TableSpec, dict[int, float], dict[int, float]]:
@@ -134,11 +154,7 @@ def _feature_rows(seeds, quick: bool) -> tuple[TableSpec, dict[int, float], dict
         ],
     )
     n_seeds = len(seeds)
-    fs_trials = [
-        Trial(_feature_case, dict(n_features=d, budget=budget, problem_seed=4300 + s), seed=s)
-        for d in dims
-        for s in seeds
-    ]
+    fs_trials = _feature_trials(dims, budget, seeds)
     fs_results = run_sweep("E11", fs_trials, quick=quick)
     fitness_by_dim: dict[int, float] = {}
     selected_fraction: dict[int, float] = {}
@@ -159,29 +175,74 @@ def _feature_rows(seeds, quick: bool) -> tuple[TableSpec, dict[int, float], dict
     return table, fitness_by_dim, selected_fraction
 
 
-def _tsp_case(
+def _tsp_specs(
     *, n_cities: int, budget: int, pan_seed: int, seed: int
-) -> tuple[float, float, float]:
-    problem = TravelingSalesman.circular(n_cities)
-    cfg_kwargs = dict(
-        crossover=OrderCrossover(), mutation=InversionMutation(), elitism=1
+) -> tuple[RunSpec, RunSpec]:
+    tsp = problem("tsp-circular", n_cities=n_cities)
+    permutation_ops = dict(
+        crossover=operator("order"), mutation=operator("inversion"), elitism=1
     )
-    model = IslandModel.partitioned(
-        problem,
-        128,
-        8,
-        GAConfig(**cfg_kwargs),
-        policy=MigrationPolicy(rate=1, selection="best"),
-        schedule=PeriodicSchedule(4),
+    termination = {"termination": operator("max-evaluations", limit=budget)}
+    island = RunSpec(
+        engine=engine(
+            "island",
+            problem=tsp,
+            n_islands=8,
+            total_population=128,
+            config=ga_config(**permutation_ops),
+            policy=operator("migration-policy", rate=1, selection="best"),
+            schedule=operator("periodic", interval=4),
+        ),
         seed=seed,
+        run=termination,
     )
-    res_island = model.run(MaxEvaluations(budget))
-    eng = GenerationalEngine(
-        problem, GAConfig(population_size=128, **cfg_kwargs), seed=pan_seed
+    panmictic = RunSpec(
+        engine=engine(
+            "generational",
+            problem=tsp,
+            config=ga_config(population_size=128, **permutation_ops),
+        ),
+        seed=pan_seed,
+        run=termination,
     )
-    eng.run(MaxEvaluations(budget))
-    res_pan = eng.result()
-    return problem.optimum, res_island.best_fitness, res_pan.best_fitness
+    return island, panmictic
+
+
+def _tsp_case(results, *, n_cities: int) -> tuple[float, float, float]:
+    res_island, res_pan = results
+    optimum = TravelingSalesman.circular(n_cities).optimum
+    return optimum, res_island.best_fitness, res_pan.best_fitness
+
+
+def _tsp_trials(n_cities: int, budget: int, seeds) -> list[Trial]:
+    return [
+        Trial(
+            _tsp_case,
+            dict(n_cities=n_cities),
+            spec=_tsp_specs(
+                n_cities=n_cities, budget=budget, pan_seed=4500 + s, seed=4400 + s
+            ),
+            seed=4400 + s,
+        )
+        for s in seeds
+    ]
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb).
+
+    The registration arm stays a raw callable (its single-phase control's
+    budget is sized from the two-phase run), so only the feature-selection
+    and TSP arms contribute specs."""
+    seeds = range(2) if quick else range(4)
+    dims = [100, 300] if quick else [100, 300, 1000]
+    fs_budget = 6_000 if quick else 20_000
+    n_cities = 30 if quick else 60
+    tsp_budget = 20_000 if quick else 80_000
+    trials = _feature_trials(dims, fs_budget, seeds) + _tsp_trials(
+        n_cities, tsp_budget, seeds
+    )
+    return [s for t in trials for s in t.specs]
 
 
 def _tsp_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
@@ -191,10 +252,7 @@ def _tsp_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
         title=f"Circular TSP ({n_cities} cities): island vs panmictic, same budget",
         columns=["seed", "optimum", "island tour", "panmictic tour"],
     )
-    trials = [
-        Trial(_tsp_case, dict(n_cities=n_cities, budget=budget, pan_seed=4500 + s), seed=4400 + s)
-        for s in seeds
-    ]
+    trials = _tsp_trials(n_cities, budget, seeds)
     island_gaps, pan_gaps = [], []
     for s, (optimum, island_best, pan_best) in zip(
         seeds, run_sweep("E11", trials, quick=quick)

@@ -15,54 +15,67 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.config import GAConfig
-from ..core.engine import GenerationalEngine
-from ..core.operators.crossover import TwoDimensionalCrossover
-from ..core.operators.mutation import GaussianMutation
-from ..core.termination import MaxEvaluations
-from ..migration.policy import MigrationPolicy
-from ..migration.schedule import PeriodicSchedule
-from ..parallel.island import IslandModel
 from ..problems.applications.reactor import ReactorCoreDesign
 from ..problems.applications.stock import StockPrediction
 from ..runtime.sweep import Trial, run_sweep
+from ..spec import RunSpec, engine, ga_config, operator, problem
 from .report import ExperimentReport, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
 
 
-def _stock_case(*, budget: int, problem_seed: int, seed: int) -> dict:
-    problem = StockPrediction(seed=problem_seed, hidden=4)
-    # the 2-D encoding: rows = hidden units, cols = per-unit weights
-    cx = TwoDimensionalCrossover(rows=problem.rows, cols=problem.cols + 0)
+def _stock_spec(*, budget: int, problem_seed: int, seed: int) -> RunSpec:
+    prob = StockPrediction(seed=problem_seed, hidden=4)
+    # the 2-D encoding: rows = hidden units, cols = per-unit weights.
     # pad: genome also holds the output layer — fall back to treating
     # the full genome as rows x cols only if lengths match, else use the
     # default SBX via config resolution on the non-matching tail.
-    cfg = GAConfig(
-        population_size=30,
-        crossover=cx
-        if problem.spec.length == problem.rows * problem.cols
-        else None,
-        mutation=GaussianMutation(sigma=0.3, lower=-3.0, upper=3.0),
-        elitism=1,
+    cx = (
+        operator("two-dimensional", rows=prob.rows, cols=prob.cols)
+        if prob.spec.length == prob.rows * prob.cols
+        else None
     )
-    model = IslandModel(
-        problem,
-        4,
-        cfg,
-        policy=MigrationPolicy(rate=1, selection="best"),
-        schedule=PeriodicSchedule(5),
+    return RunSpec(
+        engine=engine(
+            "island",
+            problem=problem("stock-prediction", seed=problem_seed, hidden=4),
+            n_islands=4,
+            config=ga_config(
+                population_size=30,
+                crossover=cx,
+                mutation=operator("gaussian", sigma=0.3, lower=-3.0, upper=3.0),
+                elitism=1,
+            ),
+            policy=operator("migration-policy", rate=1, selection="best"),
+            schedule=operator("periodic", interval=5),
+        ),
         seed=seed,
+        run={"termination": operator("max-evaluations", limit=budget)},
     )
-    res = model.run(MaxEvaluations(budget))
-    out = problem.out_of_sample(res.best.genome)
+
+
+def _stock_case(res, *, problem_seed: int) -> dict:
+    prob = StockPrediction(seed=problem_seed, hidden=4)
+    out = prob.out_of_sample(res.best.genome)
     return {
         "train_fitness": res.best_fitness,
-        "bh_train": problem.buy_and_hold(),
+        "bh_train": prob.buy_and_hold(),
         "strategy_return": out.strategy_return,
         "buy_and_hold_return": out.buy_and_hold_return,
         "excess": out.excess,
     }
+
+
+def _stock_trials(budget: int, seeds) -> list[Trial]:
+    return [
+        Trial(
+            _stock_case,
+            dict(problem_seed=5100 + s),
+            spec=_stock_spec(budget=budget, problem_seed=5100 + s, seed=s),
+            seed=s,
+        )
+        for s in seeds
+    ]
 
 
 def _stock_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
@@ -78,10 +91,7 @@ def _stock_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
             "test excess",
         ],
     )
-    trials = [
-        Trial(_stock_case, dict(budget=budget, problem_seed=5100 + s), seed=s)
-        for s in seeds
-    ]
+    trials = _stock_trials(budget, seeds)
     train_excess, test_excess = [], []
     for s, case in zip(seeds, run_sweep("E12", trials, quick=quick)):
         train_excess.append(case["train_fitness"] - case["bh_train"])
@@ -97,23 +107,58 @@ def _stock_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
     return table, float(np.mean(train_excess)), float(np.mean(test_excess))
 
 
-def _reactor_case(*, budget: int, seq_seed: int, seed: int) -> tuple[float, float, float, float]:
-    problem = ReactorCoreDesign(mesh_points=40)
-    model = IslandModel.partitioned(
-        problem,
-        96,
-        6,
-        GAConfig(elitism=1),
-        policy=MigrationPolicy(rate=1, selection="best"),
-        schedule=PeriodicSchedule(4),
+def _reactor_specs(*, budget: int, seq_seed: int, seed: int) -> tuple[RunSpec, RunSpec]:
+    core = problem("reactor-core", mesh_points=40)
+    termination = {"termination": operator("max-evaluations", limit=budget)}
+    island = RunSpec(
+        engine=engine(
+            "island",
+            problem=core,
+            n_islands=6,
+            total_population=96,
+            config=ga_config(elitism=1),
+            policy=operator("migration-policy", rate=1, selection="best"),
+            schedule=operator("periodic", interval=4),
+        ),
         seed=seed,
+        run=termination,
     )
-    res_i = model.run(MaxEvaluations(budget))
-    eng = GenerationalEngine(problem, GAConfig(population_size=96, elitism=1), seed=seq_seed)
-    eng.run(MaxEvaluations(budget))
-    res_s = eng.result()
-    sol = problem.solve(res_i.best.genome)
+    sequential = RunSpec(
+        engine=engine(
+            "generational",
+            problem=core,
+            config=ga_config(population_size=96, elitism=1),
+        ),
+        seed=seq_seed,
+        run=termination,
+    )
+    return island, sequential
+
+
+def _reactor_case(results) -> tuple[float, float, float, float]:
+    res_i, res_s = results
+    sol = ReactorCoreDesign(mesh_points=40).solve(res_i.best.genome)
     return res_i.best_fitness, res_s.best_fitness, float(sol.k_eff), float(sol.peaking_factor)
+
+
+def _reactor_trials(budget: int, seeds) -> list[Trial]:
+    return [
+        Trial(
+            _reactor_case,
+            spec=_reactor_specs(budget=budget, seq_seed=5300 + s, seed=5200 + s),
+            seed=5200 + s,
+        )
+        for s in seeds
+    ]
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb)."""
+    seeds = range(2) if quick else range(4)
+    stock_budget = 4_000 if quick else 15_000
+    reactor_budget = 3_000 if quick else 10_000
+    trials = _stock_trials(stock_budget, seeds) + _reactor_trials(reactor_budget, seeds)
+    return [s for t in trials for s in t.specs]
 
 
 def _reactor_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
@@ -122,10 +167,7 @@ def _reactor_rows(seeds, quick: bool) -> tuple[TableSpec, float, float]:
         title="Reactor core design: island GA vs non-parallel GA (same budget)",
         columns=["seed", "island fitness", "sequential fitness", "island k_eff", "island peaking"],
     )
-    trials = [
-        Trial(_reactor_case, dict(budget=budget, seq_seed=5300 + s), seed=5200 + s)
-        for s in seeds
-    ]
+    trials = _reactor_trials(budget, seeds)
     island_fits, seq_fits = [], []
     for s, (fit_i, fit_s, k_eff, peaking) in zip(
         seeds, run_sweep("E12", trials, quick=quick)

@@ -35,17 +35,12 @@ from dataclasses import replace
 import numpy as np
 
 from ..cluster.faults import FaultPlan, Partition, sample_fault_plan
-from ..cluster.machine import SimulatedCluster
-from ..cluster.network import Network
-from ..core.config import GAConfig
-from ..migration.policy import MigrationPolicy
-from ..parallel.island import SimulatedIslandModel
-from ..problems.binary import OneMax
 from ..runtime.sweep import Trial, run_sweep
+from ..spec import RunSpec, cluster, engine, ga_config, operator, problem
 from ..verify.invariants import CheckContext, check_trace
 from .report import ExperimentReport, TableSpec
 
-__all__ = ["run"]
+__all__ = ["run", "trial_specs"]
 
 EVAL_COST = 2e-3
 MIGRATION_PAYLOAD = 64.0
@@ -121,7 +116,7 @@ def _showcase_plan(*, n_nodes: int, n_islands: int, horizon: float) -> FaultPlan
     )
 
 
-def _run_arm(
+def _arm_spec(
     arm: str,
     *,
     n_islands: int,
@@ -131,31 +126,34 @@ def _run_arm(
     pop: int,
     max_epochs: int,
     checkpoint_every: int,
-):
-    cluster = SimulatedCluster(
-        n_nodes,
-        network=Network(n_nodes, latency=1e-3, bandwidth=1e6),
-        fault_plan=plan,
-    )
-    model = SimulatedIslandModel(
-        OneMax(GENOME),
-        n_islands,
-        GAConfig(population_size=pop, elitism=1),
-        cluster=cluster,
-        eval_cost=EVAL_COST,
-        migration_payload=MIGRATION_PAYLOAD,
-        max_epochs=max_epochs,
-        policy=MigrationPolicy(rate=1, replacement="worst-if-better"),
+) -> RunSpec:
+    return RunSpec(
+        engine=engine(
+            "sim-island",
+            problem=problem("onemax", length=GENOME),
+            n_islands=n_islands,
+            config=ga_config(population_size=pop, elitism=1),
+            cluster=cluster(n_nodes, latency=1e-3, bandwidth=1e6, fault_plan=plan),
+            eval_cost=EVAL_COST,
+            migration_payload=MIGRATION_PAYLOAD,
+            max_epochs=max_epochs,
+            policy=operator("migration-policy", rate=1, replacement="worst-if-better"),
+            stop_when_any_solves=False,
+            reliable_migration=arm != "none",
+            supervised=arm == "reliable+supervisor",
+            checkpoint_every=checkpoint_every,
+        ),
         seed=seed,
-        stop_when_any_solves=False,
-        reliable_migration=arm != "none",
-        supervised=arm == "reliable+supervisor",
-        checkpoint_every=checkpoint_every,
     )
+
+
+def _run_arm(model):
+    """Engine-mode body: the invariant audit needs the cluster trace,
+    not just the run report."""
     result = model.run()
-    ctx = CheckContext.from_cluster(cluster, conserved_kinds=CONSERVED_KINDS)
-    violations = check_trace(cluster.trace, ctx, RULES)
-    lost = sum(1 for e in cluster.trace if e.kind == "migration-lost")
+    ctx = CheckContext.from_cluster(model.cluster, conserved_kinds=CONSERVED_KINDS)
+    violations = check_trace(model.cluster.trace, ctx, RULES)
+    lost = sum(1 for e in model.cluster.trace if e.kind == "migration-lost")
     return result, violations, lost
 
 
@@ -172,7 +170,11 @@ def _case_summary(result, violations, lost) -> dict:
     }
 
 
-def _grid_case(
+def _audited_case(model) -> dict:
+    return _case_summary(*_run_arm(model))
+
+
+def _grid_spec(
     *,
     arm: str,
     n_islands: int,
@@ -184,7 +186,7 @@ def _grid_case(
     plan_seed: int,
     pop: int,
     max_epochs: int,
-) -> dict:
+) -> RunSpec:
     plan = _fault_plan(
         n_nodes=n_nodes,
         n_islands=n_islands,
@@ -194,7 +196,7 @@ def _grid_case(
         mtbf_mode=mode,
         seed=plan_seed,
     )
-    result, violations, lost = _run_arm(
+    return _arm_spec(
         arm,
         n_islands=n_islands,
         n_nodes=n_nodes,
@@ -204,14 +206,13 @@ def _grid_case(
         max_epochs=max_epochs,
         checkpoint_every=3,
     )
-    return _case_summary(result, violations, lost)
 
 
-def _showcase_case(
+def _showcase_spec(
     *, arm: str, n_islands: int, n_nodes: int, horizon: float, pop: int, max_epochs: int
-) -> dict:
+) -> RunSpec:
     plan = _showcase_plan(n_nodes=n_nodes, n_islands=n_islands, horizon=horizon)
-    result, violations, lost = _run_arm(
+    return _arm_spec(
         arm,
         n_islands=n_islands,
         n_nodes=n_nodes,
@@ -221,14 +222,9 @@ def _showcase_case(
         max_epochs=max_epochs,
         checkpoint_every=3,
     )
-    return _case_summary(result, violations, lost)
 
 
-def run(quick: bool = False) -> ExperimentReport:
-    report = ExperimentReport(
-        experiment_id="E13",
-        title="Island resilience: lossy links, partitions and crashes vs protection",
-    )
+def _dimensions(quick: bool) -> dict:
     if quick:
         n_islands, pop, max_epochs = 4, 16, 60
         losses = [0.0, 0.3]
@@ -241,6 +237,70 @@ def run(quick: bool = False) -> ExperimentReport:
         mtbf_modes = ["none", "repair", "crash"]
     n_nodes = n_islands + 3  # + supervisor + two spares
     horizon = (max_epochs + 1) * pop * EVAL_COST
+    grid = [
+        (loss, partition, mode)
+        for loss in losses
+        for partition in partition_durations
+        for mode in mtbf_modes
+    ]
+    grid_trials = [
+        Trial(
+            _audited_case,
+            spec=_grid_spec(
+                arm=arm,
+                n_islands=n_islands,
+                n_nodes=n_nodes,
+                horizon=horizon,
+                loss=loss,
+                partition=partition,
+                mode=mode,
+                plan_seed=1300 + cfg_id,
+                pop=pop,
+                max_epochs=max_epochs,
+            ),
+            mode="engine",
+            seed=42,
+        )
+        for cfg_id, (loss, partition, mode) in enumerate(grid)
+        for arm in ARMS
+    ]
+    showcase_trials = [
+        Trial(
+            _audited_case,
+            spec=_showcase_spec(
+                arm=arm,
+                n_islands=n_islands,
+                n_nodes=n_nodes,
+                horizon=horizon,
+                pop=pop,
+                max_epochs=max_epochs,
+            ),
+            mode="engine",
+            seed=42,
+        )
+        for arm in ARMS
+    ]
+    return {
+        "n_islands": n_islands,
+        "grid": grid,
+        "grid_trials": grid_trials,
+        "showcase_trials": showcase_trials,
+    }
+
+
+def trial_specs(quick: bool = False) -> list[RunSpec]:
+    """Every declarative run this experiment dispatches (CLI ``specs`` verb)."""
+    d = _dimensions(quick)
+    return [s for t in d["grid_trials"] + d["showcase_trials"] for s in t.specs]
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E13",
+        title="Island resilience: lossy links, partitions and crashes vs protection",
+    )
+    dims = _dimensions(quick)
+    n_islands, grid = dims["n_islands"], dims["grid"]
 
     solved_tbl = TableSpec(
         title=f"Demes solved (of {n_islands}) by protection arm",
@@ -261,32 +321,7 @@ def run(quick: bool = False) -> ExperimentReport:
     healthy = {a: None for a in ARMS}     # fault-free config
     lossy_retx = 0
 
-    grid = [
-        (loss, partition, mode)
-        for loss in losses
-        for partition in partition_durations
-        for mode in mtbf_modes
-    ]
-    grid_trials = [
-        Trial(
-            _grid_case,
-            dict(
-                arm=arm,
-                n_islands=n_islands,
-                n_nodes=n_nodes,
-                horizon=horizon,
-                loss=loss,
-                partition=partition,
-                mode=mode,
-                plan_seed=1300 + cfg_id,
-                pop=pop,
-                max_epochs=max_epochs,
-            ),
-        )
-        for cfg_id, (loss, partition, mode) in enumerate(grid)
-        for arm in ARMS
-    ]
-    grid_results = iter(run_sweep("E13", grid_trials, quick=quick))
+    grid_results = iter(run_sweep("E13", dims["grid_trials"], quick=quick))
     cfg_id = 0
     for loss, partition, mode in grid:
         solved_row, quality_row = [], []
@@ -324,22 +359,8 @@ def run(quick: bool = False) -> ExperimentReport:
         title="Showcase: deme crash + partition + 30% loss (deterministic)",
         columns=["arm", "demes solved", "mean best", "retransmits", "recoveries"],
     )
-    showcase_trials = [
-        Trial(
-            _showcase_case,
-            dict(
-                arm=arm,
-                n_islands=n_islands,
-                n_nodes=n_nodes,
-                horizon=horizon,
-                pop=pop,
-                max_epochs=max_epochs,
-            ),
-        )
-        for arm in ARMS
-    ]
     showcase = {}
-    for arm, case in zip(ARMS, run_sweep("E13", showcase_trials, quick=quick)):
+    for arm, case in zip(ARMS, run_sweep("E13", dims["showcase_trials"], quick=quick)):
         total_violations += case["violations"]
         total_lost += case["lost"]
         solved = sum(1 for b in case["deme_bests"] if b >= GENOME)

@@ -237,7 +237,12 @@ def contract_run(name: str, seed: int = 0) -> tuple["Trace | None", RunReport]:
     """Execute engine ``name``'s registered contract scenario."""
     info = ENGINE_REGISTRY.get(name)
     if info is None:
-        raise KeyError(f"unknown engine {name!r}; choose from {engine_names()}")
+        from ..spec.registry import suggest  # deferred: spec imports engines
+
+        raise KeyError(
+            f"unknown engine {name!r}{suggest(name, ENGINE_REGISTRY)}; "
+            f"choose from {engine_names()}"
+        )
     if info.contract is None:
         raise ValueError(f"engine {name!r} registered no contract scenario")
     return info.contract(seed)

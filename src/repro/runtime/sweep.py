@@ -80,23 +80,57 @@ class Trial:
     ``fn`` must be a module-level callable (so it pickles by reference),
     pure given its arguments, and must return plain picklable data —
     numbers, strings, lists/tuples/dicts and small dataclasses of those.
-    It is invoked as ``fn(**params)``, plus ``seed=seed`` when a seed is
-    declared.
+
+    **Raw-callable trials** (``spec=None``, the compatibility form) invoke
+    ``fn(**params)``, plus ``seed=seed`` when a seed is declared.
+
+    **Spec-backed trials** carry one :class:`repro.spec.RunSpec` (or a
+    tuple of them) describing the engine run(s); ``fn`` becomes the
+    *extraction* function and receives the executed result first:
+    ``fn(report, **params)``.  Seeds live inside the specs, so
+    ``seed`` is informational (telemetry) and is not passed to ``fn``.
+    With ``mode="engine"`` the spec is only *built*, not run —
+    ``fn(engine, **params)`` drives the engine itself (stepping loops,
+    trace audits, population inspection).
     """
 
     fn: Callable[..., Any]
     params: Mapping[str, Any] = field(default_factory=dict)
     seed: int | None = None
+    #: RunSpec | tuple[RunSpec, ...] | None — the declarative run(s)
+    spec: Any = None
+    #: "report" (execute, pass the result) or "engine" (build, pass the engine)
+    mode: str = "report"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("report", "engine"):
+            raise ValueError(f"trial mode must be 'report' or 'engine', got {self.mode!r}")
 
     def call(self) -> Any:
-        kwargs = dict(self.params)
-        if self.seed is not None:
-            kwargs["seed"] = self.seed
-        return self.fn(**kwargs)
+        if self.spec is None:
+            kwargs = dict(self.params)
+            if self.seed is not None:
+                kwargs["seed"] = self.seed
+            return self.fn(**kwargs)
+        from ..spec import build_run, run_spec
+
+        execute = build_run if self.mode == "engine" else run_spec
+        if isinstance(self.spec, tuple):
+            built: Any = tuple(execute(s) for s in self.spec)
+        else:
+            built = execute(self.spec)
+        return self.fn(built, **dict(self.params))
 
     @property
     def fn_id(self) -> str:
         return f"{self.fn.__module__}.{self.fn.__qualname__}"
+
+    @property
+    def specs(self) -> tuple[Any, ...]:
+        """The trial's RunSpecs (empty for raw-callable trials)."""
+        if self.spec is None:
+            return ()
+        return self.spec if isinstance(self.spec, tuple) else (self.spec,)
 
 
 # -- cache keys --------------------------------------------------------------------
@@ -167,17 +201,27 @@ def canonical_params(value: Any, depth: int = 0) -> str:
 def trial_digest(
     experiment_id: str, trial: Trial, *, quick: bool, kernel: str | None = None
 ) -> str:
-    """Content address of one trial's result."""
-    blob = "|".join(
-        [
-            experiment_id,
-            trial.fn_id,
-            canonical_params(dict(trial.params)),
-            repr(trial.seed),
-            repr(bool(quick)),
-            kernel if kernel is not None else kernel_digest(),
-        ]
-    )
+    """Content address of one trial's result.
+
+    Spec-backed trials key on their :class:`repro.spec.RunSpec` content
+    digests (plus the extraction fn and its params) — a portable,
+    declarative address.  Raw-callable trials keep the compatibility
+    fallback: fn identity + canonicalised params (opaque objects digest
+    their pickled bytes).  Both include the kernel digest, so any code
+    edit invalidates every cached trial either way.
+    """
+    parts = [
+        experiment_id,
+        trial.fn_id,
+        canonical_params(dict(trial.params)),
+        repr(trial.seed),
+        repr(bool(quick)),
+        kernel if kernel is not None else kernel_digest(),
+    ]
+    if trial.spec is not None:
+        parts.append(trial.mode)
+        parts.extend(s.digest() for s in trial.specs)
+    blob = "|".join(parts)
     return hashlib.sha256(blob.encode()).hexdigest()
 
 

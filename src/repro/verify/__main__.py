@@ -6,13 +6,16 @@
     python -m repro.verify replay 'ReplaySpec {"scenario":...}'
     python -m repro.verify audit --quick E2 E3
     python -m repro.verify engines --seed 0
+    python -m repro.verify spec-fuzz --seed 0
+    python -m repro.verify spec-replay specs.json --experiment E8
 
-Exit status 1 on any failure, so all three subcommands are CI-ready.
+Exit status 1 on any failure, so every subcommand is CI-ready.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .fuzzer import fuzz
@@ -91,6 +94,73 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _iter_spec_docs(doc: dict, experiment: str | None, index: int | None):
+    """Yield ``(label, runspec_doc)`` from a single-spec or batch file."""
+    if doc.get("schema") == "repro-runspec-batch/v1":
+        experiments = doc.get("experiments", {})
+        keys = [experiment.upper()] if experiment else sorted(experiments)
+        for key in keys:
+            entries = experiments.get(key, [])
+            picked = enumerate(entries) if index is None else [(index, entries[index])]
+            for i, entry in picked:
+                yield f"{key}[{i}]", entry
+    else:
+        yield "spec", doc
+
+
+def _cmd_spec_replay(args: argparse.Namespace) -> int:
+    from ..spec import RunSpec
+    from .specs import check_spec
+
+    try:
+        with open(args.file, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot load {args.file}: {err}", file=sys.stderr)
+        return 2
+    failed = checked = 0
+    try:
+        for label, entry in _iter_spec_docs(doc, args.experiment, args.index):
+            outcome = check_spec(
+                RunSpec.from_dict(entry), label=label, runs=args.runs
+            )
+            print(outcome.describe())
+            checked += 1
+            if not outcome.ok:
+                failed += 1
+    except (IndexError, KeyError, TypeError, ValueError) as err:
+        print(f"error: {args.file}: {err}", file=sys.stderr)
+        return 2
+    if checked == 0:
+        print(f"error: {args.file}: no specs selected", file=sys.stderr)
+        return 2
+    print(f"spec-replay: {checked - failed}/{checked} ok")
+    return 1 if failed else 0
+
+
+def _cmd_spec_fuzz(args: argparse.Namespace) -> int:
+    from ..spec import ENGINE_BUILDERS
+    from .specs import fuzz_specs
+
+    names = [n.lower() for n in args.names] or None
+    unknown = [n for n in (names or []) if n not in ENGINE_BUILDERS]
+    if unknown:
+        print(
+            f"error: unknown engine(s) {unknown}; choose from "
+            f"{ENGINE_BUILDERS.names()}",
+            file=sys.stderr,
+        )
+        return 2
+    failed = 0
+    results = fuzz_specs(seed=args.seed, names=names, runs=args.runs)
+    for outcome in results:
+        print(outcome.describe())
+        if not outcome.ok:
+            failed += 1
+    print(f"spec-fuzz: {len(results) - failed}/{len(results)} engine exemplars ok")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.verify",
@@ -136,6 +206,41 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_eng.add_argument("--seed", type=int, default=0, help="contract-scenario seed")
     p_eng.set_defaults(func=_cmd_engines)
+
+    p_sre = sub.add_parser(
+        "spec-replay",
+        help="replay serialized run specs (repro-runspec/v1 file or a "
+        "'specs' batch) and check round-trip + determinism + report schema",
+    )
+    p_sre.add_argument("file", help="RunSpec JSON file or runspec batch")
+    p_sre.add_argument(
+        "--experiment", default=None, metavar="E",
+        help="batch files: restrict to one experiment's specs",
+    )
+    p_sre.add_argument(
+        "--index", type=int, default=None, metavar="N",
+        help="batch files: restrict to one spec per selected experiment",
+    )
+    p_sre.add_argument(
+        "--runs", type=int, default=2, metavar="K",
+        help="executions per spec for the determinism check (default: 2)",
+    )
+    p_sre.set_defaults(func=_cmd_spec_replay)
+
+    p_sfz = sub.add_parser(
+        "spec-fuzz",
+        help="sweep every registered engine builder's exemplar spec: "
+        "round-trip, same-spec determinism, report schema",
+    )
+    p_sfz.add_argument(
+        "names", nargs="*", default=[], help="engine names (default: all)"
+    )
+    p_sfz.add_argument("--seed", type=int, default=0, help="master seed")
+    p_sfz.add_argument(
+        "--runs", type=int, default=2, metavar="K",
+        help="executions per exemplar (default: 2)",
+    )
+    p_sfz.set_defaults(func=_cmd_spec_fuzz)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,52 @@
+"""Golden spec fixtures: serialized documents pinned against drift.
+
+Each ``fixtures/*.json`` is a hand-committed ``repro-runspec/v1``
+document; ``fixtures/digests.json`` pins its content digest.  If an
+edit to the spec layer changes how any of these parse, digest or build,
+these tests fail — schema evolution must be deliberate (bump the schema
+tag), never accidental.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.spec import RunSpec, build_run, canonical_json
+
+FIXTURES = Path(__file__).parent / "fixtures"
+DIGESTS = json.loads((FIXTURES / "digests.json").read_text())
+NAMES = sorted(DIGESTS)
+
+
+def test_manifest_covers_every_fixture():
+    on_disk = {p.stem for p in FIXTURES.glob("*.json")} - {"digests"}
+    assert on_disk == set(NAMES)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fixture_digest_is_pinned(name):
+    spec = RunSpec.from_json((FIXTURES / f"{name}.json").read_text())
+    assert spec.digest() == DIGESTS[name]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fixture_round_trips_byte_for_byte(name):
+    text = (FIXTURES / f"{name}.json").read_text()
+    spec = RunSpec.from_json(text)
+    assert spec.to_json(indent=2) + "\n" == text
+    assert RunSpec.from_json(spec.to_json()) == spec
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fixture_builds_a_runnable_engine(name):
+    spec = RunSpec.from_json((FIXTURES / f"{name}.json").read_text())
+    assert build_run(spec) is not None
+
+
+def test_fixture_canonical_form_is_stable():
+    # canonical_json of the parsed document equals the digest input form
+    for name in NAMES:
+        doc = json.loads((FIXTURES / f"{name}.json").read_text())
+        spec = RunSpec.from_dict(doc)
+        assert canonical_json(spec.to_dict()) == canonical_json(doc)
