@@ -137,11 +137,12 @@ class TestBatchEvaluationThroughput:
 
 
 class TestSimulatorThroughput:
-    #: dispatch floor for the heappop-once hot loop — the measured rate on
-    #: a single shared CPU core is ~450-550k events/s, so 100k/s flags a
-    #: real regression (peek+pop double access, re-validation on resume)
-    #: without flaking on slow CI runners
-    EVENTS_PER_SEC_FLOOR = 100_000
+    #: dispatch floor for the heappop-once hot loop — with the horizon
+    #: check hoisted out of the no-``until`` path the measured rate on a
+    #: single shared CPU core is ~600-950k events/s, so 150k/s flags a
+    #: real regression (peek+pop double access, re-validation on resume,
+    #: per-event horizon compare) without flaking on slow CI runners
+    EVENTS_PER_SEC_FLOOR = 150_000
 
     def test_event_dispatch_floor(self):
         from repro.cluster import sim as sim_mod
@@ -416,3 +417,113 @@ class TestSupervisedPoolOverhead:
         with SupervisedPool(_pool_bench_task, 2) as pool:
             supervised = pool.run_batch(payloads)
         assert supervised == bare
+
+
+class TestTraceThroughput:
+    """The streaming trace pipeline's acceptance floors.
+
+    ``Trace.record`` canonicalises every event into the pinned digest-line
+    format *as it happens* (interned columnar storage + an incrementally
+    updated sha256), so these floors watch the whole per-event cost:
+    bookkeeping, line assembly and the amortised hash.  The workload is
+    the shape simulations actually produce — bursts of small int-field
+    events sharing one timestamp object (``sim.now``).
+    """
+
+    #: digest-only record floor; measured ~450-650k ev/s on one shared
+    #: core, so half that flags a real hot-path regression
+    RECORD_EVENTS_PER_SEC_FLOOR = 250_000
+    #: what the issue-level acceptance asks of an idle machine; asserted
+    #: only when REPRO_BENCH_STRICT=1 (CI smoke uses the floor above)
+    RECORD_EVENTS_PER_SEC_TARGET = 500_000
+    #: O(1) finalize must beat the legacy O(n) re-walk by at least this
+    #: factor on a 100k-event trace (measured: >1000x)
+    FINALIZE_SPEEDUP_FLOOR = 10.0
+    N_EVENTS = 100_000
+
+    def _record_rate(self, retention: str) -> float:
+        from repro.cluster.trace import Trace
+
+        n = self.N_EVENTS
+        best = 0.0
+        for _ in range(5):
+            trace = Trace(retention)
+            record = trace.record
+            now = 0.5  # one timestamp object per burst, like sim.now
+            start = time.perf_counter()
+            for _ in range(n):
+                record(now, "dispatch", node=3, chunk=7)
+            best = max(best, n / (time.perf_counter() - start))
+        return best
+
+    def test_record_floor_digest_only(self):
+        rate = self._record_rate("digest-only")
+        floor = (
+            self.RECORD_EVENTS_PER_SEC_TARGET
+            if os.environ.get("REPRO_BENCH_STRICT") == "1"
+            else self.RECORD_EVENTS_PER_SEC_FLOOR
+        )
+        print(f"trace record (digest-only): {rate:,.0f} events/s")
+        assert rate >= floor, (
+            f"digest-only Trace.record ran {rate:,.0f} events/s "
+            f"(floor {floor:,})"
+        )
+
+    def test_record_compact_not_slower_than_full(self):
+        """Retention modes exist to *cut* cost; compact must never lose
+        badly to full (they share the whole digest path and compact skips
+        storage for non-retained kinds)."""
+        full = self._record_rate("full")
+        compact = self._record_rate("compact")
+        print(f"trace record: full {full:,.0f} vs compact {compact:,.0f} events/s")
+        assert compact >= 0.8 * full
+
+    def test_digest_finalize_speedup_vs_walker(self):
+        from repro.cluster.trace import Trace
+        from repro.verify.digest import trace_digest_walk
+
+        trace = Trace("full")
+        record = trace.record
+        for i in range(self.N_EVENTS):
+            record(i * 0.001, "msg", src=1, dst=2, mid=i)
+        # finalize: flush the <=256 buffered lines and read the hash...
+        start = time.perf_counter()
+        incremental = trace.digest_hex()
+        finalize = time.perf_counter() - start
+        # ...vs the legacy walker re-canonicalising all 100k events
+        start = time.perf_counter()
+        legacy = trace_digest_walk(trace)
+        walk = time.perf_counter() - start
+        assert incremental == legacy  # same pinned byte format
+        speedup = walk / max(finalize, 1e-9)
+        print(
+            f"digest finalize {finalize * 1e6:,.0f}us vs walker "
+            f"{walk * 1e3:,.0f}ms ({speedup:,.0f}x)"
+        )
+        assert speedup >= self.FINALIZE_SPEEDUP_FLOOR, (
+            f"incremental finalize only {speedup:.1f}x faster than the "
+            f"legacy walk (floor {self.FINALIZE_SPEEDUP_FLOOR}x)"
+        )
+
+    def test_compact_transport_payload_smaller(self):
+        """The sweep-worker story: a compact trace pickles far smaller
+        than a full one over the same event stream."""
+        import pickle
+
+        from repro.cluster.trace import Trace, trace_retention
+
+        def build(mode):
+            with trace_retention(mode):
+                trace = Trace()
+            for i in range(5_000):
+                trace.record(i * 0.01, "msg", src=i % 8, dst=(i + 1) % 8, mid=i)
+                if i % 50 == 0:
+                    trace.generation(i * 0.01, deme=i % 8, generation=i // 50, best=1.0)
+            return trace
+
+        full, compact = build("full"), build("compact")
+        assert full.digest_hex() == compact.digest_hex()
+        full_bytes = len(pickle.dumps(full))
+        compact_bytes = len(pickle.dumps(compact))
+        print(f"trace pickle: full {full_bytes:,}B vs compact {compact_bytes:,}B")
+        assert compact_bytes < full_bytes / 5

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Diff two sweep benchmark snapshots (``--bench-out`` JSON files).
+
+Usage::
+
+    python scripts/bench_compare.py BENCH_sweep.json /tmp/new_bench.json
+    python scripts/bench_compare.py old.json new.json --strict   # exit 1 on regression
+
+Compares the ``totals`` block — wall time, simulated events, fitness
+evaluations — and the per-experiment wall times, printing a WARNING for
+any metric that regressed by more than ``--threshold`` (default 10%).
+Counter metrics (``sim_events``, ``evaluations``, ``trials``) warn on
+*any* drift in either direction: they are deterministic per code
+version, so a change means the workload itself changed, not the
+machine.  With ``--strict`` warnings become a non-zero exit for CI.
+
+Wall-clock comparisons are only meaningful between snapshots taken on
+comparable hosts; the host blocks of both files are printed so a noisy
+diff can be discounted by eye.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: totals keys where bigger is slower and small drift is expected noise
+_WALL_KEYS = ("trial_wall_s", "sweep_wall_s")
+#: totals keys that are exact per code version: any drift is a real change
+_COUNTER_KEYS = ("trials", "sim_events", "evaluations")
+
+
+def _load(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    if not isinstance(data, dict) or "totals" not in data:
+        raise SystemExit(f"error: {path} is not a sweep benchmark snapshot (no 'totals')")
+    return data
+
+
+def _pct(old: float, new: float) -> float:
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - old) / old * 100.0
+
+
+def _per_experiment_wall(data: dict) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for sweep in data.get("sweeps", []):
+        name = sweep.get("experiment", "?")
+        out[name] = out.get(name, 0.0) + float(sweep.get("wall_s", 0.0))
+    return out
+
+
+def compare(old: dict, new: dict, threshold: float) -> list[str]:
+    """Return WARNING lines; print the metric table as a side effect."""
+    warnings: list[str] = []
+    ot, nt = old["totals"], new["totals"]
+
+    print(f"{'metric':<22}{'old':>16}{'new':>16}{'delta':>10}")
+    for key in _COUNTER_KEYS + _WALL_KEYS:
+        if key not in ot and key not in nt:
+            continue
+        o, n = ot.get(key, 0), nt.get(key, 0)
+        delta = _pct(o, n)
+        print(f"{key:<22}{o:>16,.6g}{n:>16,.6g}{delta:>+9.1f}%")
+        if key in _COUNTER_KEYS and o != n:
+            warnings.append(
+                f"WARNING: {key} changed {o:,} -> {n:,} — deterministic "
+                f"workload drifted (new code path or experiment change?)"
+            )
+        elif key in _WALL_KEYS and delta > threshold:
+            warnings.append(
+                f"WARNING: {key} regressed {delta:+.1f}% "
+                f"({o:.1f}s -> {n:.1f}s, threshold {threshold:.0f}%)"
+            )
+
+    old_wall, new_wall = _per_experiment_wall(old), _per_experiment_wall(new)
+    for name in sorted(old_wall.keys() & new_wall.keys()):
+        delta = _pct(old_wall[name], new_wall[name])
+        if delta > threshold:
+            warnings.append(
+                f"WARNING: {name} wall regressed {delta:+.1f}% "
+                f"({old_wall[name]:.2f}s -> {new_wall[name]:.2f}s)"
+            )
+    for name in sorted(old_wall.keys() ^ new_wall.keys()):
+        side = "dropped from" if name in old_wall else "new in"
+        print(f"note: experiment {name} {side} the new snapshot")
+    return warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=Path, help="baseline snapshot (e.g. BENCH_sweep.json)")
+    parser.add_argument("new", type=Path, help="candidate snapshot")
+    parser.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="warn when a wall-time metric regresses by more than this %% (default 10)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if any warning fired (for CI gates)",
+    )
+    args = parser.parse_args(argv)
+
+    old, new = _load(args.old), _load(args.new)
+    for label, data in (("old", old), ("new", new)):
+        host = data.get("host", {})
+        print(f"{label}: {host.get('platform', '?')} / python {host.get('python', '?')} "
+              f"/ {host.get('cpu_count', '?')} cpu")
+    print()
+    warnings = compare(old, new, args.threshold)
+    print()
+    if warnings:
+        for w in warnings:
+            print(w)
+        return 1 if args.strict else 0
+    print(f"ok: no metric regressed beyond {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

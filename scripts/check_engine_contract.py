@@ -60,6 +60,14 @@ copy-pasted per engine, and this check keeps them centralised:
    names the deliberate exceptions (trials whose construction depends
    on results only known at execution time).
 
+8. **Columnar traces.**  ``Trace.events`` is a lazily rebuilt read-only
+   view over interned columnar storage — mutating the returned list
+   (``trace.events.append(...)``, ``trace.events[...] = ...``,
+   ``trace.events = ...``) silently bypasses the incremental digest, the
+   per-kind indexes and the listener seam.  Events enter a trace through
+   ``Trace.record`` only; no module outside ``repro/cluster/`` may
+   mutate an ``.events`` attribute.
+
 Run from the repository root::
 
     python scripts/check_engine_contract.py
@@ -327,6 +335,49 @@ def lint_vectorized_file(path: Path) -> list[str]:
     return problems
 
 
+#: list-mutating methods rule 8 forbids calling on an ``.events`` attribute
+_EVENTS_MUTATORS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "sort", "reverse",
+}
+
+
+def lint_trace_events_file(path: Path) -> list[str]:
+    """No direct ``.events`` mutation outside ``repro/cluster/`` (rule 8)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems: list[str] = []
+
+    def _is_events_attr(node: ast.AST) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "events"
+
+    for node in ast.walk(tree):
+        offence = None
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _EVENTS_MUTATORS
+            and _is_events_attr(node.func.value)
+        ):
+            offence = f".events.{node.func.attr}(...)"
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                [node.target] if isinstance(node, ast.AugAssign) else node.targets
+            )
+            for target in targets:
+                if _is_events_attr(target):
+                    offence = ".events = ..." if not isinstance(node, ast.Delete) else "del .events"
+                elif isinstance(target, ast.Subscript) and _is_events_attr(target.value):
+                    offence = ".events[...] = ..."
+        if offence is not None:
+            problems.append(
+                f"{path.relative_to(REPO)}:{node.lineno}: direct trace-event "
+                f"mutation {offence} — events enter a Trace through "
+                "Trace.record() only (the .events view is rebuilt from "
+                "columnar storage and feeds neither the digest nor the "
+                "listeners)"
+            )
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
     for path in sorted(PARALLEL.glob("*.py")):
@@ -342,6 +393,11 @@ def main() -> int:
     pool_files = sorted(p for p in SRC.rglob("*.py") if p != POOL_OWNER)
     for path in pool_files:
         problems.extend(lint_bare_pool_file(path))
+    trace_files = sorted(
+        p for p in SRC.rglob("*.py") if (SRC / "cluster") not in p.parents
+    )
+    for path in trace_files:
+        problems.extend(lint_trace_events_file(path))
     for line in problems:
         print(line)
     if problems:
@@ -352,7 +408,8 @@ def main() -> int:
         f"engine-contract lint: {n} engine modules + "
         f"{len(experiment_files)} experiment modules + "
         f"{len(vectorized_files)} vectorized kernel modules + "
-        f"{len(pool_files)} bare-pool-free modules clean"
+        f"{len(pool_files)} bare-pool-free modules + "
+        f"{len(trace_files)} trace-mutation-free modules clean"
     )
     return 0
 

@@ -6,7 +6,16 @@ from .machine import SimulatedCluster
 from .network import Network, NetworkPreset, lan_ethernet, myrinet, wan_internet
 from .node import Node
 from .sim import Inbox, Process, SimulationError, Simulator, Timeout
-from .trace import Trace, TraceEvent
+from .trace import (
+    COMPACT_KINDS,
+    RETENTION_MODES,
+    Trace,
+    TraceEvent,
+    TraceRetentionError,
+    TraceSummary,
+    default_retention,
+    trace_retention,
+)
 
 __all__ = [
     "Simulator",
@@ -28,4 +37,10 @@ __all__ = [
     "SimulatedCluster",
     "Trace",
     "TraceEvent",
+    "TraceSummary",
+    "TraceRetentionError",
+    "RETENTION_MODES",
+    "COMPACT_KINDS",
+    "trace_retention",
+    "default_retention",
 ]

@@ -1,0 +1,221 @@
+"""Canonical event serialisation shared by traces and digests.
+
+The determinism story of this repo rests on one byte format: every trace
+event canonicalises to the line ``{_norm(time)}|{kind}|{k=_norm(v),...}\\n``
+(fields sorted by name, floats via ``repr`` — the shortest round-trip
+form), and sha256 over the concatenated lines is the run's digest.  The
+format is pinned by golden tests; changing a single byte here changes
+every pinned digest in the repo.
+
+This module owns that format so :class:`~repro.cluster.trace.Trace` can
+maintain the digest *incrementally* (one :func:`canonical_line` per
+``record()``) while :mod:`repro.verify.digest` keeps the legacy post-hoc
+walker as a cross-check.  It lives under ``repro.cluster`` rather than
+``repro.verify`` because the trace layer is imported by everything —
+``verify`` importing ``cluster`` is fine, the reverse would cycle.
+
+Fast paths (exact-type scalar dispatch, a bounded ``repr`` cache for
+repeated floats) exist because canonicalisation runs once per recorded
+event on the hot path; they are behaviour-preserving shortcuts through
+:func:`_norm`, never a second format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+from ..core.individual import Individual
+
+__all__ = ["canonical_line", "norm"]
+
+_MAX_DEPTH = 12
+
+#: bounded repr cache for non-zero floats.  Zeros are excluded on purpose:
+#: ``-0.0 == 0.0`` so they would collide as dict keys, yet ``repr`` must
+#: keep telling them apart.  (NaN keys never hit via equality — dicts still
+#: short-circuit on identity, and the size bound caps any miss churn.)
+_FLOAT_REPRS: dict[float, str] = {}
+_FLOAT_CACHE_MAX = 4096
+
+
+def _norm(
+    value: Any,
+    depth: int = 0,
+    seen: set[int] | None = None,
+    memo: dict[tuple[int, int], str] | None = None,
+) -> str:
+    """Canonical string form of ``value`` (stable across processes).
+
+    ``memo``, when given, caches the canonical form of ``Individual`` and
+    ``ndarray`` leaves keyed by ``(id(value), depth)`` for the duration of
+    one walk — large-population reports reference the same genome objects
+    many times, and re-stringifying them dominated fingerprint cost.  The
+    depth in the key keeps the memoized output byte-identical to the
+    unmemoized walk even near the depth cap.
+    """
+    if depth > _MAX_DEPTH:
+        return "<depth>"
+    if value is None or isinstance(value, bool):
+        return repr(value)
+    if isinstance(value, (np.floating, float)):
+        return repr(float(value))
+    if isinstance(value, (np.integer, int)):
+        return repr(int(value))
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, np.ndarray):
+        if memo is None:
+            return _norm(value.tolist(), depth + 1, seen)
+        key = (id(value), depth)
+        out = memo.get(key)
+        if out is None:
+            out = _norm(value.tolist(), depth + 1, seen, memo)
+            memo[key] = out
+        return out
+    if isinstance(value, Individual):
+        # uid is a process-global counter: behaviourally meaningless, so
+        # it must never enter a fingerprint
+        if memo is None:
+            return (
+                f"Individual(genome={_norm(value.genome, depth + 1, seen)},"
+                f"fitness={_norm(value.fitness, depth + 1, seen)})"
+            )
+        key = (id(value), depth)
+        out = memo.get(key)
+        if out is None:
+            out = (
+                f"Individual(genome={_norm(value.genome, depth + 1, seen, memo)},"
+                f"fitness={_norm(value.fitness, depth + 1, seen, memo)})"
+            )
+            memo[key] = out
+        return out
+    if seen is None:
+        seen = set()
+    oid = id(value)
+    if oid in seen:
+        return "<cycle>"
+    if isinstance(value, dict):
+        seen.add(oid)
+        items = ",".join(
+            f"{_norm(k, depth + 1, seen, memo)}:{_norm(v, depth + 1, seen, memo)}"
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        )
+        seen.discard(oid)
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple, set, frozenset)):
+        seen.add(oid)
+        elems = list(value)
+        if isinstance(value, (set, frozenset)):
+            elems = sorted(elems, key=str)
+        body = ",".join(_norm(v, depth + 1, seen, memo) for v in elems)
+        seen.discard(oid)
+        return "[" + body + "]"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        seen.add(oid)
+        fields = ",".join(
+            f"{f.name}={_norm(getattr(value, f.name), depth + 1, seen, memo)}"
+            for f in dataclasses.fields(value)
+            if f.name != "uid"
+        )
+        seen.discard(oid)
+        return f"{type(value).__name__}({fields})"
+    attrs = getattr(value, "__dict__", None)
+    if isinstance(attrs, dict) and attrs:
+        seen.add(oid)
+        body = _norm(
+            {k: v for k, v in attrs.items() if not k.startswith("_")},
+            depth + 1, seen, memo,
+        )
+        seen.discard(oid)
+        return f"{type(value).__name__}{body}"
+    # opaque object: only its type is stable across processes
+    return f"<{type(value).__name__}>"
+
+
+#: public alias — :mod:`repro.verify.digest` re-exports this as its walker
+norm = _norm
+
+
+def _float_repr(value: float) -> str:
+    """repr a non-zero float and (size permitting) cache it."""
+    r = repr(value)
+    if len(_FLOAT_REPRS) < _FLOAT_CACHE_MAX:
+        _FLOAT_REPRS[value] = r
+    return r
+
+
+def _fast_norm(value: Any) -> str:
+    """:func:`_norm` with an exact-type shortcut for the scalars that make
+    up nearly every trace field.  ``bool`` is a distinct exact type from
+    ``int`` (``type(True) is int`` is False), so the exact-type tests
+    never misroute it past the bool/None ``repr`` branch."""
+    t = type(value)
+    if t is float:
+        if value:  # never cache zeros: -0.0 == 0.0 but reprs differ
+            r = _FLOAT_REPRS.get(value)
+            return r if r is not None else _float_repr(value)
+        return repr(value)
+    if t is int or t is str or t is bool or value is None:
+        return repr(value)
+    return _norm(value)
+
+
+#: field-name tuple (kwargs order) -> tuple of ("name=", name) in sorted
+#: order — one sort per event *shape* instead of one per event.  Bounded:
+#: shapes are as finite as call sites, but a runaway producer must not
+#: grow this dict without limit.
+_NAME_ORDERS: dict[tuple[str, ...], tuple[tuple[str, str], ...]] = {}
+_NAME_ORDERS_MAX = 4096
+
+
+def canonical_line(time: float, kind: str, fields: dict[str, Any]) -> str:
+    """The canonical digest line for one event.
+
+    Byte-identical to the legacy post-hoc walker's
+    ``f"{_norm(time)}|{kind}|{','.join(f'{k}={_norm(v)}' ...)}\\n"``
+    (fields sorted by name; names are unique kwargs, so sorting the
+    names alone equals sorting the items).  The scalar dispatch is
+    inlined per field — this runs once per recorded event on the hot
+    path, and the golden-digest suite pins it against the walker.
+    """
+    t = type(time)
+    if t is float:
+        if time:
+            tn = _FLOAT_REPRS.get(time)
+            if tn is None:
+                tn = _float_repr(time)
+        else:
+            tn = repr(time)
+    elif t is int or t is str or t is bool or time is None:
+        tn = repr(time)
+    else:
+        tn = _norm(time)
+    if not fields:
+        return tn + "|" + kind + "|\n"
+    names = tuple(fields)
+    order = _NAME_ORDERS.get(names)
+    if order is None:
+        order = tuple((n + "=", n) for n in sorted(names))
+        if len(_NAME_ORDERS) < _NAME_ORDERS_MAX:
+            _NAME_ORDERS[names] = order
+    parts = []
+    append = parts.append
+    for prefix, name in order:
+        v = fields[name]
+        tv = type(v)
+        if tv is int:
+            append(prefix + repr(v))
+        elif tv is float:
+            if v:
+                r = _FLOAT_REPRS.get(v)
+                append(prefix + (r if r is not None else _float_repr(v)))
+            else:
+                append(prefix + repr(v))
+        elif tv is str or tv is bool or v is None:
+            append(prefix + repr(v))
+        else:
+            append(prefix + _norm(v))
+    return tn + "|" + kind + "|" + ",".join(parts) + "\n"

@@ -219,20 +219,32 @@ class Simulator:
         heap = self._heap
         pop, push = heapq.heappop, heapq.heappush
         try:
-            while heap:
-                entry = pop(heap)  # single heap access per event
-                t = entry[0]
-                if until is not None and t > until:
-                    push(heap, entry)  # re-push only on overshoot
-                    self.now = until
-                    return self.now
-                self.now = t
-                entry[3](*entry[4])
-                events += 1
-                if events >= max_events:
-                    raise SimulationError(
-                        f"exceeded {max_events} events — livelock or runaway process?"
-                    )
+            if until is None:
+                # horizon-free loop: no per-event overshoot comparison
+                while heap:
+                    entry = pop(heap)  # single heap access per event
+                    self.now = entry[0]
+                    entry[3](*entry[4])
+                    events += 1
+                    if events >= max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events — livelock or runaway process?"
+                        )
+            else:
+                while heap:
+                    entry = pop(heap)
+                    t = entry[0]
+                    if t > until:
+                        push(heap, entry)  # re-push only on overshoot
+                        self.now = until
+                        return self.now
+                    self.now = t
+                    entry[3](*entry[4])
+                    events += 1
+                    if events >= max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events — livelock or runaway process?"
+                        )
         finally:
             _EVENTS_DISPATCHED += events
             # one check per run() call, not per event: the disabled-mode

@@ -153,7 +153,7 @@ def _run_arm(model):
     result = model.run()
     ctx = CheckContext.from_cluster(model.cluster, conserved_kinds=CONSERVED_KINDS)
     violations = check_trace(model.cluster.trace, ctx, RULES)
-    lost = sum(1 for e in model.cluster.trace if e.kind == "migration-lost")
+    lost = model.cluster.trace.count("migration-lost")
     return result, violations, lost
 
 
@@ -260,6 +260,7 @@ def _dimensions(quick: bool) -> dict:
             ),
             mode="engine",
             seed=42,
+            retention="full",  # the invariant audit re-walks the event stream
         )
         for cfg_id, (loss, partition, mode) in enumerate(grid)
         for arm in ARMS
@@ -277,6 +278,7 @@ def _dimensions(quick: bool) -> dict:
             ),
             mode="engine",
             seed=42,
+            retention="full",  # the invariant audit re-walks the event stream
         )
         for arm in ARMS
     ]

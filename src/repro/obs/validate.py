@@ -104,14 +104,21 @@ def check_generation_coverage(
 
     ``trace`` is any iterable of objects with ``kind`` and ``time``
     attributes (duck-typed so this module stays free of repro imports).
-    Returns no problems when there are no sim spans at all — untimed
-    engines legitimately run without a timeline.
+    A ``Trace``-like object exposing ``of_kind`` is queried for its
+    ``generation`` events directly — that path stays valid under
+    ``compact`` retention, where generation events are retained but
+    whole-stream iteration is refused.  Returns no problems when there
+    are no sim spans at all — untimed engines legitimately run without
+    a timeline.
     """
     union = _merged_union(
         [(s.t0, s.t1) for s in spans if s.clock == "sim"]
     )
     if not union:
         return []
+    of_kind = getattr(trace, "of_kind", None)
+    if of_kind is not None:
+        trace = of_kind("generation")
     problems = []
     uncovered = 0
     for event in trace:

@@ -165,7 +165,13 @@ class ParallelEngine:
 
     def _report(self, **fields: Any) -> RunReport:
         """Construct a :class:`RunReport` stamped with this engine's name
-        and, when the engine is traced, the canonical trace digest."""
+        and, when the engine is traced, the canonical trace digest.
+
+        The digest is the trace's incrementally maintained sha256
+        (:meth:`repro.cluster.trace.Trace.digest_hex` finalizes in O(1)),
+        so reporting cost no longer grows with trace length — and it is
+        exact under every retention mode, including the ``compact`` one
+        sweep workers run under."""
         trace = self._report_trace()
         if trace is not None and "trace_digest" not in fields:
             from ..verify.digest import trace_digest
@@ -285,6 +291,11 @@ def validate_report(report: RunReport, *, engine: str | None = None) -> list[str
         )
     if report.sim_time is not None and report.sim_time < 0:
         problems.append(f"negative sim_time {report.sim_time}")
+    if report.trace_digest is not None and (
+        len(report.trace_digest) != 64
+        or any(c not in "0123456789abcdef" for c in report.trace_digest)
+    ):
+        problems.append(f"trace_digest is not a sha256 hex string: {report.trace_digest!r}")
     for rec in report.records:
         if not isinstance(rec, EpochRecord):
             problems.append(f"records contain non-EpochRecord {type(rec).__name__}")

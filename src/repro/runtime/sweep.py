@@ -45,6 +45,7 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from ..cluster.trace import RETENTION_MODES, trace_retention
 from ..obs.export import timeline_doc
 from ..obs.session import current_obs, obs_session
 from .journal import SweepJournal
@@ -92,6 +93,15 @@ class Trial:
     With ``mode="engine"`` the spec is only *built*, not run —
     ``fn(engine, **params)`` drives the engine itself (stepping loops,
     trace audits, population inspection).
+
+    ``retention`` picks the trace retention mode the trial body runs
+    under (see :func:`repro.cluster.trace.trace_retention`).  ``None`` —
+    the default — means ``compact``: sweep trials normally consume
+    report-level data, so workers keep digests + counts + ``generation``
+    events instead of full event lists.  Trials that audit the raw event
+    stream post-hoc (e.g. E13's invariant checks) declare
+    ``retention="full"``.  The mode never enters the cache key: digests
+    and extracted results are retention-invariant by construction.
     """
 
     fn: Callable[..., Any]
@@ -101,10 +111,17 @@ class Trial:
     spec: Any = None
     #: "report" (execute, pass the result) or "engine" (build, pass the engine)
     mode: str = "report"
+    #: trace retention for the trial body; None = the sweep default, "compact"
+    retention: str | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("report", "engine"):
             raise ValueError(f"trial mode must be 'report' or 'engine', got {self.mode!r}")
+        if self.retention is not None and self.retention not in RETENTION_MODES:
+            raise ValueError(
+                f"trial retention must be None or one of {RETENTION_MODES}, "
+                f"got {self.retention!r}"
+            )
 
     def call(self) -> Any:
         if self.spec is None:
@@ -508,6 +525,12 @@ def _execute_indexed(
     crosses the process boundary where a live session object could not.
     The driver folds the docs back in trial-index order, so the merged
     parent timeline is identical no matter how trials interleaved.
+
+    The trial body runs under its declared trace retention (``compact``
+    unless the trial says otherwise), on the serial path and in pool
+    workers alike — so a worker's pipe payload stays bounded (digests,
+    counts and ``generation`` events instead of full event lists) while
+    serial and parallel sweeps remain byte-identical.
     """
     from ..cluster import sim as _sim
     from ..core import problem as _problem
@@ -517,12 +540,13 @@ def _execute_indexed(
     si0 = _sim.events_dispatched()
     obs_doc: dict[str, Any] | None = None
     start = time.perf_counter()
-    if current_obs() is not None:
-        with obs_session(label=f"trial-{index}") as child:
+    with trace_retention(trial.retention or "compact"):
+        if current_obs() is not None:
+            with obs_session(label=f"trial-{index}") as child:
+                value = trial.call()
+            obs_doc = timeline_doc(child)
+        else:
             value = trial.call()
-        obs_doc = timeline_doc(child)
-    else:
-        value = trial.call()
     wall = time.perf_counter() - start
     return (
         index,

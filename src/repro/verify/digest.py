@@ -9,6 +9,15 @@ seeded scenario must produce byte-identical digests; any hidden global
 state (wall clock, id counters leaking into payloads, dict-order
 dependence) shows up as a digest mismatch.
 
+The canonical line format itself lives in :mod:`repro.cluster.canon`, and
+traces hash it *incrementally* as events are recorded — so
+:func:`trace_digest` is an O(1) finalize, not a re-walk.  The original
+post-hoc walker survives as :func:`trace_digest_walk`; pass
+``--verify-digest`` to the experiments CLI (or call
+:func:`set_verify_digest`) to cross-check the two on every full-retention
+digest, which is how "fast path" and "pinned byte format" are kept from
+drifting apart.
+
 :func:`result_fingerprint` does the same for arbitrary result objects
 (experiment reports, engine results) by walking dataclasses and plain
 attributes into a canonical string.  ``Individual.uid`` is deliberately
@@ -22,79 +31,71 @@ import dataclasses
 import hashlib
 from typing import Any, Callable
 
-import numpy as np
-
-from ..core.individual import Individual
+from ..cluster.canon import _norm
 from ..cluster.trace import Trace
 
-__all__ = ["trace_digest", "result_fingerprint", "audit_determinism", "AuditResult"]
+__all__ = [
+    "trace_digest",
+    "trace_digest_walk",
+    "result_fingerprint",
+    "audit_determinism",
+    "AuditResult",
+    "DigestMismatchError",
+    "set_verify_digest",
+    "verify_digest_enabled",
+]
 
-_MAX_DEPTH = 12
+_VERIFY_DIGEST = False
 
 
-def _norm(value: Any, depth: int = 0, seen: set[int] | None = None) -> str:
-    """Canonical string form of ``value`` (stable across processes)."""
-    if depth > _MAX_DEPTH:
-        return "<depth>"
-    if value is None or isinstance(value, bool):
-        return repr(value)
-    if isinstance(value, (np.floating, float)):
-        return repr(float(value))
-    if isinstance(value, (np.integer, int)):
-        return repr(int(value))
-    if isinstance(value, str):
-        return repr(value)
-    if isinstance(value, np.ndarray):
-        return _norm(value.tolist(), depth + 1, seen)
-    if isinstance(value, Individual):
-        # uid is a process-global counter: behaviourally meaningless, so
-        # it must never enter a fingerprint
-        return (
-            f"Individual(genome={_norm(value.genome, depth + 1, seen)},"
-            f"fitness={_norm(value.fitness, depth + 1, seen)})"
-        )
-    if seen is None:
-        seen = set()
-    oid = id(value)
-    if oid in seen:
-        return "<cycle>"
-    if isinstance(value, dict):
-        seen.add(oid)
-        items = ",".join(
-            f"{_norm(k, depth + 1, seen)}:{_norm(v, depth + 1, seen)}"
-            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
-        )
-        seen.discard(oid)
-        return "{" + items + "}"
-    if isinstance(value, (list, tuple, set, frozenset)):
-        seen.add(oid)
-        elems = list(value)
-        if isinstance(value, (set, frozenset)):
-            elems = sorted(elems, key=str)
-        body = ",".join(_norm(v, depth + 1, seen) for v in elems)
-        seen.discard(oid)
-        return "[" + body + "]"
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        seen.add(oid)
-        fields = ",".join(
-            f"{f.name}={_norm(getattr(value, f.name), depth + 1, seen)}"
-            for f in dataclasses.fields(value)
-            if f.name != "uid"
-        )
-        seen.discard(oid)
-        return f"{type(value).__name__}({fields})"
-    attrs = getattr(value, "__dict__", None)
-    if isinstance(attrs, dict) and attrs:
-        seen.add(oid)
-        body = _norm({k: v for k, v in attrs.items() if not k.startswith("_")}, depth + 1, seen)
-        seen.discard(oid)
-        return f"{type(value).__name__}{body}"
-    # opaque object: only its type is stable across processes
-    return f"<{type(value).__name__}>"
+class DigestMismatchError(AssertionError):
+    """Incremental and legacy-walk digests disagreed — the canonical line
+    format drifted (this must never happen; it means pinned digests are
+    silently changing)."""
+
+
+def set_verify_digest(enabled: bool) -> None:
+    """Toggle the legacy full-walk cross-check inside :func:`trace_digest`.
+
+    Wired to the experiments CLI ``--verify-digest`` flag.  Only traces
+    with ``full`` retention can be re-walked; compact/digest-only traces
+    skip the check (their incremental digest is the only copy).
+    """
+    global _VERIFY_DIGEST
+    _VERIFY_DIGEST = bool(enabled)
+
+
+def verify_digest_enabled() -> bool:
+    return _VERIFY_DIGEST
 
 
 def trace_digest(trace: Trace) -> str:
-    """Stable sha256 hex digest over the canonicalised event stream."""
+    """Stable sha256 hex digest over the canonicalised event stream.
+
+    Finalizes the trace's incrementally maintained hash (O(1)); with the
+    ``--verify-digest`` cross-check enabled, full-retention traces are
+    additionally re-walked through the legacy post-hoc encoder and the two
+    digests must agree hex-for-hex.
+    """
+    digest = trace.digest_hex()
+    if _VERIFY_DIGEST and trace.retained_kinds is None:
+        legacy = trace_digest_walk(trace)
+        if legacy != digest:
+            raise DigestMismatchError(
+                f"incremental digest {digest} != legacy walk {legacy} "
+                f"over {len(trace)} events — canonical line format drifted"
+            )
+    return digest
+
+
+def trace_digest_walk(trace: Trace) -> str:
+    """The legacy post-hoc digest: re-canonicalise every retained event.
+
+    Kept verbatim as the independent reference implementation of the
+    pinned byte format.  Requires ``full`` retention (it walks
+    ``trace.events``); the golden-digest suite and ``--verify-digest``
+    assert it always matches the incremental :func:`trace_digest`.
+    """
     h = hashlib.sha256()
     for event in trace:
         fields = ",".join(
@@ -105,8 +106,15 @@ def trace_digest(trace: Trace) -> str:
 
 
 def result_fingerprint(obj: Any) -> str:
-    """Stable sha256 hex digest of an arbitrary result object."""
-    return hashlib.sha256(_norm(obj).encode()).hexdigest()
+    """Stable sha256 hex digest of an arbitrary result object.
+
+    Repeated ``Individual``/ndarray leaves (the same genome object
+    referenced from records, deme bests and the report's best) are
+    canonicalised once per walk via a memo — byte-identical output to the
+    unmemoized walk, at a fraction of the cost on large-population
+    reports.
+    """
+    return hashlib.sha256(_norm(obj, memo={}).encode()).hexdigest()
 
 
 @dataclasses.dataclass(frozen=True)

@@ -384,6 +384,13 @@ class TraceChecker:
         checker = TraceChecker(context=ctx).attach(cluster.trace)
         ...  # run the simulation
         checker.close()   # end-of-stream rules (conservation)
+
+    Post-hoc :meth:`check` iterates the stored event list, so it needs a
+    ``full``-retention trace; the in-line mode works under *any* retention
+    mode — listeners observe every event even when the trace keeps none.
+    ``Trace.record`` snapshots its listener list per event, so
+    :meth:`close` (which detaches) is safe to call from inside another
+    listener's callback without skipping neighbours.
     """
 
     rules: list[Rule] = field(default_factory=default_rules)

@@ -30,3 +30,214 @@ class TestTrace:
         assert len(t) == 0
         assert t.kinds() == set()
         assert t.of_kind("anything") == []
+
+
+class TestListenerDispatch:
+    def test_listener_observes_events(self):
+        t = Trace()
+        seen = []
+        t.attach(lambda e: seen.append((e.time, e.kind)))
+        t.record(1.0, "a")
+        t.record(2.0, "b", x=1)
+        assert seen == [(1.0, "a"), (2.0, "b")]
+
+    def test_detach_stops_delivery(self):
+        t = Trace()
+        seen = []
+        listener = t.attach(lambda e: seen.append(e.kind))
+        t.record(1.0, "a")
+        t.detach(listener)
+        t.record(2.0, "b")
+        assert seen == ["a"]
+
+    def test_self_detach_mid_dispatch_does_not_skip_neighbours(self):
+        """Regression: a listener detaching itself from inside its callback
+        used to shift the live listener list under the dispatch loop,
+        silently skipping the next listener for that event."""
+        t = Trace()
+        calls = {"one_shot": 0, "second": 0}
+
+        def one_shot(event):
+            calls["one_shot"] += 1
+            t.detach(one_shot)
+
+        def second(event):
+            calls["second"] += 1
+
+        t.attach(one_shot)
+        t.attach(second)
+        t.record(1.0, "a")  # both must fire exactly once
+        t.record(2.0, "b")  # only `second` remains
+        assert calls == {"one_shot": 1, "second": 2}
+
+    def test_attach_mid_dispatch_starts_next_event(self):
+        t = Trace()
+        late_seen = []
+
+        def late(event):
+            late_seen.append(event.kind)
+
+        def installer(event):
+            if event.kind == "a":
+                t.attach(late)
+
+        t.attach(installer)
+        t.record(1.0, "a")  # `late` attaches during this dispatch...
+        t.record(2.0, "b")
+        assert late_seen == ["b"]  # ...and only sees subsequent events
+
+    def test_checker_close_inside_listener_is_safe(self):
+        """TraceChecker.close() detaches from inside the listener seam —
+        with per-event snapshots this cannot corrupt dispatch."""
+        t = Trace()
+        order = []
+
+        def closer(event):
+            order.append("closer")
+            t.detach(closer)
+
+        def tail(event):
+            order.append("tail")
+
+        t.attach(closer)
+        t.attach(tail)
+        t.record(1.0, "x")
+        assert order == ["closer", "tail"]
+
+
+class TestRetentionModes:
+    def _populated(self, mode):
+        from repro.cluster import trace_retention
+
+        with trace_retention(mode):
+            t = Trace()
+        t.record(0.5, "msg", src=0, dst=1, mid=0)
+        t.generation(1.0, deme=0, generation=1, best=2.0)
+        t.record(1.5, "msg", src=1, dst=0, mid=1)
+        return t
+
+    def test_default_is_full(self):
+        assert Trace().retention == "full"
+
+    def test_explicit_mode_beats_ambient(self):
+        from repro.cluster import trace_retention
+
+        with trace_retention("digest-only"):
+            assert Trace("full").retention == "full"
+
+    def test_ambient_mode_restores_on_exit(self):
+        from repro.cluster import default_retention, trace_retention
+
+        assert default_retention() == "full"
+        with trace_retention("compact"):
+            assert default_retention() == "compact"
+        assert default_retention() == "full"
+
+    def test_unknown_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="retention"):
+            Trace("everything")
+
+    def test_counts_and_kinds_exact_in_every_mode(self):
+        expected_kinds = self._populated("full").kinds()
+        for mode in ("full", "compact", "digest-only"):
+            t = self._populated(mode)
+            assert len(t) == 3
+            assert t.kinds() == expected_kinds
+            assert t.count("msg") == 2
+            assert t.count("generation") == 1
+            assert t.count("never-recorded") == 0
+
+    def test_digest_identical_across_modes(self):
+        digests = {self._populated(m).digest_hex() for m in ("full", "compact", "digest-only")}
+        assert len(digests) == 1
+
+    def test_compact_keeps_generation_events(self):
+        t = self._populated("compact")
+        gens = t.of_kind("generation")
+        assert [e["deme"] for e in gens] == [0]
+        assert gens == self._populated("full").of_kind("generation")
+
+    def test_compact_discarded_kind_raises(self):
+        from repro.cluster import TraceRetentionError
+        import pytest
+
+        t = self._populated("compact")
+        with pytest.raises(TraceRetentionError, match="msg"):
+            t.of_kind("msg")
+        with pytest.raises(TraceRetentionError):
+            list(t)
+        with pytest.raises(TraceRetentionError):
+            t.events
+
+    def test_unseen_kind_is_empty_not_error(self):
+        t = self._populated("digest-only")
+        assert t.of_kind("never-recorded") == []
+
+    def test_custom_retained_kinds(self):
+        t = Trace("compact", retained_kinds=frozenset({"msg"}))
+        t.record(0.5, "msg", mid=0)
+        t.generation(1.0, deme=0, generation=1, best=2.0)
+        assert [e["mid"] for e in t.of_kind("msg")] == [0]
+
+    def test_listeners_see_all_events_under_digest_only(self):
+        from repro.cluster import trace_retention
+
+        with trace_retention("digest-only"):
+            t = Trace()
+        seen = []
+        t.attach(lambda e: seen.append(e.kind))
+        t.record(1.0, "a")
+        t.record(2.0, "b")
+        assert seen == ["a", "b"]
+
+    def test_summary_is_mode_invariant(self):
+        base = self._populated("full").summary()
+        for mode in ("compact", "digest-only"):
+            s = self._populated(mode).summary()
+            assert s == base
+        assert base.n_events == 3
+        assert base.counts == {"msg": 2, "generation": 1}
+
+
+class TestTracePickling:
+    def _roundtrip(self, trace):
+        import pickle
+
+        return pickle.loads(pickle.dumps(trace))
+
+    def test_full_trace_roundtrips_and_extends(self):
+        t = Trace()
+        t.record(1.0, "a", x=1)
+        t.record(2.0, "b", y=2.5)
+        clone = self._roundtrip(t)
+        assert clone.digest_hex() == t.digest_hex()
+        assert [(e.time, e.kind, e.fields) for e in clone] == [
+            (1.0, "a", {"x": 1}), (2.0, "b", {"y": 2.5}),
+        ]
+        # the replayed hash keeps extending identically to the original
+        t.record(3.0, "c")
+        clone.record(3.0, "c")
+        assert clone.digest_hex() == t.digest_hex()
+
+    def test_compact_trace_roundtrips_digest_but_freezes(self):
+        from repro.cluster import TraceRetentionError
+        import pytest
+
+        t = Trace("compact")
+        t.record(1.0, "msg", mid=0)
+        t.generation(2.0, deme=0, generation=1, best=0.5)
+        clone = self._roundtrip(t)
+        assert clone.digest_hex() == t.digest_hex()
+        assert clone.count("msg") == 1
+        assert [e["deme"] for e in clone.of_kind("generation")] == [0]
+        with pytest.raises(TraceRetentionError, match="unpickled"):
+            clone.record(3.0, "more")
+
+    def test_listeners_do_not_transport(self):
+        t = Trace()
+        t.attach(lambda e: None)
+        clone = self._roundtrip(t)
+        clone.record(1.0, "a")  # would explode if the dead listener survived
+        assert clone.count("a") == 1

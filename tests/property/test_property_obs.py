@@ -223,6 +223,21 @@ class TestGenerationCoverage:
         events = [self._Event("migrant-apply", 50.0)]
         assert check_generation_coverage(spans, events) == []
 
+    def test_compact_trace_checked_via_kind_index(self):
+        """A real compact-retention Trace refuses whole-stream iteration
+        but retains generation events; the coverage check must query the
+        kind index instead of iterating."""
+        from repro.cluster import Trace
+        from repro.obs import check_generation_coverage
+
+        t = Trace("compact")
+        t.record(0.5, "msg", mid=0)
+        t.generation(1.5, deme=0, generation=1, best=2.0)
+        t.generation(9.0, deme=0, generation=2, best=1.0)
+        spans = [self._span(1, 0.0, 2.0)]
+        problems = check_generation_coverage(spans, t)
+        assert len(problems) == 1 and "t=9.0" in problems[0]
+
 
 class TestMetricsAndTimelineSchemas:
     def test_non_dict_metrics_rejected(self):
